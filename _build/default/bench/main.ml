@@ -1,0 +1,118 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (via Aging_core.Experiments) and, with the [micro] command,
+   runs Bechamel microbenchmarks of the core kernels.
+
+   Usage:
+     bench/main.exe                 run all figure reproductions (full mode)
+     bench/main.exe --quick         reduced design set / image size
+     bench/main.exe fig1 fig5a ...  run selected experiments
+     bench/main.exe micro           Bechamel microbenchmarks only
+*)
+
+module Experiments = Aging_core.Experiments
+
+let all_figures =
+  [ "fig1"; "fig2"; "fig3"; "fig5a"; "fig5b"; "fig5c"; "fig6a"; "fig6b";
+    "fig6c"; "fig7"; "libgen"; "ablate-backend"; "ablate-slew"; "ablate-topk" ]
+
+let run_experiment t name =
+  let report =
+    match name with
+    | "fig1" -> Experiments.fig1 t
+    | "fig2" -> Experiments.fig2 t
+    | "fig3" -> Experiments.fig3 t
+    | "fig5a" -> Experiments.fig5a t
+    | "fig5b" -> Experiments.fig5b t
+    | "fig5c" -> Experiments.fig5c t
+    | "fig6a" -> Experiments.fig6a t
+    | "fig6b" -> Experiments.fig6b t
+    | "fig6c" -> Experiments.fig6c t
+    | "fig7" -> Experiments.fig7 t ()
+    | "libgen" -> Experiments.libgen t ()
+    | "hold" -> Experiments.hold_check t
+    | "ablate-backend" -> Experiments.ablate_backend t
+    | "ablate-slew" -> Experiments.ablate_slew t
+    | "ablate-topk" -> Experiments.ablate_topk t
+    | other -> failwith ("unknown experiment " ^ other)
+  in
+  print_string report;
+  print_newline ()
+
+(* ------------------------- microbenchmarks ------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let deglib =
+    Aging_core.Degradation_library.create ~cache_dir:"_libcache" ()
+  in
+  let fresh = Aging_core.Degradation_library.fresh deglib in
+  let nand = Aging_liberty.Library.find_exn fresh "NAND2_X1" in
+  let arc = List.hd nand.Aging_liberty.Library.arcs in
+  let design = Aging_designs.Designs.risc5 () in
+  let structure = Aging_sta.Timing.prepare_structure design in
+  let compiled = Aging_netlist.Netlist.compile design in
+  let state = Aging_netlist.Netlist.initial_state design in
+  let inputs =
+    List.map (fun (p, _) -> (p, false)) design.Aging_netlist.Netlist.input_ports
+  in
+  let cell = Aging_cells.Catalog.find_exn "INV_X1" in
+  let scenario =
+    Aging_physics.Scenario.scenario Aging_physics.Scenario.worst_case
+  in
+  let inv_arc = List.hd (Aging_cells.Cell.arcs cell) in
+  let tests =
+    [
+      Test.make ~name:"nldm-lookup" (Staged.stage (fun () ->
+          Aging_liberty.Library.delay_of arc ~dir:Aging_liberty.Library.Rise
+            ~slew:5.3e-11 ~load:3.1e-15));
+      Test.make ~name:"sta-full-pass-risc5" (Staged.stage (fun () ->
+          Aging_sta.Timing.analyze ~structure ~library:fresh design));
+      Test.make ~name:"cycle-eval-risc5" (Staged.stage (fun () ->
+          Aging_netlist.Netlist.compiled_cycle compiled state ~inputs));
+      Test.make ~name:"transient-inv-arc" (Staged.stage (fun () ->
+          Aging_liberty.Characterize.arc_measure
+            Aging_liberty.Characterize.default_backend ~scenario ~cell
+            ~arc:inv_arc ~dir:Aging_liberty.Library.Rise ~slew:4e-11
+            ~load:2e-15));
+      Test.make ~name:"bti-degradation" (Staged.stage (fun () ->
+          Aging_physics.Degradation.of_stress
+            (Aging_physics.Device.pmos ~w:1.8e-7)
+            (Aging_physics.Bti.stress ~duty:0.7 ())));
+    ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.5 in
+    Benchmark.all (Benchmark.cfg ~quota ~kde:None ()) Toolkit.Instance.[ monotonic_clock ] test
+  in
+  let analyze results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  if args = [ "micro" ] then micro ()
+  else begin
+    let t = Experiments.create ~quick () in
+    let selected = if args = [] then all_figures else args in
+    Printf.printf "reliability-aware design reproduction — %s mode\n\n%!"
+      (if quick then "quick" else "full");
+    List.iter
+      (fun name ->
+        let t0 = Unix.gettimeofday () in
+        run_experiment t name;
+        Printf.printf "[%s done in %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0))
+      selected
+  end

@@ -1,0 +1,255 @@
+(* relaware: command-line front end of the reliability-aware design flow.
+
+   Subcommands:
+     characterize  build a degradation-aware library and write it as .alib
+     report        static timing of a benchmark design, fresh and aged
+     guardband     guardband estimation (full / vth-only / single-opc / cp-only)
+     synth         traditional vs aging-aware synthesis comparison
+     experiment    run one of the paper's figure reproductions
+*)
+
+open Cmdliner
+
+module Scenario = Aging_physics.Scenario
+module Degradation = Aging_physics.Degradation
+module Axes = Aging_liberty.Axes
+module Io = Aging_liberty.Io
+module Timing = Aging_sta.Timing
+module Report = Aging_sta.Report
+module Deg = Aging_core.Degradation_library
+module Guardband = Aging_core.Guardband
+module Designs = Aging_designs.Designs
+module Experiments = Aging_core.Experiments
+
+(* ------------------------- shared arguments ------------------------- *)
+
+let corner_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ p; n ] -> begin
+      match (float_of_string_opt p, float_of_string_opt n) with
+      | Some lambda_p, Some lambda_n -> begin
+        match Scenario.corner ~lambda_p ~lambda_n with
+        | c -> Ok c
+        | exception Invalid_argument msg -> Error (`Msg msg)
+      end
+      | None, _ | _, None -> Error (`Msg "expected <lambda_p>,<lambda_n>")
+    end
+    | _ -> Error (`Msg "expected <lambda_p>,<lambda_n>")
+  in
+  let print fmt c = Format.fprintf fmt "%s" (Scenario.suffix c) in
+  Arg.conv (parse, print)
+
+let corner_arg =
+  Arg.(value & opt corner_conv Scenario.worst_case
+       & info [ "corner" ] ~docv:"LP,LN"
+           ~doc:"Aging corner as pMOS,nMOS duty cycles (default worst case 1,1).")
+
+let years_arg =
+  Arg.(value & opt float 10. & info [ "years" ] ~docv:"YEARS" ~doc:"Lifetime in years.")
+
+let grid_conv = Arg.enum [ ("paper", Axes.paper); ("coarse", Axes.coarse) ]
+
+let axes_arg =
+  Arg.(value & opt grid_conv Axes.paper
+       & info [ "axes" ] ~docv:"GRID" ~doc:"OPC grid: paper (7x7) or coarse (3x3).")
+
+let cache_arg =
+  Arg.(value & opt string "_libcache"
+       & info [ "cache" ] ~docv:"DIR" ~doc:"Library cache directory.")
+
+let design_arg =
+  let all = [ "DSP"; "FFT"; "RISC-6P"; "RISC-5P"; "VLIW"; "DCT"; "IDCT" ] in
+  Arg.(required & opt (some (enum (List.map (fun d -> (d, d)) all))) None
+       & info [ "design" ] ~docv:"NAME" ~doc:"Benchmark design name.")
+
+let deglib_of ~axes ~years ~cache = Deg.create ~axes ~years ~cache_dir:cache ()
+
+let design_of name =
+  match Designs.by_name name with
+  | Some d -> d
+  | None -> failwith ("unknown design " ^ name)
+
+(* --------------------------- characterize --------------------------- *)
+
+let characterize_cmd =
+  let out_arg =
+    Arg.(value & opt string "degradation_aware.alib"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output .alib path.")
+  in
+  let run corner years axes cache out =
+    let deglib = deglib_of ~axes ~years ~cache in
+    let lib = Deg.corner deglib corner in
+    Io.save out lib;
+    Printf.printf "wrote %s: %d cells, corner %s, %g years\n" out
+      (List.length (Aging_liberty.Library.entries lib))
+      (Scenario.suffix corner) years
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Build a degradation-aware cell library")
+    Term.(const run $ corner_arg $ years_arg $ axes_arg $ cache_arg $ out_arg)
+
+(* ------------------------------ report ------------------------------ *)
+
+let report_cmd =
+  let run name corner years axes cache =
+    let deglib = deglib_of ~axes ~years ~cache in
+    let design = design_of name in
+    let fresh = Timing.analyze ~library:(Deg.fresh deglib) design in
+    let aged = Timing.analyze ~library:(Deg.corner deglib corner) design in
+    print_string (Report.summary fresh);
+    print_string (Report.guardband ~fresh ~aged)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Static timing of a benchmark design, fresh vs aged")
+    Term.(const run $ design_arg $ corner_arg $ years_arg $ axes_arg $ cache_arg)
+
+(* ---------------------------- guardband ---------------------------- *)
+
+let guardband_cmd =
+  let method_arg =
+    Arg.(value & opt (enum [ ("full", `Full); ("vth-only", `Vth); ("single-opc", `Sopc);
+                             ("cp-only", `Cp) ]) `Full
+         & info [ "method" ] ~docv:"M"
+             ~doc:"full | vth-only | single-opc | cp-only (prior-work models).")
+  in
+  let run name corner years axes cache meth =
+    let deglib = deglib_of ~axes ~years ~cache in
+    let design = design_of name in
+    let g =
+      match meth with
+      | `Full -> Guardband.static ~deglib ~corner design
+      | `Vth -> Guardband.static ~mode:Degradation.Vth_only ~deglib ~corner design
+      | `Sopc -> Guardband.single_opc ~deglib ~corner design
+      | `Cp -> Guardband.initial_cp_only ~deglib ~corner design
+    in
+    Printf.printf "%s: fresh %.1f ps, aged %.1f ps, guardband %.1f ps (%.1f%%)\n"
+      name
+      (g.Guardband.fresh_period *. 1e12)
+      (g.Guardband.aged_period *. 1e12)
+      (g.Guardband.guardband *. 1e12)
+      (g.Guardband.guardband /. g.Guardband.fresh_period *. 100.)
+  in
+  Cmd.v
+    (Cmd.info "guardband" ~doc:"Estimate the aging guardband of a design")
+    Term.(const run $ design_arg $ corner_arg $ years_arg $ axes_arg $ cache_arg
+          $ method_arg)
+
+(* ------------------------------ synth ------------------------------ *)
+
+let synth_cmd =
+  let run name corner years axes cache =
+    let deglib = deglib_of ~axes ~years ~cache in
+    let design = design_of name in
+    let c = Aging_core.Aging_synthesis.run ~corner ~deglib design in
+    let module AS = Aging_core.Aging_synthesis in
+    Printf.printf
+      "traditional: fresh %.1f ps, aged %.1f ps\n\
+       aging-aware: fresh %.1f ps, aged %.1f ps\n\
+       required guardband %.1f ps, contained %.1f ps (reduction %.1f%%)\n\
+       frequency gain %.2f%%, area overhead %.2f%%\n"
+      (c.AS.trad_fresh_period *. 1e12)
+      (c.AS.trad_aged_period *. 1e12)
+      (c.AS.aware_fresh_period *. 1e12)
+      (c.AS.aware_aged_period *. 1e12)
+      (AS.required_guardband c *. 1e12)
+      (AS.contained_guardband c *. 1e12)
+      (AS.guardband_reduction c *. 100.)
+      (AS.frequency_gain c *. 100.)
+      (AS.area_overhead c *. 100.)
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Traditional vs aging-aware synthesis of a design")
+    Term.(const run $ design_arg $ corner_arg $ years_arg $ axes_arg $ cache_arg)
+
+(* ------------------------------ export ------------------------------ *)
+
+let export_cmd =
+  let what_arg =
+    Arg.(required & pos 0 (some (enum [ ("verilog", `Verilog); ("sdf", `Sdf);
+                                        ("liberty", `Liberty) ])) None
+         & info [] ~docv:"WHAT" ~doc:"verilog | sdf | liberty")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let design_opt =
+    let all = [ "DSP"; "FFT"; "RISC-6P"; "RISC-5P"; "VLIW"; "DCT"; "IDCT" ] in
+    Arg.(value & opt (some (enum (List.map (fun d -> (d, d)) all))) None
+         & info [ "design" ] ~docv:"NAME" ~doc:"Design (verilog/sdf exports).")
+  in
+  let run what name corner years axes cache out =
+    let deglib = deglib_of ~axes ~years ~cache in
+    let required_design () =
+      match name with
+      | Some n -> design_of n
+      | None -> failwith "--design is required for verilog/sdf exports"
+    in
+    begin
+      match what with
+      | `Liberty ->
+        Aging_liberty.Liberty_format.save out (Deg.corner deglib corner)
+      | `Verilog -> Aging_netlist.Export.save out (required_design ())
+      | `Sdf ->
+        let analysis =
+          Timing.analyze ~library:(Deg.corner deglib corner) (required_design ())
+        in
+        Aging_sta.Sdf.save out analysis
+    end;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write Verilog netlists, aged SDF files, or .lib libraries")
+    Term.(const run $ what_arg $ design_opt $ corner_arg $ years_arg $ axes_arg
+          $ cache_arg $ out_arg)
+
+(* ---------------------------- experiment ---------------------------- *)
+
+let experiment_cmd =
+  let which_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FIG"
+             ~doc:"fig1 fig2 fig3 fig5a fig5b fig5c fig6a fig6b fig6c fig7 \
+                   libgen ablate-backend ablate-slew ablate-topk")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced design set / image size.")
+  in
+  let run which quick cache =
+    let t = Experiments.create ~quick ~cache_dir:cache () in
+    let report =
+      match which with
+      | "fig1" -> Experiments.fig1 t
+      | "fig2" -> Experiments.fig2 t
+      | "fig3" -> Experiments.fig3 t
+      | "fig5a" -> Experiments.fig5a t
+      | "fig5b" -> Experiments.fig5b t
+      | "fig5c" -> Experiments.fig5c t
+      | "fig6a" -> Experiments.fig6a t
+      | "fig6b" -> Experiments.fig6b t
+      | "fig6c" -> Experiments.fig6c t
+      | "fig7" -> Experiments.fig7 t ()
+      | "libgen" -> Experiments.libgen t ()
+      | "ablate-backend" -> Experiments.ablate_backend t
+      | "ablate-slew" -> Experiments.ablate_slew t
+      | "ablate-topk" -> Experiments.ablate_topk t
+      | other -> failwith ("unknown experiment: " ^ other)
+    in
+    print_string report
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures")
+    Term.(const run $ which_arg $ quick_arg $ cache_arg)
+
+let () =
+  let info =
+    Cmd.info "relaware" ~version:"1.0"
+      ~doc:"Reliability-aware design to suppress aging (DAC'16 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ characterize_cmd; report_cmd; guardband_cmd; synth_cmd; export_cmd;
+            experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/aging_aware_synthesis.ml: Aging_core Aging_designs Aging_liberty Aging_netlist Array Printf String

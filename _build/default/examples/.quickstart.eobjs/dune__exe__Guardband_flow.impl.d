@@ -1,0 +1,1 @@
+examples/guardband_flow.ml: Aging_core Aging_designs Aging_liberty Aging_netlist Aging_physics Aging_sim Aging_util Array List Printf

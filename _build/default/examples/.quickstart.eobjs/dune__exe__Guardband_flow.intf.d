@@ -1,0 +1,1 @@
+examples/guardband_flow.mli:

@@ -1,0 +1,1 @@
+examples/image_chain.ml: Aging_core Aging_designs Aging_image Aging_liberty Aging_netlist Aging_physics Aging_sim Array Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aging_cells Aging_designs Aging_liberty Aging_physics Aging_sta List Printf

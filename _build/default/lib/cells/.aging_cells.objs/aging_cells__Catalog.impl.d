@@ -1,0 +1,1 @@
+lib/cells/catalog.ml: Aging_physics Aging_spice Cell Lazy List Printf Pull

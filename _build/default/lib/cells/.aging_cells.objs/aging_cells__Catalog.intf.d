@@ -1,0 +1,1 @@
+lib/cells/catalog.mli: Cell

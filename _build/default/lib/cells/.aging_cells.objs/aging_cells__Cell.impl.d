@@ -1,0 +1,1 @@
+lib/cells/cell.ml: Aging_physics Aging_spice List Pull String

@@ -1,0 +1,1 @@
+lib/cells/pull.ml: Aging_physics Aging_spice List

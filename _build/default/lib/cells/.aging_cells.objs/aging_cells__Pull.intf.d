@@ -1,0 +1,1 @@
+lib/cells/pull.mli: Aging_spice

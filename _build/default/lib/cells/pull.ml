@@ -1,0 +1,64 @@
+module Device = Aging_physics.Device
+module Circuit = Aging_spice.Circuit
+
+type expr = T of Circuit.node | S of expr list | P of expr list
+
+let rec check = function
+  | T _ -> ()
+  | S [] | P [] -> invalid_arg "Pull.stage: empty composition"
+  | S es | P es -> List.iter check es
+
+(* Emit a network of [polarity] transistors realizing [expr] between
+   [top] and [bottom]; series stacks deepen the width multiplier. *)
+let rec emit circuit ~mk_dev ~stack expr ~top ~bottom =
+  match expr with
+  | T gate_node ->
+    Circuit.add_mos circuit ~dev:(mk_dev ~stack) ~g:gate_node ~d:top ~s:bottom
+  | P branches ->
+    List.iter (fun e -> emit circuit ~mk_dev ~stack e ~top ~bottom) branches
+  | S elements ->
+    let n = List.length elements in
+    let stack = stack * n in
+    let rec chain prev = function
+      | [] -> ()
+      | [ last ] -> emit circuit ~mk_dev ~stack last ~top:prev ~bottom
+      | e :: rest ->
+        let mid = Circuit.fresh_node circuit in
+        emit circuit ~mk_dev ~stack e ~top:prev ~bottom:mid;
+        chain mid rest
+    in
+    chain top elements
+
+(* Series/parallel dual for the pull-up network. *)
+let rec dual = function
+  | T n -> T n
+  | S es -> P (List.map dual es)
+  | P es -> S (List.map dual es)
+
+let nmos_width ~drive ~stack =
+  Device.w_min *. float_of_int drive *. float_of_int stack
+
+let pmos_width ~drive ~stack = 2. *. nmos_width ~drive ~stack
+
+let stage ?(p_boost = 1.0) circuit ~drive ~pdn ~out =
+  if drive < 1 then invalid_arg "Pull.stage: drive < 1";
+  if p_boost <= 0. then invalid_arg "Pull.stage: p_boost <= 0";
+  check pdn;
+  let mk_n ~stack = Device.nmos ~w:(nmos_width ~drive ~stack) in
+  let mk_p ~stack = Device.pmos ~w:(p_boost *. pmos_width ~drive ~stack) in
+  emit circuit ~mk_dev:mk_n ~stack:1 pdn ~top:out ~bottom:Circuit.gnd;
+  emit circuit ~mk_dev:mk_p ~stack:1 (dual pdn) ~top:out ~bottom:Circuit.vdd
+
+let transmission_gate circuit ~drive ~a ~b ~n_gate ~p_gate =
+  if drive < 1 then invalid_arg "Pull.transmission_gate: drive < 1";
+  let wn = nmos_width ~drive ~stack:1 in
+  Circuit.add_mos circuit ~dev:(Device.nmos ~w:wn) ~g:n_gate ~d:a ~s:b;
+  Circuit.add_mos circuit ~dev:(Device.pmos ~w:(2. *. wn)) ~g:p_gate ~d:a ~s:b
+
+let inverter ?p_boost circuit ~drive ~input ~out =
+  stage ?p_boost circuit ~drive ~pdn:(T input) ~out
+
+let total_width circuit =
+  List.fold_left
+    (fun acc (m : Circuit.mos) -> acc +. m.Circuit.dev.Device.w)
+    0. (Circuit.mosfets circuit)

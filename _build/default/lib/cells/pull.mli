@@ -1,0 +1,51 @@
+(** Pull-network DSL for building static CMOS stages.
+
+    A complementary stage is described by its pull-down network (the nMOS
+    expression between the output and ground); the pull-up network is the
+    series/parallel dual, built automatically.  Transistor widths follow the
+    usual sizing discipline: the base width scales with the cell drive
+    strength, pMOS devices are twice as wide as nMOS (compensating the
+    mobility ratio of the 45 nm card), and devices inside a series stack are
+    widened by the stack depth. *)
+
+type expr =
+  | T of Aging_spice.Circuit.node  (** transistor gated by this node's signal *)
+  | S of expr list                 (** series composition *)
+  | P of expr list                 (** parallel composition *)
+
+val stage :
+  ?p_boost:float ->
+  Aging_spice.Circuit.t ->
+  drive:int ->
+  pdn:expr ->
+  out:Aging_spice.Circuit.node ->
+  unit
+(** Adds a full complementary stage computing the NOR/NAND-style complement
+    of the pull-down condition onto [out].  [p_boost] (default 1.0) widens
+    the pull-up network beyond the standard 2x nMOS width — the "high-beta"
+    variants that tolerate NBTI-induced pull-up weakening.
+    @raise Invalid_argument if [drive < 1], [p_boost <= 0] or the
+    expression is empty. *)
+
+val transmission_gate :
+  Aging_spice.Circuit.t ->
+  drive:int ->
+  a:Aging_spice.Circuit.node ->
+  b:Aging_spice.Circuit.node ->
+  n_gate:Aging_spice.Circuit.node ->
+  p_gate:Aging_spice.Circuit.node ->
+  unit
+(** Parallel nMOS/pMOS pass gate between [a] and [b]; conducting when
+    [n_gate] is high (and [p_gate], its complement, low). *)
+
+val inverter :
+  ?p_boost:float ->
+  Aging_spice.Circuit.t ->
+  drive:int ->
+  input:Aging_spice.Circuit.node ->
+  out:Aging_spice.Circuit.node ->
+  unit
+(** Convenience: [stage] with a single-transistor pull-down. *)
+
+val total_width : Aging_spice.Circuit.t -> float
+(** Sum of all transistor widths [m]; input to the area model. *)

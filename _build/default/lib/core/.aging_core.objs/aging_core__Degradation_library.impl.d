@@ -1,0 +1,1 @@
+lib/core/degradation_library.ml: Aging_cells Aging_liberty Aging_physics Array Filename Float Hashtbl List Option Printf Sys

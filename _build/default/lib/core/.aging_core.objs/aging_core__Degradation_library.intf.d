@@ -1,0 +1,1 @@
+lib/core/degradation_library.mli: Aging_cells Aging_liberty Aging_physics

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Aging_netlist Aging_physics Degradation_library

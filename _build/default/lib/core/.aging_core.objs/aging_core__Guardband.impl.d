@@ -1,0 +1,1 @@
+lib/core/guardband.ml: Aging_netlist Aging_sim Aging_sta Degradation_library

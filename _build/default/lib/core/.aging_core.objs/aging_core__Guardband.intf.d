@@ -1,0 +1,1 @@
+lib/core/guardband.mli: Aging_netlist Aging_physics Aging_sta Degradation_library

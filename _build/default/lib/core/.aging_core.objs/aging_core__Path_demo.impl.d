@@ -1,0 +1,1 @@
+lib/core/path_demo.ml: Aging_cells Aging_physics Aging_spice Array Float List Printf

@@ -1,0 +1,1 @@
+lib/core/path_demo.mli: Aging_physics

@@ -1,0 +1,1 @@
+lib/core/system_eval.ml: Aging_designs Aging_image Aging_netlist Aging_sim Aging_util Array Float List Printf

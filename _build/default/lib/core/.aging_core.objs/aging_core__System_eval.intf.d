@@ -1,0 +1,1 @@
+lib/core/system_eval.mli: Aging_image Aging_sim

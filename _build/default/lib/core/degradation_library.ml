@@ -1,0 +1,152 @@
+module Scenario = Aging_physics.Scenario
+module Degradation = Aging_physics.Degradation
+module Axes = Aging_liberty.Axes
+module Library = Aging_liberty.Library
+module Characterize = Aging_liberty.Characterize
+module Nldm = Aging_liberty.Nldm
+module Io = Aging_liberty.Io
+module Cell = Aging_cells.Cell
+
+type t = {
+  backend : Characterize.backend;
+  cells : Cell.t list;
+  axes : Axes.t;
+  years : float;
+  cache_dir : string option;
+  memo : (string, Library.t) Hashtbl.t;
+  fingerprint : string;
+}
+
+let backend_tag = function
+  | Characterize.Transient _ -> "transient"
+  | Characterize.Analytic -> "analytic"
+
+let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
+    ?(years = 10.) ?cache_dir () =
+  let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
+  (* The fingerprint must change whenever anything that affects the tables
+     changes: cell set, axes, backend, and the physics model itself (probed
+     by sampling the degradation of a reference device). *)
+  let model_probe =
+    let stress = Aging_physics.Bti.stress ~duty:1.0 () in
+    let d =
+      Degradation.of_stress (Aging_physics.Device.pmos ~w:1e-7) stress
+    in
+    let dn =
+      Degradation.of_stress (Aging_physics.Device.nmos ~w:1e-7) stress
+    in
+    (d.Degradation.delta_vth, d.Degradation.mu_factor, dn.Degradation.delta_vth)
+  in
+  let fingerprint =
+    Printf.sprintf "%08x"
+      (Hashtbl.hash
+         ( List.map (fun (c : Cell.t) -> c.Cell.name) cells,
+           Array.to_list axes.Axes.slews,
+           Array.to_list axes.Axes.loads,
+           backend_tag backend,
+           model_probe ))
+  in
+  { backend; cells; axes; years; cache_dir; memo = Hashtbl.create 16; fingerprint }
+
+let axes t = t.axes
+let years t = t.years
+
+let mode_tag = function Degradation.Full -> "full" | Degradation.Vth_only -> "vth"
+
+let key t ~mode ~indexed corner =
+  Printf.sprintf "%s_y%g_%s%s_%s" (mode_tag mode) t.years
+    (Scenario.suffix corner)
+    (if indexed then "_idx" else "")
+    t.fingerprint
+
+let cached t name build =
+  match Hashtbl.find_opt t.memo name with
+  | Some lib -> lib
+  | None ->
+    let from_disk =
+      match t.cache_dir with
+      | None -> None
+      | Some dir ->
+        let path = Filename.concat dir (name ^ ".alib") in
+        if Sys.file_exists path then Some (Io.load path) else None
+    in
+    let lib =
+      match from_disk with
+      | Some lib -> lib
+      | None ->
+        let lib = build () in
+        Option.iter
+          (fun dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            Io.save (Filename.concat dir (name ^ ".alib")) lib)
+          t.cache_dir;
+        lib
+    in
+    Hashtbl.replace t.memo name lib;
+    lib
+
+let corner ?(mode = Degradation.Full) t c =
+  let name = key t ~mode ~indexed:false c in
+  cached t name (fun () ->
+      let scenario = Scenario.scenario ~years:t.years ~mode c in
+      Characterize.library ~backend:t.backend ~cells:t.cells ~axes:t.axes
+        ~name ~scenario ())
+
+let indexed_corner t c =
+  let name = key t ~mode:Degradation.Full ~indexed:true c in
+  cached t name (fun () ->
+      let scenario = Scenario.scenario ~years:t.years c in
+      Characterize.library ~backend:t.backend ~cells:t.cells ~indexed:true
+        ~axes:t.axes ~name ~scenario ())
+
+let fresh t = corner t Scenario.fresh
+let worst_case ?mode t = corner ?mode t Scenario.worst_case
+
+let complete t corners =
+  match List.map (indexed_corner t) corners with
+  | [] -> invalid_arg "Degradation_library.complete: no corners"
+  | first :: rest ->
+    let merged = List.fold_left Library.merge_entries first rest in
+    Library.create ~lib_name:"complete" ~axes:(Library.axes merged)
+      (Library.entries merged)
+
+let single_opc ?slew ?load t c =
+  let fresh_lib = fresh t in
+  let aged_lib = corner t c in
+  let slew = Option.value slew ~default:t.axes.Axes.slews.(Array.length t.axes.Axes.slews - 1) in
+  let load = Option.value load ~default:t.axes.Axes.loads.(0) in
+  let scale_entry (fresh_e : Library.entry) =
+    let aged_e = Library.find_exn aged_lib fresh_e.Library.indexed_name in
+    let scale_arc (fa : Library.arc) =
+      match
+        List.find_opt
+          (fun (aa : Library.arc) ->
+            aa.Library.from_pin = fa.Library.from_pin
+            && aa.Library.to_pin = fa.Library.to_pin)
+          aged_e.Library.arcs
+      with
+      | None -> fa
+      | Some aa ->
+        let ratio dir =
+          let d0 = Library.delay_of fa ~dir ~slew ~load in
+          let d1 = Library.delay_of aa ~dir ~slew ~load in
+          if Float.abs d0 < 1e-13 then 1.
+          else Float.max 0.2 (Float.min 8. (d1 /. d0))
+        in
+        let r_rise = ratio Library.Rise and r_fall = ratio Library.Fall in
+        {
+          fa with
+          Library.delay_rise = Nldm.map (fun d -> d *. r_rise) fa.Library.delay_rise;
+          delay_fall = Nldm.map (fun d -> d *. r_fall) fa.Library.delay_fall;
+        }
+    in
+    {
+      fresh_e with
+      Library.arcs = List.map scale_arc fresh_e.Library.arcs;
+      setup_time = aged_e.Library.setup_time;
+    }
+  in
+  Library.create
+    ~lib_name:(Printf.sprintf "single-opc[%s]" (Scenario.suffix c))
+    ~axes:t.axes
+    (List.map scale_entry (Library.entries fresh_lib))

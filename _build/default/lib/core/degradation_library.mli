@@ -1,0 +1,53 @@
+(** Managed creation of degradation-aware cell libraries.
+
+    This is the productized form of the paper's Sec. 4.1 flow: characterized
+    libraries are produced on demand per aging corner, memoized in memory
+    and optionally persisted to a cache directory as [.alib] files (the
+    "publicly available libraries" artifact), so repeated analyses never
+    re-run transistor-level simulation. *)
+
+type t
+
+val create :
+  ?backend:Aging_liberty.Characterize.backend ->
+  ?cells:Aging_cells.Cell.t list ->
+  ?axes:Aging_liberty.Axes.t ->
+  ?years:float ->
+  ?cache_dir:string ->
+  unit ->
+  t
+(** Defaults: transient backend, full catalog, the paper's 7x7 axes,
+    10-year lifetime, no disk cache. *)
+
+val axes : t -> Aging_liberty.Axes.t
+val years : t -> float
+
+val fresh : t -> Aging_liberty.Library.t
+(** The degradation-unaware (initial) library. *)
+
+val corner :
+  ?mode:Aging_physics.Degradation.mode ->
+  t ->
+  Aging_physics.Scenario.corner ->
+  Aging_liberty.Library.t
+(** Single-corner degradation-aware library with bare cell names (what a
+    static-stress timing run plugs in).  [mode] defaults to [Full];
+    [Vth_only] reproduces the state-of-the-art analyses of Fig. 5(a). *)
+
+val worst_case : ?mode:Aging_physics.Degradation.mode -> t -> Aging_liberty.Library.t
+(** [corner t Scenario.worst_case]. *)
+
+val complete :
+  t -> Aging_physics.Scenario.corner list -> Aging_liberty.Library.t
+(** Merged complete library with corner-indexed cell names restricted to
+    the given corners (use [Scenario.grid ()] for the full 121-corner
+    artifact).  Entries are characterized lazily per corner and shared with
+    {!corner}. *)
+
+val single_opc :
+  ?slew:float -> ?load:float -> t -> Aging_physics.Scenario.corner ->
+  Aging_liberty.Library.t
+(** The single-operating-condition strawman of Fig. 5(b): every fresh arc
+    table is scaled by the aged/fresh delay ratio measured at one OPC
+    (default: the largest characterized slew and the smallest load, the
+    pessimistic point used by prior work). *)

@@ -1,0 +1,104 @@
+module Scenario = Aging_physics.Scenario
+module Device = Aging_physics.Device
+module Circuit = Aging_spice.Circuit
+module Engine = Aging_spice.Engine
+module Stimulus = Aging_spice.Stimulus
+module Waveform = Aging_spice.Waveform
+module Pull = Aging_cells.Pull
+
+type stage_kind = Inv | Nand2 | Nor2
+
+type stage = { kind : stage_kind; drive : int; extra_load : float }
+
+type measurement = { stage_delays : float array; total : float }
+
+let build stages =
+  let circuit = Circuit.create () in
+  let input = Circuit.fresh_node ~name:"in" circuit in
+  let taps =
+    List.fold_left
+      (fun taps stage ->
+        let prev = match taps with n :: _ -> n | [] -> input in
+        let out = Circuit.fresh_node circuit in
+        begin
+          match stage.kind with
+          | Inv -> Pull.inverter circuit ~drive:stage.drive ~input:prev ~out
+          | Nand2 ->
+            (* Side input tied high: the stage is sensitized through the
+               chain. *)
+            Pull.stage circuit ~drive:stage.drive
+              ~pdn:(Pull.S [ Pull.T prev; Pull.T Circuit.vdd ])
+              ~out
+          | Nor2 ->
+            Pull.stage circuit ~drive:stage.drive
+              ~pdn:(Pull.P [ Pull.T prev; Pull.T Circuit.gnd ])
+              ~out
+        end;
+        if stage.extra_load > 0. then Circuit.add_cap circuit out stage.extra_load;
+        out :: taps)
+      [] stages
+  in
+  (circuit, input, List.rev taps)
+
+(* All the demo stages invert, so the expected edge alternates. *)
+let flip = function Waveform.Rising -> Waveform.Falling | Waveform.Falling -> Waveform.Rising
+
+let measure_edge circuit input taps ~input_slew ~rising =
+  let t_start = 5e-11 in
+  let stim = Stimulus.ramp ~t_start ~slew:input_slew ~rising () in
+  let result =
+    Engine.transient circuit ~drives:[ (input, stim) ]
+      ~t_stop:(t_start +. Stimulus.full_ramp_time input_slew +. 4e-9)
+  in
+  let mid = 0.5 *. Device.vdd in
+  let crossing node direction =
+    match
+      Waveform.cross_last (Engine.waveform result node) ~level:mid ~direction
+    with
+    | Some t -> t
+    | None ->
+      failwith
+        (Printf.sprintf "Path_demo: node %s did not switch"
+           (Circuit.node_name circuit node))
+  in
+  let in_dir = if rising then Waveform.Rising else Waveform.Falling in
+  let times, _ =
+    List.fold_left
+      (fun (times, dir) tap ->
+        let dir = flip dir in
+        (crossing tap dir :: times, dir))
+      ([ crossing input in_dir ], in_dir)
+      taps
+  in
+  let times = Array.of_list (List.rev times) in
+  Array.init
+    (Array.length times - 1)
+    (fun i -> times.(i + 1) -. times.(i))
+
+let measure ?(scenario = Scenario.scenario Scenario.fresh)
+    ?(input_slew = 2e-11) stages =
+  let circuit, input, taps = build stages in
+  let circuit = Circuit.map_devices (Scenario.age_device scenario) circuit in
+  let rise = measure_edge circuit input taps ~input_slew ~rising:true in
+  let fall = measure_edge circuit input taps ~input_slew ~rising:false in
+  let sum a = Array.fold_left ( +. ) 0. a in
+  let stage_delays = if sum rise >= sum fall then rise else fall in
+  { stage_delays; total = Float.max (sum rise) (sum fall) }
+
+let path1 =
+  [
+    { kind = Inv; drive = 4; extra_load = 1e-15 };
+    { kind = Nand2; drive = 1; extra_load = 1e-15 };
+    { kind = Inv; drive = 2; extra_load = 2e-15 };
+    { kind = Nand2; drive = 2; extra_load = 2e-15 };
+    { kind = Inv; drive = 2; extra_load = 2e-15 };
+    { kind = Nand2; drive = 1; extra_load = 1e-15 };
+    { kind = Inv; drive = 2; extra_load = 6.5e-15 };
+  ]
+
+let path2 =
+  [
+    { kind = Inv; drive = 1; extra_load = 9e-15 };
+    { kind = Nor2; drive = 1; extra_load = 1e-15 };
+    { kind = Inv; drive = 2; extra_load = 4e-15 };
+  ]

@@ -1,0 +1,35 @@
+(** Transistor-level two-path criticality-switch demo (paper Fig. 3).
+
+    Two gate chains are simulated at the transistor level (the "measured by
+    HSPICE" setup of the paper): every stage delay is measured fresh and
+    under worst-case aging.  The chains are chosen so that the initially
+    critical path becomes uncritical after aging — the slower-aging
+    NAND-flavoured chain is overtaken by a chain whose weakly driven,
+    slow-slew NOR stage ages disproportionately. *)
+
+type stage_kind = Inv | Nand2 | Nor2
+
+type stage = {
+  kind : stage_kind;
+  drive : int;
+  extra_load : float;  (** grounded capacitance added at the stage output [F] *)
+}
+
+type measurement = {
+  stage_delays : float array;  (** per-stage 50/50 delay [s] *)
+  total : float;               (** worst of input-rise/input-fall totals [s] *)
+}
+
+val measure :
+  ?scenario:Aging_physics.Scenario.t -> ?input_slew:float -> stage list ->
+  measurement
+(** Builds the chain, runs the transient engine for both input edges and
+    measures per-stage delays of the slower edge.  [scenario] defaults to
+    fresh; [input_slew] to 20 ps. *)
+
+val path1 : stage list
+(** The paper-style initially-critical path (NAND-flavoured, well driven). *)
+
+val path2 : stage list
+(** The initially-uncritical path with an aging-sensitive slow-slew NOR
+    stage. *)

@@ -1,0 +1,143 @@
+module Event_sim = Aging_sim.Event_sim
+module Image = Aging_image.Image
+module Dct = Aging_image.Dct
+module Designs = Aging_designs.Designs
+
+let io_width = Designs.transform_io_width
+let io_mask = (1 lsl io_width) - 1
+let latency = 2
+
+let rated_period ?(cycles = 150) ?(seed = 17L) sim =
+  let netlist = Event_sim.design sim in
+  let rng = Aging_util.Rng.create seed in
+  let vectors =
+    Array.init cycles (fun _ ->
+        List.map
+          (fun (port, _) -> (port, Aging_util.Rng.bool rng))
+          netlist.Aging_netlist.Netlist.input_ports)
+  in
+  let stimulus n = vectors.(min n (cycles - 1)) in
+  let error_free period =
+    let trace = Event_sim.run sim ~period ~cycles ~stimulus in
+    trace.Event_sim.timing_errors = 0
+  in
+  let sta = Event_sim.min_period sim in
+  let rec search lo hi iterations =
+    (* Invariant: hi is error-free, lo is not (or untested floor). *)
+    if iterations = 0 then hi
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if error_free mid then search lo mid (iterations - 1)
+      else search mid hi (iterations - 1)
+    end
+  in
+  if error_free (0.5 *. sta) then 0.5 *. sta
+  else search (0.5 *. sta) (1.05 *. sta) 7
+
+let port_bits prefix lane value =
+  List.init io_width (fun bit ->
+      ( Printf.sprintf "%s%d[%d]" prefix lane bit,
+        (value land io_mask) lsr bit land 1 = 1 ))
+
+let decode_output outs lane =
+  let raw = ref 0 in
+  for bit = io_width - 1 downto 0 do
+    let name = Printf.sprintf "O%d[%d]" lane bit in
+    raw := (!raw lsl 1) lor (if List.assoc name outs then 1 else 0)
+  done;
+  if !raw >= 1 lsl (io_width - 1) then !raw - (1 lsl io_width) else !raw
+
+let run_vectors sim ~period vectors =
+  let vecs = Array.of_list vectors in
+  let n = Array.length vecs in
+  if n = 0 then []
+  else begin
+    let stimulus cycle =
+      let v = vecs.(min cycle (n - 1)) in
+      List.concat (List.init 8 (fun lane -> port_bits "I" lane v.(lane)))
+    in
+    let trace = Event_sim.run sim ~period ~cycles:(n + latency) ~stimulus in
+    List.init n (fun i ->
+        let outs = trace.Event_sim.outputs.(i + latency) in
+        Array.init 8 (fun lane -> decode_output outs lane))
+  end
+
+(* One 1-D pass over every 8x8 block of a 64-vector list: [rows] selects
+   row or column vectors. *)
+let blocks_of image =
+  let bw = (image.Image.width + 7) / 8 and bh = (image.Image.height + 7) / 8 in
+  List.concat
+    (List.init bh (fun by -> List.init bw (fun bx -> (bx, by))))
+
+let pass sim ~period ~rows blocks =
+  let vectors =
+    List.concat_map
+      (fun block ->
+        List.init 8 (fun k ->
+            Array.init 8 (fun j ->
+                if rows then block.((k * 8) + j) else block.((j * 8) + k))))
+      blocks
+  in
+  let transformed = run_vectors sim ~period vectors in
+  let rec regroup acc = function
+    | [] -> List.rev acc
+    | v0 :: v1 :: v2 :: v3 :: v4 :: v5 :: v6 :: v7 :: rest ->
+      let vecs = [| v0; v1; v2; v3; v4; v5; v6; v7 |] in
+      let block = Array.make 64 0 in
+      for k = 0 to 7 do
+        for j = 0 to 7 do
+          let index = if rows then (k * 8) + j else (j * 8) + k in
+          block.(index) <- vecs.(k).(j)
+        done
+      done;
+      regroup (block :: acc) rest
+    | _ -> failwith "System_eval.pass: vector count not a multiple of 8"
+  in
+  regroup [] transformed
+
+let process_image ~dct ~idct ~period image =
+  let coords = blocks_of image in
+  let centered =
+    List.map
+      (fun (bx, by) ->
+        Array.map (fun p -> p - 128) (Image.block8 image ~bx ~by))
+      coords
+  in
+  let coeffs =
+    centered |> pass dct ~period ~rows:true |> pass dct ~period ~rows:false
+  in
+  let decoded =
+    coeffs |> pass idct ~period ~rows:true |> pass idct ~period ~rows:false
+  in
+  let out = Image.create ~width:image.Image.width ~height:image.Image.height in
+  List.iter2
+    (fun (bx, by) block ->
+      Image.set_block8 out ~bx ~by (Array.map (fun v -> v + 128) block))
+    coords decoded;
+  out
+
+let reference_image = Dct.roundtrip_image
+
+let psnr_vs_original original processed = Image.psnr ~reference:original processed
+
+let rated_chain_period ?(margin = 1.03) ~dct ~idct image =
+  let reference = reference_image image in
+  let clean period =
+    Image.equal (process_image ~dct ~idct ~period image) reference
+  in
+  let sta_bound =
+    Float.max (Event_sim.min_period dct) (Event_sim.min_period idct)
+  in
+  let rec search lo hi iterations =
+    if iterations = 0 then hi
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if clean mid then search lo mid (iterations - 1)
+      else search mid hi (iterations - 1)
+    end
+  in
+  let edge =
+    if clean (0.55 *. sta_bound) then 0.55 *. sta_bound
+    else search (0.55 *. sta_bound) (1.02 *. sta_bound) 5
+  in
+  margin *. edge

@@ -1,0 +1,1 @@
+lib/designs/bv.ml: Aging_netlist Array List Printf

@@ -1,0 +1,1 @@
+lib/designs/bv.mli: Aging_netlist

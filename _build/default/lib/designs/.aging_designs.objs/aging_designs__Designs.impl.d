@@ -1,0 +1,1 @@
+lib/designs/designs.ml: Aging_image Aging_netlist Array Bv Printf

@@ -1,0 +1,1 @@
+lib/designs/designs.mli: Aging_netlist

@@ -1,0 +1,1 @@
+lib/image/dct.ml: Array Float Image List

@@ -1,0 +1,1 @@
+lib/image/dct.mli: Image

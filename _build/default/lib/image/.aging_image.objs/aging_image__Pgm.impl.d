@@ -1,0 +1,1 @@
+lib/image/pgm.ml: Array Buffer Char Fun Image List Printf String

@@ -1,0 +1,1 @@
+lib/image/synthetic.ml: Aging_util Image List

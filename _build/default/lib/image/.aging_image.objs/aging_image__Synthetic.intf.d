@@ -1,0 +1,1 @@
+lib/image/synthetic.mli: Image

@@ -1,0 +1,137 @@
+let width = 18
+let scale_shift = 7
+
+let coefficients =
+  let pi = 4. *. atan 1. in
+  Array.init 8 (fun i ->
+      Array.init 8 (fun j ->
+          let k = if i = 0 then 1. /. sqrt 2. else 1. in
+          let c =
+            0.5 *. k
+            *. cos (float_of_int ((2 * j) + 1) *. float_of_int i *. pi /. 16.)
+          in
+          int_of_float (Float.round (128. *. c))))
+
+module type ARITH = sig
+  type v
+
+  val add : v -> v -> v
+  val sub : v -> v -> v
+  val mul_const : v -> int -> v
+  val add_const : v -> int -> v
+  val asr_const : v -> int -> v
+end
+
+module Make (A : ARITH) = struct
+  let half = 1 lsl (scale_shift - 1)
+
+  let round_shift v = A.asr_const (A.add_const v half) scale_shift
+
+  (* Linear combination with shared structure left to the caller. *)
+  let lincomb = function
+    | [] -> invalid_arg "Dct.lincomb: empty"
+    | (c, v) :: rest ->
+      List.fold_left
+        (fun acc (c, v) -> A.add acc (A.mul_const v c))
+        (A.mul_const v c) rest
+
+  let forward_1d x =
+    if Array.length x <> 8 then invalid_arg "Dct.forward_1d: need 8 values";
+    let s j = A.add x.(j) x.(7 - j) and d j = A.sub x.(j) x.(7 - j) in
+    let s0 = s 0 and s1 = s 1 and s2 = s 2 and s3 = s 3 in
+    let d0 = d 0 and d1 = d 1 and d2 = d 2 and d3 = d 3 in
+    let t0 = A.add s0 s3 and t1 = A.add s1 s2 in
+    let t2 = A.sub s1 s2 and t3 = A.sub s0 s3 in
+    let x0 = round_shift (A.mul_const (A.add t0 t1) 45) in
+    let x4 = round_shift (A.mul_const (A.sub t0 t1) 45) in
+    let x2 = round_shift (lincomb [ (59, t3); (24, t2) ]) in
+    let x6 = round_shift (lincomb [ (24, t3); (-59, t2) ]) in
+    let x1 = round_shift (lincomb [ (63, d0); (53, d1); (36, d2); (12, d3) ]) in
+    let x3 = round_shift (lincomb [ (53, d0); (-12, d1); (-63, d2); (-36, d3) ]) in
+    let x5 = round_shift (lincomb [ (36, d0); (-63, d1); (12, d2); (53, d3) ]) in
+    let x7 = round_shift (lincomb [ (12, d0); (-36, d1); (53, d2); (-63, d3) ]) in
+    [| x0; x1; x2; x3; x4; x5; x6; x7 |]
+
+  let inverse_1d x =
+    if Array.length x <> 8 then invalid_arg "Dct.inverse_1d: need 8 values";
+    let p45_0 = A.mul_const x.(0) 45 and p45_4 = A.mul_const x.(4) 45 in
+    let p59_2 = A.mul_const x.(2) 59 and p24_2 = A.mul_const x.(2) 24 in
+    let p24_6 = A.mul_const x.(6) 24 and p59_6 = A.mul_const x.(6) 59 in
+    let e0 = A.add (A.add p45_0 p45_4) (A.add p59_2 p24_6) in
+    let e1 = A.add (A.sub p45_0 p45_4) (A.sub p24_2 p59_6) in
+    let e2 = A.sub (A.sub p45_0 p45_4) (A.sub p24_2 p59_6) in
+    let e3 = A.sub (A.add p45_0 p45_4) (A.add p59_2 p24_6) in
+    let o0 = lincomb [ (63, x.(1)); (53, x.(3)); (36, x.(5)); (12, x.(7)) ] in
+    let o1 = lincomb [ (53, x.(1)); (-12, x.(3)); (-63, x.(5)); (-36, x.(7)) ] in
+    let o2 = lincomb [ (36, x.(1)); (-63, x.(3)); (12, x.(5)); (53, x.(7)) ] in
+    let o3 = lincomb [ (12, x.(1)); (-36, x.(3)); (53, x.(5)); (-63, x.(7)) ] in
+    let out e o = (round_shift (A.add e o), round_shift (A.sub e o)) in
+    let y0, y7 = out e0 o0 in
+    let y1, y6 = out e1 o1 in
+    let y2, y5 = out e2 o2 in
+    let y3, y4 = out e3 o3 in
+    [| y0; y1; y2; y3; y4; y5; y6; y7 |]
+end
+
+(* Integer reference: OCaml ints wrapped to [width]-bit two's complement
+   after every operation, so the hardware instance is bit-identical. *)
+module Int_arith = struct
+  type v = int
+
+  let mask = (1 lsl width) - 1
+  let sign = 1 lsl (width - 1)
+  let wrap x = ((x + sign) land mask) - sign
+  let add a b = wrap (a + b)
+  let sub a b = wrap (a - b)
+  let mul_const v c = wrap (v * c)
+  let add_const v c = wrap (v + c)
+  let asr_const v k = wrap (v asr k)
+end
+
+module Ref = Make (Int_arith)
+
+let forward_1d = Ref.forward_1d
+let inverse_1d = Ref.inverse_1d
+
+let apply_rows f block =
+  let out = Array.make 64 0 in
+  for r = 0 to 7 do
+    let row = Array.init 8 (fun c -> block.((r * 8) + c)) in
+    let t = f row in
+    Array.iteri (fun c v -> out.((r * 8) + c) <- v) t
+  done;
+  out
+
+let apply_cols f block =
+  let out = Array.make 64 0 in
+  for c = 0 to 7 do
+    let col = Array.init 8 (fun r -> block.((r * 8) + c)) in
+    let t = f col in
+    Array.iteri (fun r v -> out.((r * 8) + c) <- v) t
+  done;
+  out
+
+let check64 name block =
+  if Array.length block <> 64 then invalid_arg (name ^ ": need 64 values")
+
+let forward_8x8 block =
+  check64 "Dct.forward_8x8" block;
+  apply_cols forward_1d (apply_rows forward_1d block)
+
+let inverse_8x8 block =
+  check64 "Dct.inverse_8x8" block;
+  apply_cols inverse_1d (apply_rows inverse_1d block)
+
+let roundtrip_image image =
+  let out = Image.create ~width:image.Image.width ~height:image.Image.height in
+  let blocks_x = (image.Image.width + 7) / 8 in
+  let blocks_y = (image.Image.height + 7) / 8 in
+  for by = 0 to blocks_y - 1 do
+    for bx = 0 to blocks_x - 1 do
+      let block = Image.block8 image ~bx ~by in
+      let centered = Array.map (fun p -> p - 128) block in
+      let decoded = inverse_8x8 (forward_8x8 centered) in
+      Image.set_block8 out ~bx ~by (Array.map (fun v -> v + 128) decoded)
+    done
+  done;
+  out

@@ -1,0 +1,57 @@
+(** Fixed-point 8-point DCT-II / IDCT dataflow (Chen factorization).
+
+    The transform matrix is the orthonormal DCT scaled by 128 and rounded to
+    integers; all arithmetic is adds, subtracts, constant multiplies and
+    arithmetic shifts on a signed two's-complement datapath of {!width}
+    bits.  The dataflow is written once as a functor over an abstract
+    arithmetic so that the software reference (this module, over wrapped
+    OCaml ints) and the gate-level DCT/IDCT circuits (over netlist bit
+    vectors in [Aging_designs]) are bit-identical by construction. *)
+
+val width : int
+(** Datapath width in bits (18): wide enough that no overflow occurs for
+    any 8-bit input block through both 2-D passes. *)
+
+val scale_shift : int
+(** The fixed-point scale: transform outputs are [>> scale_shift] (7). *)
+
+val coefficients : int array array
+(** The 8x8 integer transform matrix [round (128 * C)]. *)
+
+module type ARITH = sig
+  type v
+
+  val add : v -> v -> v
+  val sub : v -> v -> v
+  val mul_const : v -> int -> v
+  (** Multiplication by a (possibly negative) integer constant. *)
+
+  val add_const : v -> int -> v
+  val asr_const : v -> int -> v
+  (** Arithmetic shift right by a constant. *)
+end
+
+module Make (A : ARITH) : sig
+  val forward_1d : A.v array -> A.v array
+  (** 8 inputs -> 8 DCT coefficients (rounded, [>> scale_shift]).
+      @raise Invalid_argument unless exactly 8 values are given. *)
+
+  val inverse_1d : A.v array -> A.v array
+  (** 8 coefficients -> 8 samples. *)
+end
+
+(** {1 Integer reference instance} *)
+
+val forward_1d : int array -> int array
+val inverse_1d : int array -> int array
+
+val forward_8x8 : int array -> int array
+(** 2-D DCT of a 64-element block of *centered* samples (pixel - 128):
+    rows then columns.  @raise Invalid_argument unless 64 values. *)
+
+val inverse_8x8 : int array -> int array
+(** 2-D IDCT; output is centered samples (add 128 and clamp for pixels). *)
+
+val roundtrip_image : Image.t -> Image.t
+(** Reference DCT -> IDCT of a whole image (blockwise); this is what a
+    timing-error-free hardware chain produces. *)

@@ -1,0 +1,63 @@
+type t = { width : int; height : int; pixels : int array }
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Image.create: bad dimensions";
+  { width; height; pixels = Array.make (width * height) 0 }
+
+let in_bounds t ~x ~y = x >= 0 && x < t.width && y >= 0 && y < t.height
+
+let get t ~x ~y =
+  if not (in_bounds t ~x ~y) then invalid_arg "Image.get: out of bounds";
+  t.pixels.((y * t.width) + x)
+
+let clamp v = if v < 0 then 0 else if v > 255 then 255 else v
+
+let set t ~x ~y v =
+  if not (in_bounds t ~x ~y) then invalid_arg "Image.set: out of bounds";
+  t.pixels.((y * t.width) + x) <- clamp v
+
+let init ~width ~height f =
+  let t = create ~width ~height in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      set t ~x ~y (f ~x ~y)
+    done
+  done;
+  t
+
+let map f t = { t with pixels = Array.map (fun p -> clamp (f p)) t.pixels }
+
+let equal a b = a.width = b.width && a.height = b.height && a.pixels = b.pixels
+
+let mse a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Image.mse: dimension mismatch";
+  let total = ref 0. in
+  Array.iteri
+    (fun i p ->
+      let d = float_of_int (p - b.pixels.(i)) in
+      total := !total +. (d *. d))
+    a.pixels;
+  !total /. float_of_int (Array.length a.pixels)
+
+let psnr ~reference t =
+  let e = mse reference t in
+  if e = 0. then infinity else 10. *. log10 (255. *. 255. /. e)
+
+let get_clamped t ~x ~y =
+  let x = if x < 0 then 0 else if x >= t.width then t.width - 1 else x in
+  let y = if y < 0 then 0 else if y >= t.height then t.height - 1 else y in
+  get t ~x ~y
+
+let block8 t ~bx ~by =
+  Array.init 64 (fun i ->
+      let x = (bx * 8) + (i mod 8) and y = (by * 8) + (i / 8) in
+      get_clamped t ~x ~y)
+
+let set_block8 t ~bx ~by values =
+  if Array.length values <> 64 then invalid_arg "Image.set_block8: need 64 values";
+  Array.iteri
+    (fun i v ->
+      let x = (bx * 8) + (i mod 8) and y = (by * 8) + (i / 8) in
+      if in_bounds t ~x ~y then set t ~x ~y v)
+    values

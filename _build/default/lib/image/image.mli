@@ -1,0 +1,33 @@
+(** 8-bit grayscale images. *)
+
+type t = { width : int; height : int; pixels : int array }
+(** Row-major; pixel values in [0, 255]. *)
+
+val create : width:int -> height:int -> t
+(** All-black image.  @raise Invalid_argument on non-positive dimensions. *)
+
+val get : t -> x:int -> y:int -> int
+(** @raise Invalid_argument out of bounds. *)
+
+val set : t -> x:int -> y:int -> int -> unit
+(** Clamps the value to [0, 255].  @raise Invalid_argument out of bounds. *)
+
+val init : width:int -> height:int -> (x:int -> y:int -> int) -> t
+
+val map : (int -> int) -> t -> t
+
+val equal : t -> t -> bool
+
+val mse : t -> t -> float
+(** Mean squared error.  @raise Invalid_argument on dimension mismatch. *)
+
+val psnr : reference:t -> t -> float
+(** Peak signal-to-noise ratio in dB against 255 peak; [infinity] for
+    identical images. *)
+
+val block8 : t -> bx:int -> by:int -> int array
+(** Extracts the 8x8 block at block coordinates [(bx, by)] as 64 values
+    (row-major).  Out-of-image samples are edge-replicated. *)
+
+val set_block8 : t -> bx:int -> by:int -> int array -> unit
+(** Writes an 8x8 block back (values clamped; out-of-image parts dropped). *)

@@ -1,0 +1,113 @@
+let to_string ?(binary = true) (img : Image.t) =
+  let buf = Buffer.create (img.Image.width * img.Image.height + 32) in
+  if binary then begin
+    Buffer.add_string buf
+      (Printf.sprintf "P5\n%d %d\n255\n" img.Image.width img.Image.height);
+    Array.iter (fun p -> Buffer.add_char buf (Char.chr (p land 0xff))) img.Image.pixels
+  end
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "P2\n%d %d\n255\n" img.Image.width img.Image.height);
+    Array.iteri
+      (fun i p ->
+        Buffer.add_string buf (string_of_int p);
+        Buffer.add_char buf (if (i + 1) mod img.Image.width = 0 then '\n' else ' '))
+      img.Image.pixels
+  end;
+  Buffer.contents buf
+
+(* Tokenizer for the header (and P2 body): whitespace-separated tokens,
+   with '#' comments running to end of line. *)
+let tokenize_from s start limit =
+  let tokens = ref [] in
+  let i = ref start in
+  let n = min limit (String.length s) in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '#' then begin
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      let start_tok = !i in
+      while
+        !i < n
+        && not
+             (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n' || s.[!i] = '\r'
+             || s.[!i] = '#')
+      do
+        incr i
+      done;
+      tokens := (String.sub s start_tok (!i - start_tok), !i) :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+let of_string s =
+  if String.length s < 2 then failwith "Pgm.of_string: truncated";
+  let magic = String.sub s 0 2 in
+  match magic with
+  | "P2" -> begin
+    match tokenize_from s 2 (String.length s) with
+    | (w, _) :: (h, _) :: (maxval, _) :: pixels -> begin
+      match (int_of_string_opt w, int_of_string_opt h, int_of_string_opt maxval) with
+      | Some w, Some h, Some 255 ->
+        let img = Image.create ~width:w ~height:h in
+        let values =
+          List.map
+            (fun (tok, _) ->
+              match int_of_string_opt tok with
+              | Some v -> v
+              | None -> failwith "Pgm.of_string: bad pixel")
+            pixels
+        in
+        if List.length values <> w * h then failwith "Pgm.of_string: pixel count";
+        List.iteri (fun i v -> img.Image.pixels.(i) <- max 0 (min 255 v)) values;
+        img
+      | _ -> failwith "Pgm.of_string: bad header or unsupported depth"
+    end
+    | _ -> failwith "Pgm.of_string: truncated header"
+  end
+  | "P5" -> begin
+    (* Parse three header tokens, then read binary pixels after the single
+       whitespace byte following maxval. *)
+    let rec grab_tokens pos acc =
+      if List.length acc = 3 then (List.rev acc, pos)
+      else begin
+        match tokenize_from s pos (String.length s) with
+        | (tok, after) :: _ -> grab_tokens after (tok :: acc)
+        | [] -> failwith "Pgm.of_string: truncated header"
+      end
+    in
+    let tokens, data_start = grab_tokens 2 [] in
+    match tokens with
+    | [ w; h; maxval ] -> begin
+      match (int_of_string_opt w, int_of_string_opt h, int_of_string_opt maxval) with
+      | Some w, Some h, Some 255 ->
+        let start = data_start + 1 in
+        if String.length s < start + (w * h) then
+          failwith "Pgm.of_string: truncated pixel data";
+        let img = Image.create ~width:w ~height:h in
+        for i = 0 to (w * h) - 1 do
+          img.Image.pixels.(i) <- Char.code s.[start + i]
+        done;
+        img
+      | _ -> failwith "Pgm.of_string: bad header or unsupported depth"
+    end
+    | _ -> failwith "Pgm.of_string: bad header"
+  end
+  | _ -> failwith ("Pgm.of_string: unsupported magic " ^ magic)
+
+let write ?binary path img =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?binary img))
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,15 @@
+(** Portable graymap (PGM) reading and writing.
+
+    Supports the ASCII [P2] and binary [P5] variants with 8-bit depth, so
+    results (e.g. the Fig. 7 aged outputs) can be inspected with standard
+    image viewers and external images can be fed to the pipeline. *)
+
+val write : ?binary:bool -> string -> Image.t -> unit
+(** Defaults to binary [P5]. *)
+
+val read : string -> Image.t
+(** @raise Failure on malformed files or unsupported depth;
+    @raise Sys_error on I/O errors. *)
+
+val to_string : ?binary:bool -> Image.t -> string
+val of_string : string -> Image.t

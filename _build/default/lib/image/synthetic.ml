@@ -1,0 +1,58 @@
+module Rng = Aging_util.Rng
+
+let gradient ~width ~height =
+  Image.init ~width ~height (fun ~x ~y ->
+      255 * (x + y) / (width + height - 2))
+
+let checkerboard ?(cell = 4) ~width ~height () =
+  Image.init ~width ~height (fun ~x ~y ->
+      if (x / cell + (y / cell)) mod 2 = 0 then 40 else 215)
+
+let blobs ?(seed = 7L) ?(count = 6) ~width ~height () =
+  let rng = Rng.create seed in
+  let centers =
+    List.init count (fun _ ->
+        let cx = Rng.float rng *. float_of_int width in
+        let cy = Rng.float rng *. float_of_int height in
+        let sigma = (0.08 +. (0.15 *. Rng.float rng)) *. float_of_int width in
+        let amp = 60. +. (120. *. Rng.float rng) in
+        let sign = if Rng.bool rng then 1. else -1. in
+        (cx, cy, sigma, sign *. amp))
+  in
+  Image.init ~width ~height (fun ~x ~y ->
+      let v =
+        List.fold_left
+          (fun acc (cx, cy, sigma, amp) ->
+            let dx = float_of_int x -. cx and dy = float_of_int y -. cy in
+            acc
+            +. (amp *. exp (-.((dx *. dx) +. (dy *. dy)) /. (2. *. sigma *. sigma))))
+          128. centers
+      in
+      int_of_float v)
+
+let portrait ~width ~height =
+  let w = float_of_int width and h = float_of_int height in
+  Image.init ~width ~height (fun ~x ~y ->
+      let fx = float_of_int x /. w and fy = float_of_int y /. h in
+      (* Smooth background vignette. *)
+      let dx = fx -. 0.5 and dy = fy -. 0.45 in
+      let r2 = (dx *. dx) +. (dy *. dy) in
+      let background = 200. -. (180. *. r2 *. 2.) in
+      (* An elliptical "face" patch with soft edge. *)
+      let face =
+        let fr = ((dx /. 0.22) ** 2.) +. ((dy /. 0.3) ** 2.) in
+        if fr < 1. then 60. *. (1. -. fr) else 0.
+      in
+      (* Fine texture band across the lower third. *)
+      let texture =
+        if fy > 0.66 then 25. *. sin (fx *. 40.) *. cos (fy *. 31.) else 0.
+      in
+      int_of_float (background +. face +. texture))
+
+let all ~width ~height =
+  [
+    ("gradient", gradient ~width ~height);
+    ("checker", checkerboard ~width ~height ());
+    ("blobs", blobs ~width ~height ());
+    ("portrait", portrait ~width ~height);
+  ]

@@ -1,0 +1,22 @@
+(** Deterministic synthetic test images.
+
+    Substitutes for the benchmark video frames the paper feeds the DCT-IDCT
+    chain (we have no image corpus offline).  All generators are seeded and
+    deterministic. *)
+
+val gradient : width:int -> height:int -> Image.t
+(** Diagonal luminance ramp. *)
+
+val checkerboard : ?cell:int -> width:int -> height:int -> unit -> Image.t
+(** High-frequency content.  Default cell 4 px. *)
+
+val blobs : ?seed:int64 -> ?count:int -> width:int -> height:int -> unit -> Image.t
+(** Sum of Gaussian blobs on a mid-gray background: smooth natural-image
+    statistics.  Defaults: seed 7, 6 blobs. *)
+
+val portrait : width:int -> height:int -> Image.t
+(** A composite with smooth regions, edges and texture — the most
+    photograph-like of the set (used as the "Fig. 7" stand-in). *)
+
+val all : width:int -> height:int -> (string * Image.t) list
+(** The named suite of test images. *)

@@ -1,0 +1,1 @@
+lib/liberty/axes.ml: Array

@@ -1,0 +1,1 @@
+lib/liberty/characterize.ml: Aging_cells Aging_physics Aging_spice Array Axes Float Fun Library List Nldm Option Printf

@@ -1,0 +1,1 @@
+lib/liberty/characterize.mli: Aging_cells Aging_physics Aging_spice Axes Library

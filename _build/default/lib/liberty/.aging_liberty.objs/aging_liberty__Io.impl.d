@@ -1,0 +1,1 @@
+lib/liberty/io.ml: Aging_cells Aging_physics Array Axes Fun Library List Nldm Printf String

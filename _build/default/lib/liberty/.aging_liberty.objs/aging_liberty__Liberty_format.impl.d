@@ -1,0 +1,1 @@
+lib/liberty/liberty_format.ml: Aging_cells Array Axes Buffer Fun Library List Nldm Printf String

@@ -1,0 +1,1 @@
+lib/liberty/library.ml: Aging_cells Aging_physics Axes Float Hashtbl List Nldm

@@ -1,0 +1,1 @@
+lib/liberty/library.mli: Aging_cells Aging_physics Axes Nldm

@@ -1,0 +1,1 @@
+lib/liberty/merge.ml: Aging_physics Characterize Library List Printf String

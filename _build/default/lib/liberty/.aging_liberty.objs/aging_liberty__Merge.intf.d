@@ -1,0 +1,1 @@
+lib/liberty/merge.mli: Aging_cells Aging_physics Axes Characterize Library

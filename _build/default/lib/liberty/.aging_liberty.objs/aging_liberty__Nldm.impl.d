@@ -1,0 +1,1 @@
+lib/liberty/nldm.ml: Aging_util Array Float

@@ -1,0 +1,1 @@
+lib/liberty/nldm.mli:

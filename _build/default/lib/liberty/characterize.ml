@@ -1,0 +1,282 @@
+module Device = Aging_physics.Device
+module Scenario = Aging_physics.Scenario
+module Circuit = Aging_spice.Circuit
+module Engine = Aging_spice.Engine
+module Stimulus = Aging_spice.Stimulus
+module Waveform = Aging_spice.Waveform
+module Mosfet = Aging_spice.Mosfet
+module Cell = Aging_cells.Cell
+
+type backend = Transient of Engine.options | Analytic
+
+(* Characterization runs many short cell-level transients; a shorter DC
+   settle is plenty for single cells and the post-transition tail is cut by
+   [stop_when] below. *)
+let char_options = { Engine.default_options with Engine.settle_time = 0.8e-9 }
+
+let default_backend = Transient char_options
+
+let rail value = if value then Device.vdd else 0.
+
+let in_direction (cell : Cell.t) (arc : Cell.arc) ~(dir : Library.direction) =
+  match cell.Cell.kind with
+  | Cell.Flipflop -> Library.Rise (* launch edge *)
+  | Cell.Combinational ->
+    if arc.Cell.positive_unate then dir
+    else begin
+      match dir with Library.Rise -> Library.Fall | Library.Fall -> Library.Rise
+    end
+
+let aged_circuit ~scenario (cell : Cell.t) =
+  Circuit.map_devices (Scenario.age_device scenario) cell.Cell.built.circuit
+
+(* ------------------------------------------------------------------ *)
+(* Transient backend                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let transient_measure options ~base_circuit ~(cell : Cell.t)
+    ~(arc : Cell.arc) ~dir ~slew ~load =
+  let circuit = Circuit.map_devices Fun.id base_circuit in
+  let out_node = List.assoc arc.Cell.arc_output cell.Cell.built.output_nodes in
+  let in_node = List.assoc arc.Cell.arc_input cell.Cell.built.input_nodes in
+  Circuit.add_cap circuit out_node load;
+  let in_dir = in_direction cell arc ~dir in
+  let rising = in_dir = Library.Rise in
+  let t_start = 5e-11 in
+  let input_stim = Stimulus.ramp ~t_start ~slew ~rising () in
+  let side_drives =
+    List.map
+      (fun (pin, value) ->
+        (List.assoc pin cell.Cell.built.input_nodes, Stimulus.constant (rail value)))
+      arc.Cell.side
+  in
+  let init =
+    match cell.Cell.kind with
+    | Cell.Combinational -> []
+    | Cell.Flipflop ->
+      (* Seed the slave latch storage node with the pre-edge state (the
+         output is its complement); the clocked keeper maintains it through
+         DC settling so the launch edge produces a real Q transition. *)
+      let q_pre = (out_node, rail (dir = Library.Fall)) in
+      begin
+        match Circuit.find_node circuit "SLAVE" with
+        | Some slave -> [ (slave, rail (dir = Library.Rise)); q_pre ]
+        | None -> [ q_pre ]
+      end
+  in
+  let t_stop = t_start +. Stimulus.full_ramp_time slew +. 3e-9 in
+  let target = rail (dir = Library.Rise) in
+  let stop_when time v =
+    (* The output started at the opposite rail; once it is pinned to the
+       target rail every crossing needed by the measurements has happened —
+       but never stop before the input's own 50 % point, which a fast gate
+       under a slow ramp can beat (negative delay). *)
+    time > t_start +. (0.6 *. Stimulus.full_ramp_time slew)
+    && Float.abs (v.(out_node) -. target) < 0.015
+  in
+  let result =
+    Engine.transient ~options ~init ~stop_when circuit
+      ~drives:((in_node, input_stim) :: side_drives)
+      ~t_stop
+  in
+  let w_in = Engine.waveform result in_node in
+  let w_out = Engine.waveform result out_node in
+  let out_dir =
+    match dir with Library.Rise -> Waveform.Rising | Library.Fall -> Waveform.Falling
+  in
+  let fail reason =
+    failwith
+      (Printf.sprintf "Characterize: %s arc %s->%s dir=%s slew=%.1fps load=%.2ffF: %s"
+         cell.Cell.name arc.Cell.arc_input arc.Cell.arc_output
+         (match dir with Library.Rise -> "rise" | Library.Fall -> "fall")
+         (slew *. 1e12) (load *. 1e15) reason)
+  in
+  let final = Engine.final_voltage result out_node in
+  if Float.abs (final -. target) > 0.15 then
+    fail (Printf.sprintf "output did not settle (%.3f V, expected %.1f V)" final target);
+  let delay =
+    match Waveform.delay ~input:w_in ~output:w_out ~out_direction:out_dir ~vdd:Device.vdd with
+    | Some d -> d
+    | None -> fail "no 50%% crossing"
+  in
+  let out_slew =
+    match Waveform.slew w_out ~direction:out_dir ~vdd:Device.vdd with
+    | Some s -> s
+    | None -> fail "no 20/80 transition"
+  in
+  (delay, out_slew)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic backend (state-of-the-art closed form, for ablation)       *)
+(* ------------------------------------------------------------------ *)
+
+let stage_count circuit (cell : Cell.t) =
+  let input_nodes = List.map snd cell.Cell.built.input_nodes in
+  let internal_gates =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (m : Circuit.mos) ->
+           if List.mem m.Circuit.g input_nodes then None else Some m.Circuit.g)
+         (Circuit.mosfets circuit))
+  in
+  1 + List.length internal_gates
+
+let drive_resistance circuit ~out_node ~(dir : Library.direction) =
+  let wanted =
+    match dir with Library.Rise -> Device.Pmos | Library.Fall -> Device.Nmos
+  in
+  let total_current =
+    List.fold_left
+      (fun acc (m : Circuit.mos) ->
+        if
+          m.Circuit.dev.Device.polarity = wanted
+          && (m.Circuit.d = out_node || m.Circuit.s = out_node)
+        then
+          let vov = Device.vdd -. Device.effective_vth m.Circuit.dev in
+          acc +. Mosfet.saturation_current m.Circuit.dev ~vov
+        else acc)
+      0. (Circuit.mosfets circuit)
+  in
+  if total_current <= 0. then 1e6
+  else 0.9 *. Device.vdd /. total_current
+
+let analytic_measure ~base_circuit ~(cell : Cell.t) ~(arc : Cell.arc) ~dir
+    ~slew ~load =
+  let out_node = List.assoc arc.Cell.arc_output cell.Cell.built.output_nodes in
+  let r = drive_resistance base_circuit ~out_node ~dir in
+  let c = load +. Circuit.capacitance base_circuit out_node in
+  let stages = stage_count base_circuit cell in
+  let intrinsic = 1.2e-11 *. float_of_int (stages - 1) in
+  let delay = intrinsic +. (0.69 *. r *. c) +. (0.2 *. slew) in
+  let out_slew = (1.39 *. r *. c) +. (0.1 *. slew) in
+  (delay, out_slew)
+
+(* ------------------------------------------------------------------ *)
+(* Entry / library assembly                                            *)
+(* ------------------------------------------------------------------ *)
+
+let measure backend ~base_circuit ~cell ~arc ~dir ~slew ~load =
+  match backend with
+  | Transient options ->
+    transient_measure options ~base_circuit ~cell ~arc ~dir ~slew ~load
+  | Analytic -> analytic_measure ~base_circuit ~cell ~arc ~dir ~slew ~load
+
+let arc_measure backend ~scenario ~cell ~arc ~dir ~slew ~load =
+  let base_circuit = aged_circuit ~scenario cell in
+  measure backend ~base_circuit ~cell ~arc ~dir ~slew ~load
+
+let mid_value table =
+  let n_s, n_l = Nldm.dimensions table in
+  table.Nldm.values.(n_s / 2).(n_l / 2)
+
+let entry ?(backend = default_backend) ?(indexed = false) ~(axes : Axes.t)
+    ~scenario (cell : Cell.t) =
+  let base_circuit = aged_circuit ~scenario cell in
+  let arc_tables (arc : Cell.arc) =
+    let tables dir =
+      let delays = Array.make_matrix (Array.length axes.Axes.slews)
+          (Array.length axes.Axes.loads) 0.
+      and slews_out = Array.make_matrix (Array.length axes.Axes.slews)
+          (Array.length axes.Axes.loads) 0. in
+      Array.iteri
+        (fun i s ->
+          Array.iteri
+            (fun j l ->
+              let d, os =
+                measure backend ~base_circuit ~cell ~arc ~dir ~slew:s ~load:l
+              in
+              delays.(i).(j) <- d;
+              slews_out.(i).(j) <- os)
+            axes.Axes.loads)
+        axes.Axes.slews;
+      ( Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:delays,
+        Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:slews_out )
+    in
+    tables
+  in
+  let characterize_combinational (arc : Cell.arc) =
+    let tables = arc_tables arc in
+    let delay_rise, slew_rise = tables Library.Rise in
+    let delay_fall, slew_fall = tables Library.Fall in
+    {
+      Library.from_pin = arc.Cell.arc_input;
+      to_pin = arc.Cell.arc_output;
+      sense =
+        (if arc.Cell.positive_unate then Library.Positive else Library.Negative);
+      when_side = arc.Cell.side;
+      delay_rise;
+      delay_fall;
+      slew_rise;
+      slew_fall;
+    }
+  in
+  let arcs =
+    match cell.Cell.kind with
+    | Cell.Combinational ->
+      List.map characterize_combinational (Cell.arcs cell)
+    | Cell.Flipflop ->
+      (* The two launch arcs (Q rise with D=1, Q fall with D=0) merge into
+         one library arc; each capture value only yields its own output
+         direction. *)
+      let q_arcs = Cell.arcs cell in
+      let rise_arc =
+        List.find (fun (a : Cell.arc) -> a.Cell.positive_unate) q_arcs
+      in
+      let fall_arc =
+        List.find (fun (a : Cell.arc) -> not a.Cell.positive_unate) q_arcs
+      in
+      let delay_rise, slew_rise = arc_tables rise_arc Library.Rise in
+      let delay_fall, slew_fall = arc_tables fall_arc Library.Fall in
+      [
+        {
+          Library.from_pin = rise_arc.Cell.arc_input;
+          to_pin = rise_arc.Cell.arc_output;
+          sense = Library.Positive;
+          when_side = [];
+          delay_rise;
+          delay_fall;
+          slew_rise;
+          slew_fall;
+        };
+      ]
+  in
+  let setup_time =
+    match cell.Cell.kind with
+    | Cell.Combinational -> 0.
+    | Cell.Flipflop ->
+      (* A conservative constant-fraction model: setup tracks the clk->q
+         delay of the aged cell. *)
+      let worst_clkq =
+        List.fold_left
+          (fun acc (a : Library.arc) ->
+            Float.max acc
+              (Float.max (mid_value a.Library.delay_rise)
+                 (mid_value a.Library.delay_fall)))
+          0. arcs
+      in
+      0.6 *. worst_clkq
+  in
+  let indexed_name =
+    if indexed then
+      cell.Cell.name ^ "@" ^ Scenario.suffix scenario.Scenario.corner
+    else cell.Cell.name
+  in
+  {
+    Library.cell;
+    indexed_name;
+    corner = scenario.Scenario.corner;
+    arcs;
+    pin_caps =
+      List.map (fun pin -> (pin, Cell.input_capacitance cell pin)) cell.Cell.inputs;
+    setup_time;
+  }
+
+let library ?(backend = default_backend) ?cells ?(indexed = false) ~axes ~name
+    ~scenario () =
+  let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
+  let entries = List.map (entry ~backend ~indexed ~axes ~scenario) cells in
+  Library.create ~lib_name:name ~axes entries
+
+let fresh_library ?backend ?cells ~axes () =
+  library ?backend ?cells ~axes ~name:"initial"
+    ~scenario:(Scenario.scenario Scenario.fresh) ()

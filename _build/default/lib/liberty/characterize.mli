@@ -1,0 +1,65 @@
+(** Cell characterization: measuring NLDM tables under an aging scenario.
+
+    The [Transient] backend reproduces the paper's HSPICE methodology: for
+    every timing arc and every (input slew x output load) operating
+    condition, the cell's transistor netlist — with every device aged
+    according to the scenario — is simulated with {!Aging_spice.Engine} and
+    the 50/50 delay and 20/80 output transition are measured.  Multi-stage
+    cells (buffers, XOR, MUX, adders, flip-flops) are handled naturally
+    because internal slopes are simulated, which is precisely what the paper
+    faults closed-form approaches for missing.
+
+    The [Analytic] backend is that faulted state-of-the-art: a closed-form
+    switched-RC estimate from the output-stage drive resistance that cannot
+    see internal slopes.  It exists for the ablation benchmark. *)
+
+type backend =
+  | Transient of Aging_spice.Engine.options
+  | Analytic
+
+val default_backend : backend
+(** [Transient] with default engine options. *)
+
+val entry :
+  ?backend:backend ->
+  ?indexed:bool ->
+  axes:Axes.t ->
+  scenario:Aging_physics.Scenario.t ->
+  Aging_cells.Cell.t ->
+  Library.entry
+(** Characterizes one cell under the scenario.  When [indexed] is true the
+    entry name carries the corner suffix ("NAND2_X1\@0.4_0.6"); default
+    false (bare name).
+    @raise Failure if a timing arc fails to produce a transition (indicates
+    a sensitization or convergence problem — never expected for catalog
+    cells). *)
+
+val library :
+  ?backend:backend ->
+  ?cells:Aging_cells.Cell.t list ->
+  ?indexed:bool ->
+  axes:Axes.t ->
+  name:string ->
+  scenario:Aging_physics.Scenario.t ->
+  unit ->
+  Library.t
+(** Characterizes a whole library (default: the full catalog) under one
+    scenario. *)
+
+val fresh_library :
+  ?backend:backend -> ?cells:Aging_cells.Cell.t list -> axes:Axes.t ->
+  unit -> Library.t
+(** Convenience: the degradation-unaware (initial) library — zero-duty
+    corner, bare names. *)
+
+val arc_measure :
+  backend ->
+  scenario:Aging_physics.Scenario.t ->
+  cell:Aging_cells.Cell.t ->
+  arc:Aging_cells.Cell.arc ->
+  dir:Library.direction ->
+  slew:float ->
+  load:float ->
+  float * float
+(** Measures a single (delay, output slew) point; exposed for the Fig. 1
+    surface experiment and for tests. *)

@@ -1,0 +1,220 @@
+module Scenario = Aging_physics.Scenario
+
+let float_row values =
+  String.concat " " (Array.to_list (Array.map (Printf.sprintf "%.17e") values))
+
+let table_lines name (t : Nldm.table) =
+  (Printf.sprintf "table %s" name)
+  :: Array.to_list (Array.map float_row t.Nldm.values)
+
+let arc_lines (a : Library.arc) =
+  let sense =
+    match a.Library.sense with Library.Positive -> "positive" | Library.Negative -> "negative"
+  in
+  let side =
+    String.concat " "
+      (List.map (fun (p, v) -> Printf.sprintf "%s=%d" p (if v then 1 else 0))
+         a.Library.when_side)
+  in
+  (Printf.sprintf "arc %s %s %s %s" a.Library.from_pin a.Library.to_pin sense side)
+  :: List.concat
+       [
+         table_lines "delay_rise" a.Library.delay_rise;
+         table_lines "delay_fall" a.Library.delay_fall;
+         table_lines "slew_rise" a.Library.slew_rise;
+         table_lines "slew_fall" a.Library.slew_fall;
+       ]
+
+let entry_lines (e : Library.entry) =
+  (Printf.sprintf "cell %s %s %.3f %.3f %.17e" e.Library.indexed_name
+     e.Library.cell.Aging_cells.Cell.name e.Library.corner.Scenario.lambda_p
+     e.Library.corner.Scenario.lambda_n e.Library.setup_time)
+  :: List.map
+       (fun (pin, c) -> Printf.sprintf "pincap %s %.17e" pin c)
+       e.Library.pin_caps
+  @ List.concat_map arc_lines e.Library.arcs
+
+let to_string lib =
+  let axes = Library.axes lib in
+  let lines =
+    (Printf.sprintf "library %s" (Library.lib_name lib))
+    :: (Printf.sprintf "slews %s" (float_row axes.Axes.slews))
+    :: (Printf.sprintf "loads %s" (float_row axes.Axes.loads))
+    :: List.concat_map entry_lines (Library.entries lib)
+  in
+  String.concat "\n" lines ^ "\n"
+
+(* ---------------------------- parsing ---------------------------- *)
+
+type cursor = { lines : string array; mutable pos : int }
+
+let parse_error cur msg =
+  failwith (Printf.sprintf "Io.of_string: line %d: %s" (cur.pos + 1) msg)
+
+let peek cur = if cur.pos < Array.length cur.lines then Some cur.lines.(cur.pos) else None
+
+let next cur =
+  match peek cur with
+  | Some line ->
+    cur.pos <- cur.pos + 1;
+    line
+  | None -> parse_error cur "unexpected end of file"
+
+let words line =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+
+let floats_of cur ws =
+  Array.of_list
+    (List.map
+       (fun w ->
+         match float_of_string_opt w with
+         | Some f -> f
+         | None -> parse_error cur ("bad float " ^ w))
+       ws)
+
+let parse_table cur ~slews ~loads expected_name =
+  (match words (next cur) with
+  | [ "table"; name ] when name = expected_name -> ()
+  | _ -> parse_error cur ("expected table " ^ expected_name));
+  let rows =
+    Array.init (Array.length slews) (fun _ -> floats_of cur (words (next cur)))
+  in
+  Nldm.make ~slews ~loads ~values:rows
+
+let parse_arc cur ~slews ~loads ws =
+  match ws with
+  | from_pin :: to_pin :: sense_word :: side_words ->
+    let sense =
+      match sense_word with
+      | "positive" -> Library.Positive
+      | "negative" -> Library.Negative
+      | s -> parse_error cur ("bad sense " ^ s)
+    in
+    let side =
+      List.map
+        (fun w ->
+          match String.split_on_char '=' w with
+          | [ pin; "0" ] -> (pin, false)
+          | [ pin; "1" ] -> (pin, true)
+          | _ -> parse_error cur ("bad side binding " ^ w))
+        side_words
+    in
+    let delay_rise = parse_table cur ~slews ~loads "delay_rise" in
+    let delay_fall = parse_table cur ~slews ~loads "delay_fall" in
+    let slew_rise = parse_table cur ~slews ~loads "slew_rise" in
+    let slew_fall = parse_table cur ~slews ~loads "slew_fall" in
+    {
+      Library.from_pin;
+      to_pin;
+      sense;
+      when_side = side;
+      delay_rise;
+      delay_fall;
+      slew_rise;
+      slew_fall;
+    }
+  | _ -> parse_error cur "malformed arc line"
+
+let parse_entry cur ~slews ~loads ws =
+  match ws with
+  | [ indexed_name; cell_name; lp; ln; setup ] ->
+    let cell =
+      match Aging_cells.Catalog.find cell_name with
+      | Some c -> c
+      | None -> parse_error cur ("unknown catalog cell " ^ cell_name)
+    in
+    let corner =
+      match (float_of_string_opt lp, float_of_string_opt ln) with
+      | Some lambda_p, Some lambda_n -> Scenario.corner ~lambda_p ~lambda_n
+      | None, _ | _, None -> parse_error cur "bad corner lambdas"
+    in
+    let setup_time =
+      match float_of_string_opt setup with
+      | Some s -> s
+      | None -> parse_error cur "bad setup time"
+    in
+    let pin_caps = ref [] in
+    let arcs = ref [] in
+    let rec consume () =
+      match peek cur with
+      | Some line -> begin
+        match words line with
+        | "pincap" :: rest ->
+          cur.pos <- cur.pos + 1;
+          (match rest with
+          | [ pin; c ] -> begin
+            match float_of_string_opt c with
+            | Some cap -> pin_caps := (pin, cap) :: !pin_caps
+            | None -> parse_error cur "bad pincap"
+          end
+          | _ -> parse_error cur "malformed pincap");
+          consume ()
+        | "arc" :: rest ->
+          cur.pos <- cur.pos + 1;
+          arcs := parse_arc cur ~slews ~loads rest :: !arcs;
+          consume ()
+        | _ -> ()
+      end
+      | None -> ()
+    in
+    consume ();
+    {
+      Library.cell;
+      indexed_name;
+      corner;
+      arcs = List.rev !arcs;
+      pin_caps = List.rev !pin_caps;
+      setup_time;
+    }
+  | _ -> parse_error cur "malformed cell line"
+
+let of_string text =
+  let lines =
+    Array.of_list
+      (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text))
+  in
+  let cur = { lines; pos = 0 } in
+  let lib_name =
+    match words (next cur) with
+    | [ "library"; name ] -> name
+    | _ -> parse_error cur "expected library header"
+  in
+  let slews =
+    match words (next cur) with
+    | "slews" :: rest -> floats_of cur rest
+    | _ -> parse_error cur "expected slews"
+  in
+  let loads =
+    match words (next cur) with
+    | "loads" :: rest -> floats_of cur rest
+    | _ -> parse_error cur "expected loads"
+  in
+  let entries = ref [] in
+  let rec consume () =
+    match peek cur with
+    | Some line -> begin
+      match words line with
+      | "cell" :: rest ->
+        cur.pos <- cur.pos + 1;
+        entries := parse_entry cur ~slews ~loads rest :: !entries;
+        consume ()
+      | _ -> parse_error cur "expected cell"
+    end
+    | None -> ()
+  in
+  consume ();
+  Library.create ~lib_name ~axes:{ Axes.slews; loads } (List.rev !entries)
+
+let save path lib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string lib))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

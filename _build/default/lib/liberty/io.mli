@@ -1,0 +1,24 @@
+(** Textual library format (".alib"): save and reload characterized
+    libraries.
+
+    Mirrors the paper's "publicly available libraries ready to be used with
+    existing tool flows": a characterized library can be written to disk and
+    reloaded without re-running any transistor-level simulation.  The
+    on-disk format is a simple line-oriented text format (one keyword per
+    line, tables as rows of floats); cell metadata is restored by looking
+    the catalog cell up by name. *)
+
+val to_string : Library.t -> string
+(** Serializes a library. *)
+
+val of_string : string -> Library.t
+(** Parses a serialized library.
+    @raise Failure with a line-numbered message on malformed input or on a
+    reference to a cell missing from the catalog. *)
+
+val save : string -> Library.t -> unit
+(** [save path lib] writes [to_string lib] to [path]. *)
+
+val load : string -> Library.t
+(** @raise Sys_error if the file cannot be read; @raise Failure on parse
+    errors. *)

@@ -1,0 +1,119 @@
+module Cell = Aging_cells.Cell
+
+(* Liberty identifiers may not contain '@' or '.'; encode the duty-cycle
+   corner suffix readably. *)
+let sanitize_name name =
+  let buf = Buffer.create (String.length name + 4) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '@' -> Buffer.add_string buf "_c"
+      | '.' -> Buffer.add_char buf 'p'
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.contents buf
+
+(* Units: ns for time, pF for capacitance (common industrial choice). *)
+let ns t = t *. 1e9
+let pf c = c *. 1e12
+
+let float_list values f =
+  String.concat ", " (Array.to_list (Array.map (fun v -> Printf.sprintf "%.6f" (f v)) values))
+
+let emit_table buf ~indent ~group (t : Nldm.table) =
+  let pad = String.make indent ' ' in
+  Printf.bprintf buf "%s%s (delay_template) {\n" pad group;
+  Printf.bprintf buf "%s  index_1 (\"%s\");\n" pad (float_list t.Nldm.slews ns);
+  Printf.bprintf buf "%s  index_2 (\"%s\");\n" pad (float_list t.Nldm.loads pf);
+  Printf.bprintf buf "%s  values ( \\\n" pad;
+  Array.iteri
+    (fun i row ->
+      Printf.bprintf buf "%s    \"%s\"%s \\\n" pad (float_list row ns)
+        (if i = Array.length t.Nldm.values - 1 then "" else ","))
+    t.Nldm.values;
+  Printf.bprintf buf "%s  );\n%s}\n" pad pad
+
+let emit_arc buf (a : Library.arc) =
+  Printf.bprintf buf "      timing () {\n";
+  Printf.bprintf buf "        related_pin : \"%s\";\n" a.Library.from_pin;
+  Printf.bprintf buf "        timing_sense : %s;\n"
+    (match a.Library.sense with
+    | Library.Positive -> "positive_unate"
+    | Library.Negative -> "negative_unate");
+  (match a.Library.when_side with
+  | [] -> ()
+  | side ->
+    let cond =
+      String.concat " & "
+        (List.map (fun (p, v) -> if v then p else "!" ^ p) side)
+    in
+    Printf.bprintf buf "        when : \"%s\";\n" cond);
+  emit_table buf ~indent:8 ~group:"cell_rise" a.Library.delay_rise;
+  emit_table buf ~indent:8 ~group:"cell_fall" a.Library.delay_fall;
+  emit_table buf ~indent:8 ~group:"rise_transition" a.Library.slew_rise;
+  emit_table buf ~indent:8 ~group:"fall_transition" a.Library.slew_fall;
+  Printf.bprintf buf "      }\n"
+
+let emit_cell buf (e : Library.entry) =
+  let cell = e.Library.cell in
+  Printf.bprintf buf "  cell (%s) {\n" (sanitize_name e.Library.indexed_name);
+  Printf.bprintf buf "    area : %.4f;\n" (cell.Cell.area *. 1e12);
+  if cell.Cell.kind = Cell.Flipflop then
+    Printf.bprintf buf "    ff (IQ, IQN) { clocked_on : \"CK\"; next_state : \"D\"; }\n";
+  List.iter
+    (fun pin ->
+      Printf.bprintf buf "    pin (%s) {\n      direction : input;\n" pin;
+      (match List.assoc_opt pin e.Library.pin_caps with
+      | Some c -> Printf.bprintf buf "      capacitance : %.6f;\n" (pf c)
+      | None -> ());
+      if cell.Cell.kind = Cell.Flipflop && pin = "CK" then
+        Printf.bprintf buf "      clock : true;\n";
+      if cell.Cell.kind = Cell.Flipflop && pin = "D" then begin
+        Printf.bprintf buf
+          "      timing () { related_pin : \"CK\"; timing_type : setup_rising;\n";
+        Printf.bprintf buf
+          "        rise_constraint (scalar) { values (\"%.6f\"); }\n"
+          (ns e.Library.setup_time);
+        Printf.bprintf buf
+          "        fall_constraint (scalar) { values (\"%.6f\"); }\n      }\n"
+          (ns e.Library.setup_time)
+      end;
+      Printf.bprintf buf "    }\n")
+    cell.Cell.inputs;
+  List.iter
+    (fun pin ->
+      Printf.bprintf buf "    pin (%s) {\n      direction : output;\n" pin;
+      let arcs =
+        List.filter (fun (a : Library.arc) -> a.Library.to_pin = pin) e.Library.arcs
+      in
+      List.iter (emit_arc buf) arcs;
+      Printf.bprintf buf "    }\n")
+    cell.Cell.outputs;
+  Printf.bprintf buf "  }\n"
+
+let to_liberty lib =
+  let axes = Library.axes lib in
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf "library (%s) {\n" (sanitize_name (Library.lib_name lib));
+  Buffer.add_string buf
+    "  delay_model : table_lookup;\n\
+    \  time_unit : \"1ns\";\n\
+    \  capacitive_load_unit (1, pf);\n\
+    \  voltage_unit : \"1V\";\n\
+    \  current_unit : \"1mA\";\n\
+    \  nom_voltage : 1.1;\n\
+    \  nom_temperature : 77.0;\n";
+  Printf.bprintf buf "  lu_table_template (delay_template) {\n";
+  Printf.bprintf buf "    variable_1 : input_net_transition;\n";
+  Printf.bprintf buf "    variable_2 : total_output_net_capacitance;\n";
+  Printf.bprintf buf "    index_1 (\"%s\");\n" (float_list axes.Axes.slews ns);
+  Printf.bprintf buf "    index_2 (\"%s\");\n  }\n" (float_list axes.Axes.loads pf);
+  List.iter (emit_cell buf) (Library.entries lib);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path lib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_liberty lib))

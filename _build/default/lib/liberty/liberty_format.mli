@@ -1,0 +1,19 @@
+(** Synopsys Liberty (.lib) text emission.
+
+    Writes a characterized library in the industry .lib syntax (NLDM
+    [lu_table_template] / [cell_rise] / [cell_fall] / [rise_transition] /
+    [fall_transition] groups) so the degradation-aware libraries can be
+    inspected with — and, modulo vendor lint, consumed by — existing tool
+    flows, mirroring the paper's released artifact.  Emission only; the
+    compact [Io] format remains the round-trip format of this project. *)
+
+val to_liberty : Library.t -> string
+(** Renders the whole library.  Corner-indexed cell names
+    ("NAND2_X1\@0.4_0.6") are sanitized to Liberty identifiers
+    ("NAND2_X1_c0p4_0p6"). *)
+
+val save : string -> Library.t -> unit
+(** [save path lib] writes the .lib text to [path]. *)
+
+val sanitize_name : string -> string
+(** The identifier mapping used for indexed names. *)

@@ -1,0 +1,28 @@
+module Scenario = Aging_physics.Scenario
+
+let indexed_name ~base corner = base ^ "@" ^ Scenario.suffix corner
+
+let split_indexed name =
+  match String.index_opt name '@' with
+  | None -> (name, None)
+  | Some i ->
+    let base = String.sub name 0 i in
+    let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+    (base, Scenario.of_suffix suffix)
+
+let complete ?backend ?cells ?(years = 10.) ~axes ~corners ~name () =
+  let libraries =
+    List.map
+      (fun corner ->
+        let scenario = Scenario.scenario ~years corner in
+        Characterize.library ?backend ?cells ~indexed:true ~axes
+          ~name:(Printf.sprintf "%s[%s]" name (Scenario.suffix corner))
+          ~scenario ())
+      corners
+  in
+  match libraries with
+  | [] -> invalid_arg "Merge.complete: no corners"
+  | first :: rest ->
+    let merged = List.fold_left Library.merge_entries first rest in
+    Library.create ~lib_name:name ~axes:(Library.axes merged)
+      (Library.entries merged)

@@ -1,0 +1,28 @@
+(** Building the complete degradation-aware library.
+
+    The paper characterizes each cell under the 11x11 grid of
+    (lambda_pmos, lambda_nmos) duty-cycle corners and merges the 121
+    resulting libraries into one complete library in which identical cells
+    are distinguished by corner indexes in their names (Sec. 4.1):
+    ["NAND2_X1\@0.4_0.6"].  The same renaming is applied by the netlist
+    annotation step of dynamic-stress analysis (Sec. 4.2). *)
+
+val indexed_name : base:string -> Aging_physics.Scenario.corner -> string
+(** ["NAND2_X1" + corner] -> ["NAND2_X1\@0.4_0.6"]. *)
+
+val split_indexed : string -> string * Aging_physics.Scenario.corner option
+(** Inverse: ["NAND2_X1\@0.4_0.6"] -> [("NAND2_X1", Some corner)];
+    un-indexed names map to [(name, None)]. *)
+
+val complete :
+  ?backend:Characterize.backend ->
+  ?cells:Aging_cells.Cell.t list ->
+  ?years:float ->
+  axes:Axes.t ->
+  corners:Aging_physics.Scenario.corner list ->
+  name:string ->
+  unit ->
+  Library.t
+(** Characterizes every cell under every corner (with indexed names) and
+    merges the results.  This is the eager construction; the on-demand
+    cached variant lives in [Aging_core.Degradation_library]. *)

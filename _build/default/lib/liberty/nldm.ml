@@ -1,0 +1,50 @@
+module Interp = Aging_util.Interp
+
+type table = {
+  slews : float array;
+  loads : float array;
+  values : float array array;
+}
+
+let make ~slews ~loads ~values =
+  if Array.length slews < 2 || Array.length loads < 2 then
+    invalid_arg "Nldm.make: axes need >= 2 points";
+  if not (Interp.monotone_increasing slews) then
+    invalid_arg "Nldm.make: slew axis not increasing";
+  if not (Interp.monotone_increasing loads) then
+    invalid_arg "Nldm.make: load axis not increasing";
+  if Array.length values <> Array.length slews then
+    invalid_arg "Nldm.make: row count mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length loads then
+        invalid_arg "Nldm.make: column count mismatch")
+    values;
+  { slews; loads; values }
+
+let lookup t ~slew ~load =
+  Interp.bilinear ~rows:t.slews ~cols:t.loads t.values slew load
+
+let tabulate ~slews ~loads f =
+  let values =
+    Array.map (fun s -> Array.map (fun l -> f ~slew:s ~load:l) loads) slews
+  in
+  make ~slews ~loads ~values
+
+let map f t = { t with values = Array.map (Array.map f) t.values }
+
+let same_axes a b = a.slews = b.slews && a.loads = b.loads
+
+let map2 f a b =
+  if not (same_axes a b) then invalid_arg "Nldm.map2: axis mismatch";
+  {
+    a with
+    values = Array.map2 (fun ra rb -> Array.map2 f ra rb) a.values b.values;
+  }
+
+let fold f init t =
+  Array.fold_left (fun acc row -> Array.fold_left f acc row) init t.values
+
+let max_value t = fold Float.max neg_infinity t
+let min_value t = fold Float.min infinity t
+let dimensions t = (Array.length t.slews, Array.length t.loads)

@@ -1,0 +1,39 @@
+(** Non-Linear Delay Model tables.
+
+    The standard industrial abstraction: delay and output transition time of
+    a timing arc as 2-D lookup tables over (input slew, output load), with
+    bilinear interpolation and linear extrapolation outside the
+    characterized grid. *)
+
+type table = {
+  slews : float array;           (** input-slew axis [s], strictly increasing *)
+  loads : float array;           (** load axis [F], strictly increasing *)
+  values : float array array;    (** [values.(slew_index).(load_index)] [s] *)
+}
+
+val make :
+  slews:float array -> loads:float array -> values:float array array -> table
+(** @raise Invalid_argument on axis/shape mismatch or non-monotone axes. *)
+
+val lookup : table -> slew:float -> load:float -> float
+(** Bilinear interpolation / extrapolation. *)
+
+val tabulate :
+  slews:float array -> loads:float array -> (slew:float -> load:float -> float)
+  -> table
+(** Fills a table by evaluating [f] at every grid point. *)
+
+val map : (float -> float) -> table -> table
+
+val map2 : (float -> float -> float) -> table -> table -> table
+(** Pointwise combination; the tables must share axes.
+    @raise Invalid_argument otherwise. *)
+
+val fold : ('a -> float -> 'a) -> 'a -> table -> 'a
+(** Folds over every table value (row-major). *)
+
+val max_value : table -> float
+val min_value : table -> float
+
+val dimensions : table -> int * int
+(** (number of slews, number of loads). *)

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Aging_cells Array Hashtbl List Option Printf Queue Seq String

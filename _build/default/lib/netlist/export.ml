@@ -1,0 +1,65 @@
+let sanitize_identifier name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf ch
+      | '[' -> Buffer.add_char buf '_'
+      | ']' -> ()
+      | '@' -> Buffer.add_string buf "_c"
+      | '.' -> Buffer.add_char buf 'p'
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let to_verilog (t : Netlist.t) =
+  let buf = Buffer.create 65536 in
+  let port_names =
+    List.map (fun (name, _) -> sanitize_identifier name)
+      (t.Netlist.input_ports @ t.Netlist.output_ports)
+  in
+  let clock_name = if t.Netlist.clock = None then [] else [ "clk" ] in
+  Printf.bprintf buf "module %s (%s);\n"
+    (sanitize_identifier t.Netlist.design_name)
+    (String.concat ", " (clock_name @ port_names));
+  List.iter (fun name -> Printf.bprintf buf "  input %s;\n" name) clock_name;
+  List.iter
+    (fun (name, _) -> Printf.bprintf buf "  input %s;\n" (sanitize_identifier name))
+    t.Netlist.input_ports;
+  List.iter
+    (fun (name, _) -> Printf.bprintf buf "  output %s;\n" (sanitize_identifier name))
+    t.Netlist.output_ports;
+  (* Net naming: ports alias their nets, everything else is n<id>. *)
+  let net_name = Array.make t.Netlist.n_nets None in
+  List.iter
+    (fun (name, net) -> net_name.(net) <- Some (sanitize_identifier name))
+    (t.Netlist.input_ports @ t.Netlist.output_ports);
+  (match t.Netlist.clock with
+  | Some net -> net_name.(net) <- Some "clk"
+  | None -> ());
+  let name_of net =
+    match net_name.(net) with Some n -> n | None -> Printf.sprintf "n%d" net
+  in
+  Array.iteri
+    (fun net name -> if name = None then Printf.bprintf buf "  wire n%d;\n" net)
+    net_name;
+  Array.iter
+    (fun (inst : Netlist.instance) ->
+      let conns =
+        List.map
+          (fun (pin, net) -> Printf.sprintf ".%s(%s)" pin (name_of net))
+          (inst.Netlist.inputs @ inst.Netlist.outputs)
+      in
+      Printf.bprintf buf "  %s %s (%s);\n"
+        (sanitize_identifier inst.Netlist.cell_name)
+        (sanitize_identifier inst.Netlist.inst_name)
+        (String.concat ", " conns))
+    t.Netlist.instances;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_verilog t))

@@ -1,0 +1,15 @@
+(** Structural Verilog emission for gate-level netlists.
+
+    Writes a flat module instantiating the library cells by (sanitized)
+    name with named port connections, so synthesized or annotated netlists
+    can be inspected or fed to external tools.  Emission only. *)
+
+val to_verilog : Netlist.t -> string
+(** One flat module named after the design.  Nets become [n<id>] wires;
+    ports keep their names (with [\[i\]] indices turned into vector-free
+    [_i] suffixes). *)
+
+val save : string -> Netlist.t -> unit
+
+val sanitize_identifier : string -> string
+(** The identifier mapping used for cell, port and instance names. *)

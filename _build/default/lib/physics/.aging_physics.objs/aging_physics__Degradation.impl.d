@@ -1,0 +1,1 @@
+lib/physics/degradation.ml: Bti Device

@@ -1,0 +1,1 @@
+lib/physics/scenario.ml: Bti Degradation Device Float Fun List Printf String

@@ -1,0 +1,1 @@
+lib/physics/scenario.mli: Bti Degradation Device

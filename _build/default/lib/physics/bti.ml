@@ -1,0 +1,60 @@
+type stress = { duty : float; years : float; temp_k : float; vstress : float }
+
+let seconds_per_year = 365.25 *. 24. *. 3600.
+
+let stress ?(years = 10.) ?(temp_k = Device.temperature)
+    ?(vstress = Device.vdd) ~duty () =
+  if duty < 0. || duty > 1. then invalid_arg "Bti.stress: duty outside [0,1]";
+  if years < 0. then invalid_arg "Bti.stress: negative years";
+  { duty; years; temp_k; vstress }
+
+(* Recovery-limited AC factor: under 50 % duty the trap population settles at
+   ~3/4 of the DC level, consistent with reaction-diffusion AC analyses. *)
+let recovery_strength = 0.35
+
+let duty_factor lambda =
+  if lambda <= 0. then 0.
+  else lambda /. (lambda +. (recovery_strength *. (1. -. lambda)))
+
+(* Calibration (at T = 350 K, Vstress = Vdd, lambda = 1, t = 10 years):
+   Delta N_IT ~ 1.06e16 /m^2 and Delta N_OT ~ 4.5e15 /m^2, which through
+   Eq. 2 (q/Cox) yield Delta Vth ~ 70 mV for pMOS -- a typical worst-case
+   NBTI budget for a 45 nm HP node. *)
+let a_it = 4.06e14 (* prefactor of the t^{1/6} interface-trap law, [1/m^2] *)
+let b_ot = 2.30e14 (* prefactor of the log-time oxide-trap law, [1/m^2] *)
+let time_exponent = 1. /. 6.
+let t0_ot = 1.0 (* onset time of oxide-trap capture [s] *)
+let field_gamma = 3.0 (* field acceleration [1/V] *)
+let ea_ev = 0.12 (* activation energy [eV] *)
+let boltzmann_ev = 8.617e-5
+let t_ref = 350.
+
+let environment_factor s =
+  let field = exp (field_gamma *. (s.vstress -. Device.vdd)) in
+  let arrhenius =
+    exp (ea_ev /. boltzmann_ev *. ((1. /. t_ref) -. (1. /. s.temp_k)))
+  in
+  field *. arrhenius
+
+(* PBTI in high-k nMOS generates markedly fewer defects than NBTI in pMOS
+   (Joshi et al. report a wide gap); the asymmetry is what makes pull-up
+   stacks (NOR-class cells) age much faster than pull-down stacks. *)
+let pbti_scale = 0.3
+
+let polarity_scale = function Device.Pmos -> 1.0 | Device.Nmos -> pbti_scale
+
+let interface_traps polarity s =
+  let t = s.years *. seconds_per_year in
+  if t <= 0. then 0.
+  else
+    a_it *. duty_factor s.duty *. environment_factor s
+    *. (t ** time_exponent)
+    *. polarity_scale polarity
+
+let oxide_traps polarity s =
+  let t = s.years *. seconds_per_year in
+  if t <= 0. then 0.
+  else
+    b_ot *. duty_factor s.duty *. environment_factor s
+    *. log (1. +. (t /. t0_ot))
+    *. polarity_scale polarity

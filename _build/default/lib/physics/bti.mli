@@ -1,0 +1,41 @@
+(** Physics-based BTI defect generation (NBTI for pMOS, PBTI for nMOS).
+
+    Substitutes for the Joshi et al. (IRPS'12) framework the paper uses: the
+    long-term defect population is split into interface traps N_IT (broken
+    Si-H bonds, reaction-diffusion kinetics, ~t^{1/6} growth) and oxide traps
+    N_OT (charge capture in high-k vacancies, ~log(t) growth).  Both scale
+    with the transistor duty cycle through an AC factor that models partial
+    recovery during relaxation phases, and with stress voltage and
+    temperature through field-acceleration and Arrhenius terms.
+
+    NBTI in pMOS is stronger than PBTI in nMOS (paper Sec. 2, citing [6]);
+    the ratio is exposed as {!pbti_scale}. *)
+
+type stress = {
+  duty : float;       (** duty cycle lambda in [0, 1]: fraction of time under stress *)
+  years : float;      (** operating time [years], >= 0 *)
+  temp_k : float;     (** stress temperature [K] *)
+  vstress : float;    (** stress gate voltage magnitude [V] *)
+}
+
+val stress :
+  ?years:float -> ?temp_k:float -> ?vstress:float -> duty:float -> unit ->
+  stress
+(** Builds a stress record with paper defaults: 10 years, 350 K, Vdd.
+    @raise Invalid_argument if [duty] is outside [0, 1] or [years < 0]. *)
+
+val duty_factor : float -> float
+(** AC duty-cycle factor in [0, 1]: 0 at lambda = 0, 1 at lambda = 1,
+    sub-linear in between (recovery during relaxation).  Monotone
+    increasing. *)
+
+val interface_traps : Device.polarity -> stress -> float
+(** Generated interface-trap density Delta N_IT [1/m^2]. *)
+
+val oxide_traps : Device.polarity -> stress -> float
+(** Generated oxide-trap density Delta N_OT [1/m^2]. *)
+
+val pbti_scale : float
+(** Ratio of PBTI (nMOS) to NBTI (pMOS) defect generation, < 1. *)
+
+val seconds_per_year : float

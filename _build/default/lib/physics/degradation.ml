@@ -1,0 +1,25 @@
+type mode = Full | Vth_only
+type t = { delta_vth : float; mu_factor : float }
+
+let electron_charge = 1.602176634e-19
+let mu_alpha = 3.3e-18
+
+let of_stress ?(mode = Full) ?(defect_scale = 1.0) (device : Device.params)
+    stress =
+  if defect_scale < 0. then
+    invalid_arg "Degradation.of_stress: negative defect_scale";
+  let n_it = defect_scale *. Bti.interface_traps device.Device.polarity stress in
+  let n_ot = defect_scale *. Bti.oxide_traps device.Device.polarity stress in
+  let delta_vth =
+    electron_charge /. device.Device.cox_area *. (n_it +. n_ot)
+  in
+  let mu_factor =
+    match mode with
+    | Full -> 1. /. (1. +. (mu_alpha *. n_it))
+    | Vth_only -> 1.
+  in
+  { delta_vth; mu_factor }
+
+let apply ?mode ?defect_scale device stress =
+  let d = of_stress ?mode ?defect_scale device stress in
+  Device.with_aging ~delta_vth:d.delta_vth ~mu_factor:d.mu_factor device

@@ -1,0 +1,88 @@
+type polarity = Nmos | Pmos
+
+type params = {
+  polarity : polarity;
+  vth0 : float;
+  mu0 : float;
+  mu_factor : float;
+  delta_vth : float;
+  beta : float;
+  alpha_sat : float;
+  vdsat_frac : float;
+  lambda_clm : float;
+  n_sub : float;
+  i_sub0 : float;
+  cox_area : float;
+  c_overlap : float;
+  c_junction : float;
+  w : float;
+  l : float;
+}
+
+let vdd = 1.1
+let temperature = 350.
+let l_min = 45e-9
+let w_min = 90e-9
+
+(* Drive constants are calibrated so that a minimum nMOS (W/L = 2) carries
+   ~90 uA of saturation current at Vgs = Vdd (roughly 1 mA/um, typical for a
+   45 nm high-performance node), with the pMOS at ~half the per-width drive. *)
+let beta_n = 7.1e-5
+let beta_p = 3.8e-5
+
+let nmos ~w =
+  {
+    polarity = Nmos;
+    vth0 = 0.40;
+    mu0 = 0.040;
+    mu_factor = 1.0;
+    delta_vth = 0.0;
+    beta = beta_n;
+    alpha_sat = 1.3;
+    vdsat_frac = 0.9;
+    lambda_clm = 0.06;
+    n_sub = 1.4;
+    i_sub0 = 4e-9;
+    cox_area = 3.45e-2;
+    c_overlap = 2.4e-10;
+    c_junction = 4.5e-10;
+    w;
+    l = l_min;
+  }
+
+let pmos ~w =
+  {
+    polarity = Pmos;
+    vth0 = 0.42;
+    mu0 = 0.020;
+    mu_factor = 1.0;
+    delta_vth = 0.0;
+    beta = beta_p;
+    alpha_sat = 1.35;
+    vdsat_frac = 0.9;
+    lambda_clm = 0.06;
+    n_sub = 1.4;
+    i_sub0 = 2e-9;
+    cox_area = 3.45e-2;
+    c_overlap = 2.4e-10;
+    c_junction = 4.8e-10;
+    w;
+    l = l_min;
+  }
+
+let effective_vth p = p.vth0 +. p.delta_vth
+
+let with_aging ~delta_vth ~mu_factor p =
+  if delta_vth < 0. then invalid_arg "Device.with_aging: negative delta_vth";
+  if mu_factor <= 0. || mu_factor > 1. then
+    invalid_arg "Device.with_aging: mu_factor outside (0,1]";
+  {
+    p with
+    delta_vth = p.delta_vth +. delta_vth;
+    mu_factor = p.mu_factor *. mu_factor;
+  }
+
+let gate_capacitance p =
+  (p.cox_area *. p.w *. p.l) +. (2. *. p.c_overlap *. p.w)
+
+let drain_capacitance p = (p.c_junction +. p.c_overlap) *. p.w

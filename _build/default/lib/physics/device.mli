@@ -1,0 +1,64 @@
+(** Transistor model parameters for a 45 nm-class high-k technology.
+
+    Substitutes for the Predictive Technology Model cards the paper plugs
+    into HSPICE.  The parameter set feeds the alpha-power-law MOSFET equations
+    in {!Aging_spice.Mosfet}: only the quantities those equations need are
+    modelled.  Values are chosen so that a minimum-size inverter driving a
+    few fF switches in tens of picoseconds, matching the delay magnitudes the
+    paper reports (Fig. 3). *)
+
+type polarity = Nmos | Pmos
+
+type params = {
+  polarity : polarity;
+  vth0 : float;        (** zero-bias threshold voltage magnitude [V] *)
+  mu0 : float;         (** low-field carrier mobility [m^2/(V.s)] *)
+  mu_factor : float;   (** aged mobility ratio mu/mu0, 1.0 when fresh *)
+  delta_vth : float;   (** aging-induced threshold shift magnitude [V] *)
+  beta : float;        (** drive constant: Id_sat = beta * (W/L) * Vov^alpha *)
+  alpha_sat : float;   (** velocity-saturation exponent (alpha-power law) *)
+  vdsat_frac : float;  (** V_dsat = vdsat_frac * Vov *)
+  lambda_clm : float;  (** channel-length modulation [1/V] *)
+  n_sub : float;       (** subthreshold slope factor *)
+  i_sub0 : float;      (** subthreshold current prefactor [A] per (W/L) *)
+  cox_area : float;    (** gate oxide capacitance per area [F/m^2] *)
+  c_overlap : float;   (** gate-drain/source overlap capacitance per width [F/m] *)
+  c_junction : float;  (** drain/source junction capacitance per width [F/m] *)
+  w : float;           (** channel width [m] *)
+  l : float;           (** channel length [m] *)
+}
+
+val vdd : float
+(** Nominal supply voltage [V] of the technology (1.1 V). *)
+
+val temperature : float
+(** Nominal operating/stress temperature [K] (350 K, a hot-chip corner as in
+    aging studies). *)
+
+val l_min : float
+(** Minimum channel length [m] (45 nm). *)
+
+val w_min : float
+(** Minimum channel width [m] (90 nm). *)
+
+val nmos : w:float -> params
+(** Fresh nMOS device of width [w] at minimum length. *)
+
+val pmos : w:float -> params
+(** Fresh pMOS device of width [w] at minimum length.  [vth0] and [beta] are
+    magnitudes; the polarity field drives sign handling in the simulator. *)
+
+val effective_vth : params -> float
+(** [vth0 + delta_vth]: the aged threshold magnitude. *)
+
+val with_aging : delta_vth:float -> mu_factor:float -> params -> params
+(** Returns the device with aging degradations applied on top of its current
+    state (shifts add, mobility factors multiply).
+    @raise Invalid_argument if [mu_factor] is outside (0, 1] or [delta_vth]
+    is negative. *)
+
+val gate_capacitance : params -> float
+(** Total gate capacitance [F]: area term plus both overlaps. *)
+
+val drain_capacitance : params -> float
+(** Drain junction + overlap capacitance [F]. *)

@@ -1,0 +1,1 @@
+lib/sim/activity.ml: Aging_netlist Aging_physics Array Hashtbl List String

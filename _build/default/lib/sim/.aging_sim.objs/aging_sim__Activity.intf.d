@@ -1,0 +1,1 @@
+lib/sim/activity.mli: Aging_netlist Aging_physics

@@ -1,0 +1,1 @@
+lib/sim/event_sim.ml: Aging_cells Aging_liberty Aging_netlist Aging_sta Array Float List

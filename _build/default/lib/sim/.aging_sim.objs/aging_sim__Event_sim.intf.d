@@ -1,0 +1,1 @@
+lib/sim/event_sim.mli: Aging_liberty Aging_netlist Aging_sta

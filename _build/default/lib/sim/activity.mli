@@ -1,0 +1,40 @@
+(** Workload activity profiling and netlist aging annotation.
+
+    The dynamic-aging-stress front end of the paper's flow (Sec. 4.2): a
+    gate-level simulation of the running workload yields per-net signal
+    probabilities, from which per-transistor duty cycles follow — a pMOS
+    transistor is under (NBTI) stress while its gate input is low, an nMOS
+    (PBTI) while it is high.  Per cell, the pin-averaged (lambda_p,
+    lambda_n) pair is snapped to the library grid and encoded into the
+    instance's cell name so a complete degradation-aware library can time
+    the annotated netlist directly. *)
+
+type profile = {
+  p_high : float array;   (** per-net probability of logic 1 *)
+  toggles : int array;    (** per-net transition count over the run *)
+  cycles : int;
+}
+
+val profile :
+  Aging_netlist.Netlist.t -> cycles:int ->
+  stimulus:(int -> (string * bool) list) -> profile
+(** Zero-delay cycle-accurate profiling over the workload.
+    @raise Invalid_argument if [cycles <= 0]. *)
+
+val instance_corner :
+  profile -> Aging_netlist.Netlist.instance -> Aging_physics.Scenario.corner
+(** Pin-averaged duty cycles of one instance:
+    [lambda_p = avg over input pins of P(pin = 0)],
+    [lambda_n = avg over input pins of P(pin = 1)] (not snapped). *)
+
+val annotate :
+  ?step:float -> Aging_netlist.Netlist.t -> profile -> Aging_netlist.Netlist.t
+(** Renames every combinational instance to
+    ["<cell>\@<lambda_p>_<lambda_n>"] with corners snapped to the grid
+    (default step 0.1), mirroring the paper's [AND2_0.4_0.6] scheme.
+    Flip-flops are annotated too (their D/CK activity drives their aging). *)
+
+val corners_used :
+  Aging_netlist.Netlist.t -> Aging_physics.Scenario.corner list
+(** Distinct corners appearing in an annotated netlist (sorted); used to
+    characterize only the needed slices of the complete library. *)

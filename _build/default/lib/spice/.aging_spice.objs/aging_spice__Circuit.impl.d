@@ -1,0 +1,1 @@
+lib/spice/circuit.ml: Aging_physics Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/spice/engine.ml: Aging_physics Array Circuit Float List Mosfet Waveform

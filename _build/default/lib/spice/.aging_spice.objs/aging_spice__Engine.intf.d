@@ -1,0 +1,1 @@
+lib/spice/engine.mli: Circuit Stimulus Waveform

@@ -1,0 +1,1 @@
+lib/spice/stimulus.ml: Aging_physics

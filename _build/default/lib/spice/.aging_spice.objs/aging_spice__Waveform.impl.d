@@ -1,0 +1,1 @@
+lib/spice/waveform.ml: Aging_util Array Float

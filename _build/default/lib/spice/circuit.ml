@@ -1,0 +1,102 @@
+module Device = Aging_physics.Device
+
+type node = int
+
+let gnd = 0
+let vdd = 1
+
+type mos = { dev : Device.params; g : node; d : node; s : node }
+type res = { a : node; b : node; ohms : float }
+
+type t = {
+  mutable n_nodes : int;
+  mutable mos_rev : mos list;
+  mutable res_rev : res list;
+  caps : (node, float) Hashtbl.t;
+  names : (string, node) Hashtbl.t;
+}
+
+let create () =
+  {
+    n_nodes = 2;
+    mos_rev = [];
+    res_rev = [];
+    caps = Hashtbl.create 16;
+    names = Hashtbl.create 16;
+  }
+
+let fresh_node ?name t =
+  let n = t.n_nodes in
+  t.n_nodes <- n + 1;
+  Option.iter (fun s -> Hashtbl.replace t.names s n) name;
+  n
+
+let node_count t = t.n_nodes
+
+let add_cap t n farads =
+  let prev = Option.value (Hashtbl.find_opt t.caps n) ~default:0. in
+  Hashtbl.replace t.caps n (prev +. farads)
+
+let attach_parasitics t (m : mos) =
+  add_cap t m.g (Device.gate_capacitance m.dev);
+  add_cap t m.d (Device.drain_capacitance m.dev);
+  add_cap t m.s (Device.drain_capacitance m.dev)
+
+let add_mos t ~dev ~g ~d ~s =
+  let m = { dev; g; d; s } in
+  t.mos_rev <- m :: t.mos_rev;
+  attach_parasitics t m
+
+let add_res t ~a ~b ~ohms =
+  if ohms <= 0. then invalid_arg "Circuit.add_res: non-positive resistance";
+  t.res_rev <- { a; b; ohms } :: t.res_rev
+
+let mosfets t = List.rev t.mos_rev
+let resistors t = List.rev t.res_rev
+
+let capacitance t n = Option.value (Hashtbl.find_opt t.caps n) ~default:0.
+
+let map_devices f t =
+  (* Rebuild so parasitics reflect the transformed devices (widths etc. are
+     preserved by aging, but this stays correct for arbitrary transforms). *)
+  let t' = create () in
+  t'.n_nodes <- t.n_nodes;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t'.names k v) t.names;
+  (* Explicit caps = total caps minus the device parasitics of the original
+     circuit; recompute by first copying explicit-only capacitance. *)
+  let parasitic = Hashtbl.create 16 in
+  let note n c =
+    let prev = Option.value (Hashtbl.find_opt parasitic n) ~default:0. in
+    Hashtbl.replace parasitic n (prev +. c)
+  in
+  List.iter
+    (fun (m : mos) ->
+      note m.g (Device.gate_capacitance m.dev);
+      note m.d (Device.drain_capacitance m.dev);
+      note m.s (Device.drain_capacitance m.dev))
+    (mosfets t);
+  Hashtbl.iter
+    (fun n total ->
+      let para = Option.value (Hashtbl.find_opt parasitic n) ~default:0. in
+      let explicit = total -. para in
+      if explicit > 0. then add_cap t' n explicit)
+    t.caps;
+  List.iter
+    (fun (m : mos) -> add_mos t' ~dev:(f m.dev) ~g:m.g ~d:m.d ~s:m.s)
+    (mosfets t);
+  List.iter (fun (r : res) -> add_res t' ~a:r.a ~b:r.b ~ohms:r.ohms)
+    (resistors t);
+  t'
+
+let node_name t n =
+  if n = gnd then "gnd"
+  else if n = vdd then "vdd"
+  else
+    let found =
+      Hashtbl.fold
+        (fun name id acc -> if id = n then Some name else acc)
+        t.names None
+    in
+    Option.value found ~default:(Printf.sprintf "n%d" n)
+
+let find_node t name = Hashtbl.find_opt t.names name

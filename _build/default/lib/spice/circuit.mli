@@ -1,0 +1,61 @@
+(** Transistor-level circuit netlists for the transient engine.
+
+    Nodes are small integers; node {!gnd} is the 0 V rail and node {!vdd}
+    the supply rail.  Capacitors are lumped to ground (internal coupling
+    capacitance is folded into the grounded node capacitance, a standard
+    simplification for gate-delay characterization).  Adding a MOSFET
+    automatically attaches its gate / drain / source parasitic capacitances
+    to the corresponding nodes, so cell topologies stay declarative. *)
+
+type node = int
+
+val gnd : node
+val vdd : node
+
+type mos = {
+  dev : Aging_physics.Device.params;
+  g : node;
+  d : node;
+  s : node;
+}
+
+type res = { a : node; b : node; ohms : float }
+
+type t
+(** Mutable circuit under construction. *)
+
+val create : unit -> t
+(** Fresh circuit containing only the two rails. *)
+
+val fresh_node : ?name:string -> t -> node
+(** Allocates a new node. *)
+
+val node_count : t -> int
+(** Number of nodes allocated so far (including the rails). *)
+
+val add_mos : t -> dev:Aging_physics.Device.params -> g:node -> d:node -> s:node -> unit
+(** Adds a transistor and its terminal parasitics. *)
+
+val add_cap : t -> node -> float -> unit
+(** Adds an explicit grounded capacitance [F] (accumulates). *)
+
+val add_res : t -> a:node -> b:node -> ohms:float -> unit
+(** Adds a resistor.  @raise Invalid_argument if [ohms <= 0]. *)
+
+val map_devices :
+  (Aging_physics.Device.params -> Aging_physics.Device.params) -> t -> t
+(** A copy of the circuit with every transistor's parameters transformed
+    (used to produce the aged twin of a cell netlist).  Parasitic node
+    capacitances are rebuilt from the transformed devices. *)
+
+val mosfets : t -> mos list
+val resistors : t -> res list
+
+val capacitance : t -> node -> float
+(** Total grounded capacitance on a node [F] (0 if none). *)
+
+val node_name : t -> node -> string
+(** Diagnostic name ("gnd", "vdd", "n3" or the registered name). *)
+
+val find_node : t -> string -> node option
+(** Looks a node up by registered name. *)

@@ -1,0 +1,260 @@
+module Device = Aging_physics.Device
+
+type options = {
+  dt_min : float;
+  dt_max : float;
+  dv_target : float;
+  dv_reject : float;
+  newton_tol : float;
+  newton_max : int;
+  settle_time : float;
+  c_floor : float;
+}
+
+let default_options =
+  {
+    dt_min = 5e-14;
+    dt_max = 4e-11;
+    dv_target = 4e-3;
+    dv_reject = 8e-2;
+    newton_tol = 1e-5;
+    newton_max = 25;
+    settle_time = 3e-9;
+    c_floor = 2e-17;
+  }
+
+type result = {
+  times : float array;
+  node_voltages : float array array; (* node_voltages.(node).(sample) *)
+  n_steps : int;
+}
+
+(* Dense LU solve with partial pivoting; [a] and [b] are clobbered. *)
+let solve_linear a b =
+  let n = Array.length b in
+  for k = 0 to n - 1 do
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!pivot).(k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(k) in
+      b.(k) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    let akk = a.(k).(k) in
+    let akk = if Float.abs akk < 1e-30 then 1e-30 else akk in
+    for i = k + 1 to n - 1 do
+      let f = a.(i).(k) /. akk in
+      if f <> 0. then begin
+        for j = k to n - 1 do
+          a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(k))
+      end
+    done
+  done;
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (a.(i).(j) *. x.(j))
+    done;
+    let aii = a.(i).(i) in
+    let aii = if Float.abs aii < 1e-30 then 1e-30 else aii in
+    x.(i) <- !s /. aii
+  done;
+  x
+
+let clamp_voltage v =
+  let lo = -0.3 and hi = Device.vdd +. 0.3 in
+  if v < lo then lo else if v > hi then hi else v
+
+let transient ?(options = default_options) ?(init = []) ?stop_when circuit
+    ~drives ~t_stop =
+  if t_stop <= 0. then invalid_arg "Engine.transient: t_stop <= 0";
+  List.iter
+    (fun (n, _) ->
+      if n = Circuit.gnd || n = Circuit.vdd then
+        invalid_arg "Engine.transient: cannot drive a rail")
+    drives;
+  let n_nodes = Circuit.node_count circuit in
+  let driven = Array.make n_nodes None in
+  List.iter (fun (n, stim) -> driven.(n) <- Some stim) drives;
+  let is_free n = n <> Circuit.gnd && n <> Circuit.vdd && driven.(n) = None in
+  let free = ref [] in
+  for n = n_nodes - 1 downto 0 do
+    if is_free n then free := n :: !free
+  done;
+  let free = Array.of_list !free in
+  let nf = Array.length free in
+  let slot = Array.make n_nodes (-1) in
+  Array.iteri (fun i n -> slot.(n) <- i) free;
+  let cap =
+    Array.map
+      (fun n -> Float.max options.c_floor (Circuit.capacitance circuit n))
+      free
+  in
+  let mosfets = Array.of_list (Circuit.mosfets circuit) in
+  let resistors = Array.of_list (Circuit.resistors circuit) in
+  (* Voltage vector over all nodes; rails pinned, driven set per time. *)
+  let v = Array.make n_nodes 0. in
+  v.(Circuit.vdd) <- Device.vdd;
+  List.iter (fun (n, value) -> if is_free n then v.(n) <- value) init;
+  let set_driven time =
+    Array.iteri
+      (fun n stim -> match stim with Some f -> v.(n) <- f time | None -> ())
+      driven
+  in
+  (* Current injected into each free node by the static elements. *)
+  let inject = Array.make nf 0. in
+  let compute_injections () =
+    Array.fill inject 0 nf 0.;
+    let add n i =
+      let s = slot.(n) in
+      if s >= 0 then inject.(s) <- inject.(s) +. i
+    in
+    Array.iter
+      (fun (m : Circuit.mos) ->
+        let i_ds =
+          Mosfet.channel_current m.dev ~vg:v.(m.g) ~vd:v.(m.d) ~vs:v.(m.s)
+        in
+        add m.d (-.i_ds);
+        add m.s i_ds)
+      mosfets;
+    Array.iter
+      (fun (r : Circuit.res) ->
+        let i = (v.(r.a) -. v.(r.b)) /. r.ohms in
+        add r.a (-.i);
+        add r.b i)
+      resistors
+  in
+  (* Backward-Euler residual at the current [v] for step size [dt] from
+     previous free-node voltages [v_prev]. *)
+  let residual v_prev dt out =
+    compute_injections ();
+    for i = 0 to nf - 1 do
+      out.(i) <- (cap.(i) *. (v.(free.(i)) -. v_prev.(i)) /. dt) -. inject.(i)
+    done
+  in
+  let f0 = Array.make nf 0. in
+  let f1 = Array.make nf 0. in
+  let jac = Array.make_matrix nf nf 0. in
+  let refresh_jacobian v_prev dt =
+    (* Finite-difference Jacobian around the current iterate; f0 must hold
+       the residual at the current point. *)
+    let dv = 1e-4 in
+    for j = 0 to nf - 1 do
+      let saved = v.(free.(j)) in
+      v.(free.(j)) <- saved +. dv;
+      residual v_prev dt f1;
+      v.(free.(j)) <- saved;
+      for i = 0 to nf - 1 do
+        jac.(i).(j) <- (f1.(i) -. f0.(i)) /. dv
+      done
+    done
+  in
+  (* One BE step attempt with chord Newton: the Jacobian is built once per
+     step (and rebuilt if convergence stalls) while the residual is
+     re-evaluated every iteration. *)
+  let newton_step v_prev dt =
+    let rec iterate k =
+      if k >= options.newton_max then false
+      else begin
+        residual v_prev dt f0;
+        if k = 0 || k mod 6 = 5 then refresh_jacobian v_prev dt;
+        let a = Array.map Array.copy jac in
+        let rhs = Array.map (fun x -> -.x) f0 in
+        let delta = solve_linear a rhs in
+        let max_step = 0.3 in
+        let biggest = Array.fold_left (fun m d -> Float.max m (Float.abs d)) 0. delta in
+        let damp = if biggest > max_step then max_step /. biggest else 1.0 in
+        Array.iteri
+          (fun i d ->
+            v.(free.(i)) <- clamp_voltage (v.(free.(i)) +. (damp *. d)))
+          delta;
+        if biggest *. damp < options.newton_tol then true else iterate (k + 1)
+      end
+    in
+    if nf = 0 then true else iterate 0
+  in
+  let times = ref [] and samples = ref [] in
+  let record time =
+    times := time :: !times;
+    samples := Array.copy v :: !samples
+  in
+  let n_steps = ref 0 in
+  (* March from [t_from] to [t_to]; [recording] controls sample capture. *)
+  let march ~t_from ~t_to ~recording =
+    let t = ref t_from in
+    let dt = ref (options.dt_max /. 10.) in
+    let stopped = ref false in
+    if recording then record !t;
+    while (not !stopped) && !t < t_to -. 1e-18 do
+      let dt_now = Float.min !dt (t_to -. !t) in
+      let t_next = !t +. dt_now in
+      let v_prev = Array.map (fun n -> v.(n)) free in
+      let v_saved = Array.copy v in
+      set_driven t_next;
+      let driven_change =
+        let biggest = ref 0. in
+        Array.iteri
+          (fun n stim ->
+            match stim with
+            | Some _ ->
+              biggest := Float.max !biggest (Float.abs (v.(n) -. v_saved.(n)))
+            | None -> ())
+          driven;
+        !biggest
+      in
+      let converged = newton_step v_prev dt_now in
+      let free_change =
+        let biggest = ref 0. in
+        Array.iteri
+          (fun i n -> biggest := Float.max !biggest (Float.abs (v.(n) -. v_prev.(i))))
+          free;
+        !biggest
+      in
+      let change = Float.max driven_change free_change in
+      if (not converged || change > options.dv_reject)
+         && dt_now > options.dt_min then begin
+        (* Reject: restore state and retry with half the step. *)
+        Array.blit v_saved 0 v 0 n_nodes;
+        dt := Float.max options.dt_min (dt_now /. 2.)
+      end
+      else begin
+        t := t_next;
+        incr n_steps;
+        if recording then record !t;
+        if change < options.dv_target then
+          dt := Float.min options.dt_max (dt_now *. 1.6)
+        else if change > options.dv_target *. 8. then
+          dt := Float.max options.dt_min (dt_now /. 2.);
+        match stop_when with
+        | Some f when recording && f !t v -> stopped := true
+        | Some _ | None -> ()
+      end
+    done
+  in
+  (* DC settle with inputs frozen at their t=0 values. *)
+  set_driven 0.;
+  march ~t_from:(-.options.settle_time) ~t_to:0. ~recording:false;
+  march ~t_from:0. ~t_to:t_stop ~recording:true;
+  let times = Array.of_list (List.rev !times) in
+  let samples = Array.of_list (List.rev !samples) in
+  let node_voltages =
+    Array.init n_nodes (fun n -> Array.map (fun s -> s.(n)) samples)
+  in
+  { times; node_voltages; n_steps = !n_steps }
+
+let waveform r node =
+  { Waveform.times = r.times; values = r.node_voltages.(node) }
+
+let final_voltage r node =
+  let vs = r.node_voltages.(node) in
+  vs.(Array.length vs - 1)
+
+let steps r = r.n_steps

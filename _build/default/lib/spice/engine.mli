@@ -1,0 +1,51 @@
+(** Adaptive backward-Euler transient engine.
+
+    The solver integrates the node-voltage ODE of a {!Circuit.t} with
+    backward Euler and a damped Newton iteration per step (dense LU on the
+    free-node Jacobian, evaluated by finite differences — circuits here are
+    single cells or short paths, a handful of free nodes).  The step size
+    adapts to the largest per-step voltage change, including that of driven
+    inputs, so slow 1 ns ramps and sub-10 ps edges are both resolved.
+
+    Before [t = 0] the circuit is settled to a DC operating point by
+    pseudo-transient continuation with inputs frozen at their [t <= 0]
+    values. *)
+
+type result
+(** Transient run output: every accepted time point for every node. *)
+
+type options = {
+  dt_min : float;      (** floor on the step size [s] *)
+  dt_max : float;      (** ceiling on the step size [s] *)
+  dv_target : float;   (** per-step voltage change that keeps dt unchanged [V] *)
+  dv_reject : float;   (** per-step change that rejects and halves dt [V] *)
+  newton_tol : float;  (** Newton update norm for convergence [V] *)
+  newton_max : int;    (** maximum Newton iterations per step *)
+  settle_time : float; (** pseudo-transient DC settling duration [s] *)
+  c_floor : float;     (** minimum grounded capacitance per free node [F] *)
+}
+
+val default_options : options
+
+val transient :
+  ?options:options ->
+  ?init:(Circuit.node * float) list ->
+  ?stop_when:(float -> float array -> bool) ->
+  Circuit.t ->
+  drives:(Circuit.node * Stimulus.t) list ->
+  t_stop:float ->
+  result
+(** Runs from the settled operating point to [t_stop].  [init] seeds the
+    free-node voltages before settling (defaults to 0 V).  [stop_when t v]
+    is checked after every accepted step (with the full node-voltage
+    vector); returning [true] ends the run early — used by characterization
+    to cut the post-transition tail.
+    @raise Invalid_argument if a drive targets a rail or [t_stop <= 0]. *)
+
+val waveform : result -> Circuit.node -> Waveform.t
+(** Sampled voltage of one node over [0, t_stop]. *)
+
+val final_voltage : result -> Circuit.node -> float
+
+val steps : result -> int
+(** Number of accepted time steps (diagnostic). *)

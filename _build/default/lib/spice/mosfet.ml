@@ -1,0 +1,49 @@
+module Device = Aging_physics.Device
+
+let thermal_voltage = 1.380649e-23 *. 350. /. 1.602176634e-19
+
+let saturation_current (dev : Device.params) ~vov =
+  if vov <= 0. then 0.
+  else
+    dev.Device.mu_factor *. dev.Device.beta *. (dev.Device.w /. dev.Device.l)
+    *. (vov ** dev.Device.alpha_sat)
+
+(* Normalized nMOS-style current for vgs/vds referenced to the true source
+   (the lower-potential terminal); always >= 0. *)
+let forward_current (dev : Device.params) ~vgs ~vds =
+  let vth = Device.effective_vth dev in
+  let vov = vgs -. vth in
+  let wl = dev.Device.w /. dev.Device.l in
+  let vt = thermal_voltage in
+  let drain_factor = 1. -. exp (-.vds /. vt) in
+  let sub =
+    (* Continuous across vov = 0: exponential below threshold, constant
+       floor above (the strong-inversion term dominates there anyway). *)
+    let gate_factor = if vov < 0. then exp (vov /. (dev.Device.n_sub *. vt)) else 1. in
+    dev.Device.i_sub0 *. wl *. gate_factor *. drain_factor
+  in
+  let strong =
+    if vov <= 0. then 0.
+    else begin
+      let idsat = saturation_current dev ~vov in
+      let vdsat = dev.Device.vdsat_frac *. vov in
+      let clm = 1. +. (dev.Device.lambda_clm *. vds) in
+      if vds >= vdsat then idsat *. clm
+      else
+        let x = vds /. vdsat in
+        idsat *. ((2. -. x) *. x) *. clm
+    end
+  in
+  sub +. strong
+
+let channel_current (dev : Device.params) ~vg ~vd ~vs =
+  match dev.Device.polarity with
+  | Device.Nmos ->
+    if vd >= vs then forward_current dev ~vgs:(vg -. vs) ~vds:(vd -. vs)
+    else -.forward_current dev ~vgs:(vg -. vd) ~vds:(vs -. vd)
+  | Device.Pmos ->
+    (* Mirror: the source of a pMOS is its higher-potential terminal; the
+       conventional channel current then flows source -> drain, i.e. the
+       drain->source current is negative. *)
+    if vd <= vs then -.forward_current dev ~vgs:(vs -. vg) ~vds:(vs -. vd)
+    else forward_current dev ~vgs:(vd -. vg) ~vds:(vd -. vs)

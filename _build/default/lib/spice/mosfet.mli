@@ -1,0 +1,23 @@
+(** Alpha-power-law MOSFET current equations.
+
+    Substitutes for BSIM4: a Sakurai-Newton alpha-power model with triode /
+    saturation regions, channel-length modulation and a continuous
+    subthreshold tail.  Mobility enters the drive current linearly and the
+    threshold shift reduces the overdrive, which is exactly the coupling the
+    paper exploits (Eq. 1: delay ∝ 1/Id, Id ≈ mu/2 (Vdd − Vth − ΔVth)^2),
+    so aged devices slow down in the same first-order way as in HSPICE. *)
+
+val thermal_voltage : float
+(** kT/q at the nominal 350 K [V]. *)
+
+val channel_current : Aging_physics.Device.params -> vg:float -> vd:float -> vs:float -> float
+(** [channel_current dev ~vg ~vd ~vs] is the conventional current flowing
+    from the drain terminal to the source terminal through the channel [A]
+    (positive when a conducting nMOS has [vd > vs]).  Terminal symmetry
+    (drain/source swap) and pMOS polarity are handled internally, so the
+    caller can wire the device by position and forget about operating
+    region. *)
+
+val saturation_current : Aging_physics.Device.params -> vov:float -> float
+(** Saturation current at overdrive [vov] (no channel-length modulation);
+    0 for non-positive overdrive.  Exposed for calibration and tests. *)

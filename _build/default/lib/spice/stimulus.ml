@@ -1,0 +1,16 @@
+type t = float -> float
+
+let constant v = fun _ -> v
+
+let full_ramp_time slew = slew /. 0.6
+
+let ramp ?(v_low = 0.) ?(v_high = Aging_physics.Device.vdd) ~t_start ~slew
+    ~rising () =
+  if slew <= 0. then invalid_arg "Stimulus.ramp: non-positive slew";
+  let duration = full_ramp_time slew in
+  let v_from = if rising then v_low else v_high in
+  let v_to = if rising then v_high else v_low in
+  fun time ->
+    if time <= t_start then v_from
+    else if time >= t_start +. duration then v_to
+    else v_from +. ((v_to -. v_from) *. ((time -. t_start) /. duration))

@@ -1,0 +1,21 @@
+(** Input waveforms for transient analysis.
+
+    Slews follow the library convention used throughout this project: a slew
+    [s] is the 20 %-80 % transition time, so a full-swing linear ramp lasts
+    [s / 0.6]. *)
+
+type t = float -> float
+(** Voltage as a function of time [s -> V]. *)
+
+val constant : float -> t
+
+val ramp :
+  ?v_low:float -> ?v_high:float -> t_start:float -> slew:float ->
+  rising:bool -> unit -> t
+(** Linear ramp beginning at [t_start]; [slew] is the 20-80 transition time.
+    Defaults: [v_low = 0], [v_high = Device.vdd].
+    @raise Invalid_argument if [slew <= 0]. *)
+
+val full_ramp_time : float -> float
+(** [full_ramp_time slew] is the 0-100 % duration of a ramp with the given
+    20-80 slew, i.e. [slew /. 0.6]. *)

@@ -1,0 +1,89 @@
+type t = { times : float array; values : float array }
+type direction = Rising | Falling
+
+let value_at w time =
+  let n = Array.length w.times in
+  if n = 0 then invalid_arg "Waveform.value_at: empty waveform";
+  if time <= w.times.(0) then w.values.(0)
+  else if time >= w.times.(n - 1) then w.values.(n - 1)
+  else begin
+    let i = Aging_util.Interp.bracket w.times time in
+    let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+    let f = (time -. t0) /. (t1 -. t0) in
+    w.values.(i) +. (f *. (w.values.(i + 1) -. w.values.(i)))
+  end
+
+let crossing_at w i level =
+  let v0 = w.values.(i) and v1 = w.values.(i + 1) in
+  let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+  t0 +. ((level -. v0) /. (v1 -. v0) *. (t1 -. t0))
+
+let crosses w i level = function
+  | Rising -> w.values.(i) < level && w.values.(i + 1) >= level
+  | Falling -> w.values.(i) > level && w.values.(i + 1) <= level
+
+let cross w ~level ~direction =
+  let n = Array.length w.times in
+  let rec go i =
+    if i >= n - 1 then None
+    else if crosses w i level direction then Some (crossing_at w i level)
+    else go (i + 1)
+  in
+  go 0
+
+let cross_last w ~level ~direction =
+  let n = Array.length w.times in
+  let rec go i =
+    if i < 0 then None
+    else if crosses w i level direction then Some (crossing_at w i level)
+    else go (i - 1)
+  in
+  go (n - 2)
+
+let slew w ~direction ~vdd =
+  let lo = 0.2 *. vdd and hi = 0.8 *. vdd in
+  match direction with
+  | Rising -> begin
+    (* Anchor on the last 80% crossing, then find the matching 20% crossing
+       before it so a single edge is measured. *)
+    match cross_last w ~level:hi ~direction with
+    | None -> None
+    | Some t_hi -> begin
+      match cross_last w ~level:lo ~direction with
+      | Some t_lo when t_lo <= t_hi -> Some (t_hi -. t_lo)
+      | Some _ | None -> None
+    end
+  end
+  | Falling -> begin
+    match cross_last w ~level:lo ~direction with
+    | None -> None
+    | Some t_lo -> begin
+      match cross_last w ~level:hi ~direction with
+      | Some t_hi when t_hi <= t_lo -> Some (t_lo -. t_hi)
+      | Some _ | None -> None
+    end
+  end
+
+let delay ~input ~output ~out_direction ~vdd =
+  let mid = 0.5 *. vdd in
+  let in_dir =
+    (* Prefer the opposite direction (inverting stage); fall back to the same
+       direction for non-inverting cells. *)
+    let opposite = match out_direction with Rising -> Falling | Falling -> Rising in
+    match cross_last input ~level:mid ~direction:opposite with
+    | Some _ -> opposite
+    | None -> out_direction
+  in
+  match
+    ( cross_last input ~level:mid ~direction:in_dir,
+      cross_last output ~level:mid ~direction:out_direction )
+  with
+  | Some t_in, Some t_out -> Some (t_out -. t_in)
+  | None, _ | _, None -> None
+
+let settled w ~vdd ~tolerance =
+  let n = Array.length w.values in
+  n > 0
+  &&
+  let v = w.values.(n - 1) in
+  Float.abs v < tolerance || Float.abs (v -. vdd) < tolerance

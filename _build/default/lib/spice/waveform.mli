@@ -1,0 +1,36 @@
+(** Sampled waveforms and the delay / slew measurements of characterization.
+
+    Conventions (shared with {!Stimulus} and the NLDM tables):
+    {ul
+    {- propagation delay: 50 %-Vdd crossing of the input to 50 %-Vdd crossing
+       of the output;}
+    {- transition time (slew): time between the 20 % and 80 % Vdd crossings
+       of the edge.}} *)
+
+type t = { times : float array; values : float array }
+(** Sample times are strictly increasing. *)
+
+type direction = Rising | Falling
+
+val value_at : t -> float -> float
+(** Linear interpolation between samples; clamps outside the record. *)
+
+val cross : t -> level:float -> direction:direction -> float option
+(** First time the waveform crosses [level] in the given direction
+    (interpolated between samples). *)
+
+val cross_last : t -> level:float -> direction:direction -> float option
+(** Last such crossing — robust to glitches before the final settling edge. *)
+
+val slew : t -> direction:direction -> vdd:float -> float option
+(** 20 %-80 % transition time of the final edge in [direction]. *)
+
+val delay :
+  input:t -> output:t -> out_direction:direction -> vdd:float -> float option
+(** 50 %-to-50 % propagation delay; the input edge direction is inferred as
+    the opposite when the waveforms are inverting and the same otherwise, by
+    choosing whichever input crossing exists (last one).  Negative delays are
+    possible for very slow inputs driving fast gates. *)
+
+val settled : t -> vdd:float -> tolerance:float -> bool
+(** Whether the last sample is within [tolerance] of either rail. *)

@@ -1,0 +1,1 @@
+lib/sta/paths.ml: Aging_liberty Aging_netlist List Printf String Timing

@@ -1,0 +1,1 @@
+lib/sta/paths.mli: Aging_liberty Aging_netlist Timing

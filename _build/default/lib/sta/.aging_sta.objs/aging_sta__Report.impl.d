@@ -1,0 +1,1 @@
+lib/sta/report.ml: Aging_netlist Aging_util Array Buffer List Printf Timing

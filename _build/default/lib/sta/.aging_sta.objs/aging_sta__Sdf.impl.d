@@ -1,0 +1,1 @@
+lib/sta/sdf.ml: Aging_liberty Aging_netlist Array Buffer Float Fun List Printf Timing

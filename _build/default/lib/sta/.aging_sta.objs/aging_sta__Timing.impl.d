@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Aging_liberty Aging_netlist Array Float Hashtbl List Printf

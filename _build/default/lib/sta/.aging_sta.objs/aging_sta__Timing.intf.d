@@ -1,0 +1,1 @@
+lib/sta/timing.mli: Aging_liberty Aging_netlist

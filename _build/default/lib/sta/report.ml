@@ -1,0 +1,43 @@
+module Netlist = Aging_netlist.Netlist
+module Units = Aging_util.Units
+
+let describe_endpoint (e : Timing.endpoint_timing) =
+  match e.Timing.endpoint with
+  | Timing.Output_port (name, _) -> Printf.sprintf "out:%s" name
+  | Timing.Flipflop_d (inst, _) -> Printf.sprintf "ff:%s/D" inst
+
+let summary analysis =
+  let netlist = Timing.netlist analysis in
+  let period = Timing.min_period analysis in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "design %s: %d cells, area %.1f um^2\n"
+       netlist.Netlist.design_name
+       (Array.length netlist.Netlist.instances)
+       (Units.um2 (Netlist.area netlist)));
+  Buffer.add_string buf
+    (Printf.sprintf "min period %.1f ps (max frequency %.3f GHz)\n"
+       (Units.ps period)
+       (1e-9 /. period));
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  endpoint %-24s arrival %8.1f ps  setup %6.1f ps\n"
+           (describe_endpoint e)
+           (Units.ps e.Timing.data_arrival)
+           (Units.ps e.Timing.setup)))
+    (take 5 (Timing.endpoints analysis));
+  Buffer.contents buf
+
+let guardband ~fresh ~aged =
+  let t0 = Timing.min_period fresh in
+  let t1 = Timing.min_period aged in
+  Printf.sprintf
+    "guardband: fresh %.1f ps, aged %.1f ps -> required guardband %.1f ps (%+.1f %%)\n"
+    (Units.ps t0) (Units.ps t1)
+    (Units.ps (t1 -. t0))
+    ((t1 -. t0) /. t0 *. 100.)

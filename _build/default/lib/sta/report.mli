@@ -1,0 +1,10 @@
+(** Human-readable timing reports. *)
+
+val summary : Timing.analysis -> string
+(** Design name, min period / max frequency, worst endpoints, cell and area
+    statistics. *)
+
+val guardband :
+  fresh:Timing.analysis -> aged:Timing.analysis -> string
+(** Report of the timing guardband [min_period aged - min_period fresh]
+    (paper Sec. 4.2). *)

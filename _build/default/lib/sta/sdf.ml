@@ -1,0 +1,60 @@
+module Library = Aging_liberty.Library
+module Netlist = Aging_netlist.Netlist
+
+let ns t = t *. 1e9
+
+let triple d = Printf.sprintf "(%.4f:%.4f:%.4f)" (ns d) (ns d) (ns d)
+
+let to_sdf analysis =
+  let netlist = Timing.netlist analysis in
+  let library = Timing.library analysis in
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf
+    "(DELAYFILE\n  (SDFVERSION \"3.0\")\n  (DESIGN \"%s\")\n  (DIVIDER /)\n\
+    \  (TIMESCALE 1ns)\n"
+    netlist.Netlist.design_name;
+  Array.iter
+    (fun (inst : Netlist.instance) ->
+      let entry =
+        match Library.find library inst.Netlist.cell_name with
+        | Some e -> Some e
+        | None ->
+          Library.find library (Netlist.base_cell_name inst.Netlist.cell_name)
+      in
+      match entry with
+      | None -> ()
+      | Some entry when entry.Library.arcs = [] -> ()
+      | Some entry ->
+        Printf.bprintf buf
+          "  (CELL (CELLTYPE \"%s\") (INSTANCE %s)\n    (DELAY (ABSOLUTE\n"
+          inst.Netlist.cell_name inst.Netlist.inst_name;
+        List.iter
+          (fun (arc : Library.arc) ->
+            match
+              ( List.assoc_opt arc.Library.from_pin inst.Netlist.inputs,
+                List.assoc_opt arc.Library.to_pin inst.Netlist.outputs )
+            with
+            | Some in_net, Some out_net ->
+              let slew =
+                Float.max
+                  (Timing.slew_at analysis in_net Library.Rise)
+                  (Timing.slew_at analysis in_net Library.Fall)
+              in
+              let load = Timing.load_on analysis out_net in
+              let rise = Library.delay_of arc ~dir:Library.Rise ~slew ~load in
+              let fall = Library.delay_of arc ~dir:Library.Fall ~slew ~load in
+              Printf.bprintf buf "      (IOPATH %s %s %s %s)\n"
+                arc.Library.from_pin arc.Library.to_pin (triple rise)
+                (triple fall)
+            | None, _ | _, None -> ())
+          entry.Library.arcs;
+        Printf.bprintf buf "    ))\n  )\n")
+    netlist.Netlist.instances;
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf
+
+let save path analysis =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_sdf analysis))

@@ -1,0 +1,13 @@
+(** Standard Delay Format (SDF 3.0) emission from a timing analysis.
+
+    Freezes the per-instance pin-to-pin delays of an analysis — evaluated
+    at each instance's measured input slews and output loads, exactly as
+    the event-driven simulator annotates itself — into IOPATH entries.
+    This is the "sdf files generated from the synthesis tool under the
+    targeted aging scenario" artifact of the paper's Sec. 5 setup. *)
+
+val to_sdf : Timing.analysis -> string
+(** One DELAYFILE with a CELL per instance; delays in nanoseconds with
+    (rise:rise:rise) (fall:fall:fall) triples. *)
+
+val save : string -> Timing.analysis -> unit

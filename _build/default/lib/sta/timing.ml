@@ -1,0 +1,285 @@
+module Library = Aging_liberty.Library
+module Netlist = Aging_netlist.Netlist
+
+type config = {
+  input_slew : float;
+  clock_slew : float;
+  output_load : float;
+  wire_cap_per_fanout : float;
+}
+
+let default_config =
+  {
+    input_slew = 2e-11;
+    clock_slew = 2e-11;
+    output_load = 4e-15;
+    wire_cap_per_fanout = 2e-16;
+  }
+
+type provenance_entry = (Netlist.instance * string * Library.direction) option
+
+type analysis = {
+  netlist : Netlist.t;
+  library : Library.t;
+  config : config;
+  loads : float array;
+  arr : float array array;     (* arr.(dir).(net); 0 = rise, 1 = fall *)
+  min_arr : float array array; (* earliest arrivals, for hold analysis *)
+  slews : float array array;
+  prov : provenance_entry array array;
+  endpoint_list : endpoint_timing list;
+}
+
+and endpoint =
+  | Output_port of string * Netlist.net
+  | Flipflop_d of string * Netlist.net
+
+and endpoint_timing = {
+  endpoint : endpoint;
+  data_arrival : float;
+  direction : Library.direction;
+  setup : float;
+}
+
+let dir_index = function Library.Rise -> 0 | Library.Fall -> 1
+
+let resolve_entry library (inst : Netlist.instance) =
+  match Library.find library inst.Netlist.cell_name with
+  | Some e -> Some e
+  | None -> Library.find library (Netlist.base_cell_name inst.Netlist.cell_name)
+
+let resolve_entry_exn library inst =
+  match resolve_entry library inst with
+  | Some e -> e
+  | None ->
+    failwith
+      (Printf.sprintf "Timing.analyze: cell %s not in library %s"
+         inst.Netlist.cell_name (Library.lib_name library))
+
+type structure = {
+  comb_order : int array;       (* indices into netlist.instances *)
+  ff_indices : int array;
+}
+
+let prepare_structure (netlist : Netlist.t) =
+  let index_of = Hashtbl.create (Array.length netlist.Netlist.instances) in
+  Array.iteri
+    (fun i (inst : Netlist.instance) ->
+      Hashtbl.replace index_of inst.Netlist.inst_name i)
+    netlist.Netlist.instances;
+  let comb_order =
+    Array.of_list
+      (List.map
+         (fun (inst : Netlist.instance) ->
+           Hashtbl.find index_of inst.Netlist.inst_name)
+         (Netlist.combinational_order netlist))
+  in
+  let ff_indices =
+    Array.of_list
+      (List.map
+         (fun (inst : Netlist.instance) ->
+           Hashtbl.find index_of inst.Netlist.inst_name)
+         (Netlist.flipflops netlist))
+  in
+  { comb_order; ff_indices }
+
+let compute_loads ~config ~library (netlist : Netlist.t) =
+  let loads = Array.make netlist.Netlist.n_nets 0. in
+  Array.iter
+    (fun (inst : Netlist.instance) ->
+      let entry = resolve_entry_exn library inst in
+      List.iter
+        (fun (pin, net) ->
+          let cap =
+            match Library.input_cap entry pin with
+            | cap -> cap
+            | exception Not_found ->
+              failwith
+                (Printf.sprintf "Timing.analyze: %s (%s) has no pin %s in %s"
+                   inst.Netlist.inst_name inst.Netlist.cell_name pin
+                   entry.Library.indexed_name)
+          in
+          loads.(net) <- loads.(net) +. cap +. config.wire_cap_per_fanout)
+        inst.Netlist.inputs)
+    netlist.Netlist.instances;
+  List.iter
+    (fun (_, net) -> loads.(net) <- loads.(net) +. config.output_load)
+    netlist.Netlist.output_ports;
+  loads
+
+let analyze ?(config = default_config) ?structure ~library
+    (netlist : Netlist.t) =
+  let structure =
+    match structure with Some s -> s | None -> prepare_structure netlist
+  in
+  let comb_instances =
+    Array.to_list
+      (Array.map (fun i -> netlist.Netlist.instances.(i)) structure.comb_order)
+  in
+  let ff_instances =
+    Array.to_list
+      (Array.map (fun i -> netlist.Netlist.instances.(i)) structure.ff_indices)
+  in
+  let n = netlist.Netlist.n_nets in
+  let loads = compute_loads ~config ~library netlist in
+  let arr = [| Array.make n neg_infinity; Array.make n neg_infinity |] in
+  let min_arr = [| Array.make n infinity; Array.make n infinity |] in
+  let slews = [| Array.make n config.input_slew; Array.make n config.input_slew |] in
+  let prov = [| Array.make n None; Array.make n None |] in
+  (* Start points: primary inputs at t = 0. *)
+  List.iter
+    (fun (_, net) ->
+      arr.(0).(net) <- 0.;
+      arr.(1).(net) <- 0.;
+      min_arr.(0).(net) <- 0.;
+      min_arr.(1).(net) <- 0.)
+    netlist.Netlist.input_ports;
+  (* Start points: flip-flop Q nets launch at clk->q. *)
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      let entry = resolve_entry_exn library inst in
+      List.iter
+        (fun (pin, qnet) ->
+          match Library.arc_of entry ~from_pin:"CK" ~to_pin:pin with
+          | None -> ()
+          | Some arc ->
+            List.iter
+              (fun dir ->
+                let i = dir_index dir in
+                let delay =
+                  Library.delay_of arc ~dir ~slew:config.clock_slew
+                    ~load:loads.(qnet)
+                in
+                let out_slew =
+                  Library.out_slew_of arc ~dir ~slew:config.clock_slew
+                    ~load:loads.(qnet)
+                in
+                if delay > arr.(i).(qnet) then begin
+                  arr.(i).(qnet) <- delay;
+                  slews.(i).(qnet) <- out_slew
+                end;
+                if delay < min_arr.(i).(qnet) then min_arr.(i).(qnet) <- delay)
+              [ Library.Rise; Library.Fall ])
+        inst.Netlist.outputs)
+    ff_instances;
+  (* Propagate through combinational logic in topological order. *)
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      let entry = resolve_entry_exn library inst in
+      List.iter
+        (fun (arc : Library.arc) ->
+          match
+            ( List.assoc_opt arc.Library.from_pin inst.Netlist.inputs,
+              List.assoc_opt arc.Library.to_pin inst.Netlist.outputs )
+          with
+          | Some in_net, Some out_net ->
+            List.iter
+              (fun in_dir ->
+                let ii = dir_index in_dir in
+                let a_in = arr.(ii).(in_net) in
+                if a_in > neg_infinity then begin
+                  let out_dir = Library.out_direction arc ~in_dir in
+                  let oi = dir_index out_dir in
+                  let slew_in = slews.(ii).(in_net) in
+                  let load = loads.(out_net) in
+                  let delay =
+                    Library.delay_of arc ~dir:out_dir ~slew:slew_in ~load
+                  in
+                  let a_out = a_in +. delay in
+                  if a_out > arr.(oi).(out_net) then begin
+                    arr.(oi).(out_net) <- a_out;
+                    slews.(oi).(out_net) <-
+                      Library.out_slew_of arc ~dir:out_dir ~slew:slew_in ~load;
+                    prov.(oi).(out_net) <-
+                      Some (inst, arc.Library.from_pin, in_dir)
+                  end;
+                  let early_in = min_arr.(ii).(in_net) in
+                  if early_in < infinity then begin
+                    let early = early_in +. delay in
+                    if early < min_arr.(oi).(out_net) then
+                      min_arr.(oi).(out_net) <- early
+                  end
+                end)
+              [ Library.Rise; Library.Fall ]
+          | None, _ | _, None -> ())
+        entry.Library.arcs)
+    comb_instances;
+  (* Collect endpoints. *)
+  let worst_edge net =
+    if arr.(0).(net) >= arr.(1).(net) then (arr.(0).(net), Library.Rise)
+    else (arr.(1).(net), Library.Fall)
+  in
+  let po_endpoints =
+    List.map
+      (fun (name, net) ->
+        let data_arrival, direction = worst_edge net in
+        { endpoint = Output_port (name, net); data_arrival; direction; setup = 0. })
+      netlist.Netlist.output_ports
+  in
+  let ff_endpoints =
+    List.filter_map
+      (fun (inst : Netlist.instance) ->
+        match List.assoc_opt "D" inst.Netlist.inputs with
+        | None -> None
+        | Some dnet ->
+          let entry = resolve_entry_exn library inst in
+          let data_arrival, direction = worst_edge dnet in
+          Some
+            {
+              endpoint = Flipflop_d (inst.Netlist.inst_name, dnet);
+              data_arrival;
+              direction;
+              setup = entry.Library.setup_time;
+            })
+      ff_instances
+  in
+  let endpoint_list =
+    List.sort
+      (fun a b ->
+        compare (b.data_arrival +. b.setup) (a.data_arrival +. a.setup))
+      (po_endpoints @ ff_endpoints)
+  in
+  { netlist; library; config; loads; arr; min_arr; slews; prov; endpoint_list }
+
+let netlist t = t.netlist
+let library t = t.library
+let config t = t.config
+let arrival t net dir = t.arr.(dir_index dir).(net)
+let min_arrival t net dir = t.min_arr.(dir_index dir).(net)
+
+(* A simple constant hold requirement per flip-flop: a fraction of its
+   setup window (transmission-gate flip-flops hold briefly after the
+   edge). *)
+let hold_fraction = 0.4
+
+let hold_slacks t =
+  List.filter_map
+    (fun (inst : Netlist.instance) ->
+      match List.assoc_opt "D" inst.Netlist.inputs with
+      | None -> None
+      | Some dnet ->
+        let entry = resolve_entry_exn t.library inst in
+        let earliest =
+          Float.min
+            (min_arrival t dnet Library.Rise)
+            (min_arrival t dnet Library.Fall)
+        in
+        if earliest = infinity then None
+        else
+          let hold = hold_fraction *. entry.Library.setup_time in
+          Some (inst.Netlist.inst_name, earliest -. hold))
+    (Netlist.flipflops t.netlist)
+
+let worst_hold_slack t =
+  List.fold_left (fun acc (_, slack) -> Float.min acc slack) infinity
+    (hold_slacks t)
+let slew_at t net dir = t.slews.(dir_index dir).(net)
+let load_on t net = t.loads.(net)
+let endpoints t = t.endpoint_list
+
+let min_period t =
+  match t.endpoint_list with
+  | [] -> 0.
+  | worst :: _ -> worst.data_arrival +. worst.setup
+
+let provenance t net dir = t.prov.(dir_index dir).(net)

@@ -1,0 +1,1 @@
+lib/synth/buffering.ml: Aging_netlist Array Hashtbl List Printf

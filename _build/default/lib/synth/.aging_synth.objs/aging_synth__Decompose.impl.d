@@ -1,0 +1,1 @@
+lib/synth/decompose.ml: Aging_cells Aging_netlist Hashtbl List Subject

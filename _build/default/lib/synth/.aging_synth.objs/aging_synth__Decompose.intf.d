@@ -1,0 +1,1 @@
+lib/synth/decompose.mli: Aging_netlist Subject

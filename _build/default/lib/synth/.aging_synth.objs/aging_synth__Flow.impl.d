@@ -1,0 +1,1 @@
+lib/synth/flow.ml: Aging_liberty Aging_netlist Aging_sta Array Buffering Decompose Float Mapper Sizing Slew_repair

@@ -1,0 +1,1 @@
+lib/synth/flow.mli: Aging_liberty Aging_netlist Aging_sta Mapper

@@ -1,0 +1,1 @@
+lib/synth/mapper.ml: Aging_cells Aging_liberty Aging_netlist Array Decompose Float Hashtbl List Option String Subject

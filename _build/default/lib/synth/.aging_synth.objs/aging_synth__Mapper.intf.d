@@ -1,0 +1,1 @@
+lib/synth/mapper.mli: Aging_liberty Aging_netlist Decompose Subject

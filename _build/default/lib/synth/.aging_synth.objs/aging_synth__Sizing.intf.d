@@ -1,0 +1,1 @@
+lib/synth/sizing.mli: Aging_liberty Aging_netlist Aging_sta

@@ -1,0 +1,1 @@
+lib/synth/slew_repair.ml: Aging_cells Aging_liberty Aging_netlist Aging_sta Array Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/synth/slew_repair.mli: Aging_liberty Aging_netlist Aging_sta

@@ -1,0 +1,1 @@
+lib/synth/subject.ml: Array Hashtbl List

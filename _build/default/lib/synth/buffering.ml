@@ -1,0 +1,86 @@
+module Netlist = Aging_netlist.Netlist
+
+let chunks k xs =
+  let rec go current count acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if count = k then go [ x ] 1 (List.rev current :: acc) rest
+      else go (x :: current) (count + 1) acc rest
+  in
+  go [] 0 [] xs
+
+let buffer_fanout ?(max_fanout = 8) ?(buf_cell = "BUF_X4") (t : Netlist.t) =
+  let next_inst = ref 0 in
+  let fresh_name () =
+    incr next_inst;
+    Printf.sprintf "FBUF%d" !next_inst
+  in
+  let rec pass (t : Netlist.t) =
+    (* Consumers per net: (instance index, pin). *)
+    let readers = Array.make t.Netlist.n_nets [] in
+    Array.iteri
+      (fun idx (inst : Netlist.instance) ->
+        List.iter
+          (fun (pin, net) -> readers.(net) <- (idx, pin) :: readers.(net))
+          inst.Netlist.inputs)
+      t.Netlist.instances;
+    let is_clock net = t.Netlist.clock = Some net in
+    let offender = ref None in
+    Array.iteri
+      (fun net consumers ->
+        if
+          !offender = None
+          && (not (is_clock net))
+          && List.length consumers > max_fanout
+        then offender := Some (net, List.rev consumers))
+      readers;
+    match !offender with
+    | None -> t
+    | Some (net, consumers) ->
+      (* Buffer every consumer group: the offending net then only drives
+         the buffers, so the per-pass fanout strictly shrinks and wide nets
+         converge to a buffer tree. *)
+      let to_buffer = chunks max_fanout consumers in
+      let n_nets = ref t.Netlist.n_nets in
+      let rewires = Hashtbl.create 16 in
+      let new_instances = ref [] in
+      List.iter
+        (fun group ->
+          let buf_net = !n_nets in
+          incr n_nets;
+          new_instances :=
+            {
+              Netlist.inst_name = fresh_name ();
+              cell_name = buf_cell;
+              inputs = [ ("A", net) ];
+              outputs = [ ("Y", buf_net) ];
+            }
+            :: !new_instances;
+          List.iter
+            (fun (idx, pin) -> Hashtbl.replace rewires (idx, pin) buf_net)
+            group)
+        to_buffer;
+      let instances =
+        Array.mapi
+          (fun idx (inst : Netlist.instance) ->
+            {
+              inst with
+              Netlist.inputs =
+                List.map
+                  (fun (pin, n) ->
+                    match Hashtbl.find_opt rewires (idx, pin) with
+                    | Some n' -> (pin, n')
+                    | None -> (pin, n))
+                  inst.Netlist.inputs;
+            })
+          t.Netlist.instances
+      in
+      pass
+        {
+          t with
+          Netlist.n_nets = !n_nets;
+          instances =
+            Array.append instances (Array.of_list (List.rev !new_instances));
+        }
+  in
+  pass t

@@ -1,0 +1,10 @@
+(** High-fanout net buffering.
+
+    Nets driving more than [max_fanout] input pins are split by inserting
+    buffer cells, one per group of consumers (repeatedly, so very wide nets
+    get a buffer tree).  The clock net is left untouched (ideal clock). *)
+
+val buffer_fanout :
+  ?max_fanout:int -> ?buf_cell:string -> Aging_netlist.Netlist.t ->
+  Aging_netlist.Netlist.t
+(** Defaults: [max_fanout = 8], [buf_cell = "BUF_X4"]. *)

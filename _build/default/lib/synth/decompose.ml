@@ -1,0 +1,109 @@
+module Netlist = Aging_netlist.Netlist
+module Cell = Aging_cells.Cell
+
+let arity_fail base = failwith ("Decompose: arity mismatch for " ^ base)
+
+let and_all g = function
+  | [] -> failwith "Decompose: empty conjunction"
+  | x :: rest -> List.fold_left (Subject.and2 g) x rest
+
+let or_all g = function
+  | [] -> failwith "Decompose: empty disjunction"
+  | x :: rest -> List.fold_left (Subject.or2 g) x rest
+
+let cell_outputs g ~base inputs =
+  match (base, inputs) with
+  | "TIELO", [] -> [ Subject.constant g false ]
+  | "TIEHI", [] -> [ Subject.constant g true ]
+  | "INV", [ a ] -> [ Subject.inv g a ]
+  | "BUF", [ a ] -> [ Subject.inv g (Subject.inv g a) ]
+  | ("NAND2" | "NAND3" | "NAND4"), (_ :: _ :: _ as ins) ->
+    [ Subject.inv g (and_all g ins) ]
+  | ("NOR2" | "NOR3" | "NOR4"), (_ :: _ :: _ as ins) ->
+    [ Subject.inv g (or_all g ins) ]
+  | ("AND2" | "AND3" | "AND4"), (_ :: _ :: _ as ins) -> [ and_all g ins ]
+  | ("OR2" | "OR3" | "OR4"), (_ :: _ :: _ as ins) -> [ or_all g ins ]
+  | "AOI21", [ a1; a2; b ] ->
+    [ Subject.inv g (Subject.or2 g (Subject.and2 g a1 a2) b) ]
+  | "AOI22", [ a1; a2; b1; b2 ] ->
+    [ Subject.inv g (Subject.or2 g (Subject.and2 g a1 a2) (Subject.and2 g b1 b2)) ]
+  | "OAI21", [ a1; a2; b ] ->
+    [ Subject.inv g (Subject.and2 g (Subject.or2 g a1 a2) b) ]
+  | "OAI22", [ a1; a2; b1; b2 ] ->
+    [ Subject.inv g (Subject.and2 g (Subject.or2 g a1 a2) (Subject.or2 g b1 b2)) ]
+  | "AOI211", [ a1; a2; b; c ] ->
+    [ Subject.inv g (or_all g [ Subject.and2 g a1 a2; b; c ]) ]
+  | "OAI211", [ a1; a2; b; c ] ->
+    [ Subject.inv g (and_all g [ Subject.or2 g a1 a2; b; c ]) ]
+  | "XOR2", [ a; b ] -> [ Subject.xor2 g a b ]
+  | "XNOR2", [ a; b ] -> [ Subject.inv g (Subject.xor2 g a b) ]
+  | "MUX2", [ a; b; s ] -> [ Subject.mux g ~sel:s ~a0:a ~a1:b ]
+  | "MUXI2", [ a; b; s ] -> [ Subject.inv g (Subject.mux g ~sel:s ~a0:a ~a1:b) ]
+  | "FA", [ a; b; ci ] ->
+    let ab = Subject.and2 g a b in
+    let a_or_b = Subject.or2 g a b in
+    let co = Subject.or2 g ab (Subject.and2 g ci a_or_b) in
+    let sum = Subject.xor2 g (Subject.xor2 g a b) ci in
+    [ co; sum ]
+  | "HA", [ a; b ] -> [ Subject.and2 g a b; Subject.xor2 g a b ]
+  | ( ( "TIELO" | "TIEHI"
+      | "INV" | "BUF" | "NAND2" | "NAND3" | "NAND4" | "NOR2" | "NOR3" | "NOR4"
+      | "AND2" | "AND3" | "AND4" | "OR2" | "OR3" | "OR4" | "AOI21" | "AOI22"
+      | "OAI21" | "OAI22" | "AOI211" | "OAI211" | "XOR2" | "XNOR2" | "MUX2"
+      | "MUXI2" | "FA" | "HA" ),
+      _ ) ->
+    arity_fail base
+  | base, _ -> failwith ("Decompose: unknown cell family " ^ base)
+
+type boundaries = { ff_cells : (string * string) list }
+
+let of_netlist (netlist : Netlist.t) =
+  let g = Subject.create () in
+  let net_node = Hashtbl.create (netlist.Netlist.n_nets * 2) in
+  List.iter
+    (fun (port, net) ->
+      Hashtbl.replace net_node net (Subject.source g ("in:" ^ port)))
+    netlist.Netlist.input_ports;
+  let ffs = Netlist.flipflops netlist in
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      List.iter
+        (fun (_, qnet) ->
+          Hashtbl.replace net_node qnet
+            (Subject.source g ("ffq:" ^ inst.Netlist.inst_name)))
+        inst.Netlist.outputs)
+    ffs;
+  let node_of net =
+    match Hashtbl.find_opt net_node net with
+    | Some n -> n
+    | None -> failwith "Decompose: net read before being driven"
+  in
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      let cell = Netlist.catalog_cell inst in
+      let input_nodes = List.map (fun (_, n) -> node_of n) inst.Netlist.inputs in
+      let outs = cell_outputs g ~base:cell.Cell.base input_nodes in
+      List.iter2
+        (fun (_, net) out_node -> Hashtbl.replace net_node net out_node)
+        inst.Netlist.outputs outs)
+    (Netlist.combinational_order netlist);
+  List.iter
+    (fun (port, net) -> Subject.set_output g ("out:" ^ port) (node_of net))
+    netlist.Netlist.output_ports;
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      match List.assoc_opt "D" inst.Netlist.inputs with
+      | Some dnet ->
+        Subject.set_output g ("ffd:" ^ inst.Netlist.inst_name) (node_of dnet)
+      | None -> failwith "Decompose: flip-flop without D pin")
+    ffs;
+  let boundaries =
+    {
+      ff_cells =
+        List.map
+          (fun (inst : Netlist.instance) ->
+            (inst.Netlist.inst_name, Netlist.base_cell_name inst.Netlist.cell_name))
+          ffs;
+    }
+  in
+  (g, boundaries)

@@ -1,0 +1,25 @@
+(** Technology decomposition: gate-level netlist -> subject graph.
+
+    Every combinational catalog cell family has a structural NAND2/INV
+    decomposition; flip-flops become sequential boundaries (their Q pins are
+    subject sources named ["ffq:<instance>"], their D pins subject outputs
+    named ["ffd:<instance>"]).  The same per-family decompositions drive
+    pattern generation in {!Mapper}, so the mapper can always recover at
+    least the original cells. *)
+
+val cell_outputs :
+  Subject.t -> base:string -> Subject.id list -> Subject.id list
+(** [cell_outputs g ~base inputs] builds the decomposition of one cell
+    family over the given input nodes and returns its output nodes (in cell
+    pin order).  [base] is a family name with drive suffix stripped, e.g.
+    ["NAND3"].
+    @raise Failure on an unknown family or arity mismatch. *)
+
+type boundaries = {
+  ff_cells : (string * string) list;
+      (** flip-flop instance name -> cell name, for reconstruction *)
+}
+
+val of_netlist : Aging_netlist.Netlist.t -> Subject.t * boundaries
+(** Decomposes a netlist.  Subject sources are ["in:<port>"] and
+    ["ffq:<instance>"]; outputs are ["out:<port>"] and ["ffd:<instance>"]. *)

@@ -1,0 +1,90 @@
+module Netlist = Aging_netlist.Netlist
+module Timing = Aging_sta.Timing
+
+type options = {
+  estimates : Mapper.estimate_config;
+  sta_config : Timing.config;
+  sizing_passes : int;
+  max_fanout : int;
+  map_rounds : int;
+  repair_slew : float option;
+}
+
+let default_options =
+  {
+    estimates = Mapper.default_estimates;
+    sta_config = Timing.default_config;
+    sizing_passes = 12;
+    max_fanout = 16;
+    map_rounds = 2;
+    repair_slew = Some 2.5e-10;
+  }
+
+let compile ?(options = default_options) ~library (netlist : Netlist.t) =
+  let subject, boundaries = Decompose.of_netlist netlist in
+  let clock_name = "clk" in
+  let one_round hints =
+    let mapped =
+      Mapper.map ~estimates:options.estimates ?hints ~library
+        ~design_name:netlist.Netlist.design_name ~clock_name subject boundaries
+    in
+    let buffered =
+      Buffering.buffer_fanout ~max_fanout:options.max_fanout
+        mapped.Mapper.netlist
+    in
+    let swept =
+      Sizing.variant_sweep ~config:options.sta_config ~library buffered
+    in
+    let sized =
+      Sizing.resize ~passes:options.sizing_passes ~config:options.sta_config
+        ~library swept
+    in
+    let repaired =
+      match options.repair_slew with
+      | None -> sized
+      | Some slew_limit ->
+        Slew_repair.repair ~slew_limit ~config:options.sta_config ~library sized
+    in
+    (repaired, mapped.Mapper.net_of_node)
+  in
+  (* Round 1 maps with static operating-condition estimates; later rounds
+     re-map at the slews/loads measured on the previous implementation, so
+     covering decisions are taken at real OPCs — where a degradation-aware
+     library separates aging-tolerant from aging-sensitive cells. *)
+  let extract_hints sized net_of_node =
+    let analysis = Timing.analyze ~config:options.sta_config ~library sized in
+    let n = Array.length net_of_node in
+    let node_slew = Array.make n 0. and node_load = Array.make n 0. in
+    Array.iteri
+      (fun id net ->
+        match net with
+        | None -> ()
+        | Some net ->
+          node_slew.(id) <-
+            Float.max
+              (Timing.slew_at analysis net Aging_liberty.Library.Rise)
+              (Timing.slew_at analysis net Aging_liberty.Library.Fall);
+          node_load.(id) <- Timing.load_on analysis net)
+      net_of_node;
+    { Mapper.node_slew; node_load }
+  in
+  let rec rounds remaining best best_period hints =
+    if remaining = 0 then best
+    else begin
+      let sized, net_of_node = one_round hints in
+      let period =
+        Timing.min_period (Timing.analyze ~config:options.sta_config ~library sized)
+      in
+      let best, best_period =
+        if period < best_period then (sized, period) else (best, best_period)
+      in
+      if remaining = 1 then best
+      else rounds (remaining - 1) best best_period
+             (Some (extract_hints sized net_of_node))
+    end
+  in
+  rounds (max 1 options.map_rounds) netlist infinity None
+
+let min_period ?config ~library netlist =
+  Timing.min_period (Timing.analyze ?config ~library netlist)
+

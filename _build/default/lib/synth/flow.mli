@@ -1,0 +1,39 @@
+(** The complete synthesis flow (the stand-in for Design Compiler's
+    [compile_ultra] with performance objective).
+
+    [compile] runs: technology decomposition -> delay-oriented mapping
+    against the target library -> high-fanout buffering -> greedy
+    drive-strength sizing.  The target library is the only aging-related
+    input: synthesizing with the degradation-aware (worst-case) library
+    yields the paper's aging-optimized netlists, synthesizing with the
+    initial library yields the traditional baseline (Sec. 4.3). *)
+
+type options = {
+  estimates : Mapper.estimate_config;
+  sta_config : Aging_sta.Timing.config;
+  sizing_passes : int;
+  max_fanout : int;
+  map_rounds : int;
+      (** mapping rounds; rounds after the first re-map at the measured
+          slews/loads of the previous implementation *)
+  repair_slew : float option;
+      (** max-transition limit handed to {!Slew_repair} (None disables) *)
+}
+
+val default_options : options
+
+val compile :
+  ?options:options ->
+  library:Aging_liberty.Library.t ->
+  Aging_netlist.Netlist.t ->
+  Aging_netlist.Netlist.t
+(** Re-synthesizes the netlist against [library].  The result is
+    functionally equivalent to the input (same ports, same flip-flop
+    instances). *)
+
+val min_period :
+  ?config:Aging_sta.Timing.config ->
+  library:Aging_liberty.Library.t ->
+  Aging_netlist.Netlist.t ->
+  float
+(** Convenience: critical period of a netlist under a library. *)

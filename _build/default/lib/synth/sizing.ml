@@ -1,0 +1,186 @@
+module Library = Aging_liberty.Library
+module Netlist = Aging_netlist.Netlist
+module Cell = Aging_cells.Cell
+module Timing = Aging_sta.Timing
+module Paths = Aging_sta.Paths
+
+let family_variants library base =
+  List.filter
+    (fun (e : Library.entry) -> e.Library.cell.Cell.base = base)
+    (Library.entries library)
+
+let swap_cell netlist ~inst_name ~cell_name =
+  Netlist.rename_cells
+    (fun inst ->
+      if inst.Netlist.inst_name = inst_name then cell_name
+      else inst.Netlist.cell_name)
+    netlist
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+(* Objective: worst endpoint first, then the total lateness of all
+   endpoints inside a near-critical window below it.  The second component
+   lets the optimizer fix parallel near-critical paths even when no single
+   move improves the global period. *)
+type cost = { period : float; lateness : float }
+
+let eps = 1e-14
+
+let cost_of ~threshold analysis =
+  let period = Timing.min_period analysis in
+  let lateness =
+    List.fold_left
+      (fun acc (e : Timing.endpoint_timing) ->
+        let total = e.Timing.data_arrival +. e.Timing.setup in
+        acc +. Float.max 0. (total -. threshold))
+      0. (Timing.endpoints analysis)
+  in
+  { period; lateness }
+
+let better a b =
+  a.period < b.period -. eps
+  || (a.period < b.period +. eps && a.lateness < b.lateness -. eps)
+
+let resize ?(passes = 10) ?(max_trials = 250) ?config ~library netlist =
+  (* Cell swaps preserve connectivity, so the topological structure is
+     computed once for the whole optimization. *)
+  let structure = Timing.prepare_structure netlist in
+  let analyze nl = Timing.analyze ?config ~structure ~library nl in
+  let trials = ref 0 in
+  let one_pass nl =
+    let analysis = analyze nl in
+    let base_period = Timing.min_period analysis in
+    (* Near-critical window: endpoints within 5 % of the worst. *)
+    let threshold = base_period *. 0.95 in
+    let base_cost = cost_of ~threshold analysis in
+    let paths = take 8 (Paths.per_endpoint analysis) in
+    let candidates =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (p : Paths.t) ->
+             List.map
+               (fun (s : Paths.step) ->
+                 ( s.Paths.inst.Netlist.inst_name,
+                   (Netlist.catalog_cell s.Paths.inst).Cell.base ))
+               p.Paths.steps)
+           paths)
+    in
+    let try_instance (nl, current_cost) (inst_name, base) =
+      if !trials >= max_trials then (nl, current_cost)
+      else
+      let current =
+        let found = ref None in
+        Array.iter
+          (fun (inst : Netlist.instance) ->
+            if inst.Netlist.inst_name = inst_name then
+              found := Some inst.Netlist.cell_name)
+          nl.Netlist.instances;
+        !found
+      in
+      match current with
+      | None -> (nl, current_cost)
+      | Some current_cell ->
+        List.fold_left
+          (fun (nl, current_cost) (variant : Library.entry) ->
+            if variant.Library.indexed_name = current_cell then
+              (nl, current_cost)
+            else begin
+              let candidate =
+                swap_cell nl ~inst_name ~cell_name:variant.Library.indexed_name
+              in
+              incr trials;
+              let c = cost_of ~threshold (analyze candidate) in
+              if better c current_cost then (candidate, c)
+              else (nl, current_cost)
+            end)
+          (nl, current_cost) (family_variants library base)
+    in
+    let nl', cost' = List.fold_left try_instance (nl, base_cost) candidates in
+    (nl', better cost' base_cost)
+  in
+  let rec loop nl remaining =
+    if remaining = 0 || !trials >= max_trials then nl
+    else begin
+      trials := 0;
+      let nl', improved = one_pass nl in
+      if improved then loop nl' (remaining - 1) else nl'
+    end
+  in
+  loop netlist passes
+
+(* ----------------------- global variant sweep ----------------------- *)
+
+let worst_arc_delay (entry : Library.entry) ~slew ~load =
+  List.fold_left
+    (fun acc (a : Library.arc) ->
+      let d =
+        Float.max
+          (Library.delay_of a ~dir:Library.Rise ~slew ~load)
+          (Library.delay_of a ~dir:Library.Fall ~slew ~load)
+      in
+      Float.max acc d)
+    neg_infinity entry.Library.arcs
+
+let total_input_cap (entry : Library.entry) =
+  List.fold_left (fun acc (_, c) -> acc +. c) 0. entry.Library.pin_caps
+
+(* Cost of presenting a bigger pin to the (unknown) upstream driver. *)
+let upstream_resistance_estimate = 3e3
+
+let variant_sweep ?(rounds = 3) ?config ~library netlist =
+  let structure = Timing.prepare_structure netlist in
+  let one_round nl =
+    let analysis = Timing.analyze ?config ~structure ~library nl in
+    let base_period = Timing.min_period analysis in
+    let choose (inst : Netlist.instance) =
+      let cell = Netlist.catalog_cell inst in
+      if cell.Cell.kind <> Cell.Combinational || inst.Netlist.inputs = [] then
+        inst.Netlist.cell_name
+      else begin
+        let slew =
+          List.fold_left
+            (fun acc (_, net) ->
+              Float.max acc
+                (Float.max
+                   (Timing.slew_at analysis net Library.Rise)
+                   (Timing.slew_at analysis net Library.Fall)))
+            0. inst.Netlist.inputs
+        in
+        let load =
+          List.fold_left
+            (fun acc (_, net) -> Float.max acc (Timing.load_on analysis net))
+            0. inst.Netlist.outputs
+        in
+        let score (e : Library.entry) =
+          worst_arc_delay e ~slew ~load
+          +. (upstream_resistance_estimate *. total_input_cap e)
+        in
+        let variants = family_variants library cell.Cell.base in
+        match variants with
+        | [] -> inst.Netlist.cell_name
+        | first :: rest ->
+          let best =
+            List.fold_left
+              (fun best e -> if score e < score best then e else best)
+              first rest
+          in
+          best.Library.indexed_name
+      end
+    in
+    let swept = Netlist.rename_cells choose nl in
+    let new_period =
+      Timing.min_period (Timing.analyze ?config ~structure ~library swept)
+    in
+    if new_period < base_period +. eps then (swept, new_period < base_period -. eps)
+    else (nl, false)
+  in
+  let rec loop nl remaining =
+    if remaining = 0 then nl
+    else begin
+      let nl', improved = one_round nl in
+      if improved then loop nl' (remaining - 1) else nl'
+    end
+  in
+  loop netlist rounds

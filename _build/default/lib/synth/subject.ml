@@ -1,0 +1,147 @@
+type id = int
+
+type node = Source of string | Const of bool | Nand of id * id | Inv of id
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  hash : (node, id) Hashtbl.t;
+  source_ids : (string, id) Hashtbl.t;
+  mutable rev_outputs : (string * id) list;
+}
+
+let create () =
+  {
+    nodes = Array.make 1024 (Const false);
+    n = 0;
+    hash = Hashtbl.create 1024;
+    source_ids = Hashtbl.create 64;
+    rev_outputs = [];
+  }
+
+let node t i =
+  if i < 0 || i >= t.n then invalid_arg "Subject.node: bad id";
+  t.nodes.(i)
+
+let size t = t.n
+
+let push t nd =
+  if t.n = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n) (Const false) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.n) <- nd;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let hashed t nd =
+  match Hashtbl.find_opt t.hash nd with
+  | Some i -> i
+  | None ->
+    let i = push t nd in
+    Hashtbl.replace t.hash nd i;
+    i
+
+let source t name =
+  match Hashtbl.find_opt t.source_ids name with
+  | Some i -> i
+  | None ->
+    let i = push t (Source name) in
+    Hashtbl.replace t.source_ids name i;
+    i
+
+let constant t b = hashed t (Const b)
+
+let rec inv t x =
+  match node t x with
+  | Const b -> constant t (not b)
+  | Inv y -> y
+  | Source _ | Nand _ -> hashed t (Inv x)
+
+and nand t a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  match (node t a, node t b) with
+  | Const false, _ | _, Const false -> constant t true
+  | Const true, _ -> inv t b
+  | _, Const true -> inv t a
+  | (Source _ | Nand _ | Inv _), _ when a = b -> inv t a
+  | (Source _ | Nand _ | Inv _), (Source _ | Nand _ | Inv _) ->
+    hashed t (Nand (a, b))
+
+let and2 t a b = inv t (nand t a b)
+let or2 t a b = nand t (inv t a) (inv t b)
+
+let xor2 t a b =
+  let nab = nand t a b in
+  nand t (nand t a nab) (nand t b nab)
+
+let mux t ~sel ~a0 ~a1 =
+  nand t (nand t a0 (inv t sel)) (nand t a1 sel)
+
+let set_output t name i = t.rev_outputs <- (name, i) :: t.rev_outputs
+
+let outputs t = List.rev t.rev_outputs
+
+let sources t =
+  Hashtbl.fold (fun name i acc -> (name, i) :: acc) t.source_ids []
+  |> List.sort compare
+
+let live t =
+  let seen = Array.make t.n false in
+  let rec mark i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      match t.nodes.(i) with
+      | Source _ | Const _ -> ()
+      | Inv a -> mark a
+      | Nand (a, b) ->
+        mark a;
+        mark b
+    end
+  in
+  List.iter (fun (_, i) -> mark i) t.rev_outputs;
+  seen
+
+let fanout_counts t =
+  let counts = Array.make t.n 0 in
+  let seen = live t in
+  for i = 0 to t.n - 1 do
+    if seen.(i) then begin
+      match t.nodes.(i) with
+      | Source _ | Const _ -> ()
+      | Inv a -> counts.(a) <- counts.(a) + 1
+      | Nand (a, b) ->
+        counts.(a) <- counts.(a) + 1;
+        counts.(b) <- counts.(b) + 1
+    end
+  done;
+  List.iter (fun (_, i) -> counts.(i) <- counts.(i) + 1) t.rev_outputs;
+  counts
+
+let topological t =
+  (* Ids are created children-first, so ascending id order is topological;
+     keep only live nodes. *)
+  let seen = live t in
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if seen.(i) then i :: acc else acc)
+  in
+  collect (t.n - 1) []
+
+let eval t env root =
+  let memo = Hashtbl.create 64 in
+  let rec go i =
+    match Hashtbl.find_opt memo i with
+    | Some v -> v
+    | None ->
+      let v =
+        match node t i with
+        | Source name -> env name
+        | Const b -> b
+        | Inv a -> not (go a)
+        | Nand (a, b) -> not (go a && go b)
+      in
+      Hashtbl.replace memo i v;
+      v
+  in
+  go root

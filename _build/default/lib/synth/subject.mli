@@ -1,0 +1,52 @@
+(** Technology-independent subject graph (NAND2/INV form).
+
+    Logic is decomposed into 2-input NANDs and inverters with structural
+    hashing (common-subexpression elimination) and local simplification;
+    technology mapping then covers this graph with library cells.  Sources
+    are named: primary inputs and flip-flop Q pins. *)
+
+type t
+type id = int
+
+type node =
+  | Source of string
+  | Const of bool
+  | Nand of id * id
+  | Inv of id
+
+val create : unit -> t
+
+val source : t -> string -> id
+(** Returns the existing node when the name was already declared. *)
+
+val constant : t -> bool -> id
+
+val nand : t -> id -> id -> id
+(** Structurally hashed; simplifies [nand x x = inv x] and constant
+    operands. *)
+
+val inv : t -> id -> id
+(** Simplifies double inversion and constants. *)
+
+val and2 : t -> id -> id -> id
+val or2 : t -> id -> id -> id
+val xor2 : t -> id -> id -> id
+val mux : t -> sel:id -> a0:id -> a1:id -> id
+(** [mux ~sel ~a0 ~a1] is [a0] when [sel] is false. *)
+
+val set_output : t -> string -> id -> unit
+(** Registers a named output (primary output or flip-flop D). *)
+
+val node : t -> id -> node
+val size : t -> int
+val outputs : t -> (string * id) list
+val sources : t -> (string * id) list
+
+val fanout_counts : t -> int array
+(** Structural fanout of every node (outputs add one). *)
+
+val topological : t -> id list
+(** All live nodes (reachable from outputs), sources first. *)
+
+val eval : t -> (string -> bool) -> id -> bool
+(** Evaluates a node under a source assignment (memoised per call). *)

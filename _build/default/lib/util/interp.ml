@@ -1,0 +1,42 @@
+let monotone_increasing a =
+  let rec ok i = i >= Array.length a - 1 || (a.(i) < a.(i + 1) && ok (i + 1)) in
+  ok 0
+
+let bracket axis x =
+  let n = Array.length axis in
+  if n < 2 then invalid_arg "Interp.bracket: axis needs >= 2 points";
+  (* Binary search for the segment containing x, clamped to the grid. *)
+  if x <= axis.(0) then 0
+  else if x >= axis.(n - 1) then n - 2
+  else begin
+    let rec go lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if axis.(mid) <= x then go mid hi else go lo mid
+    in
+    let i = go 0 (n - 1) in
+    if not (axis.(i) < axis.(i + 1)) then
+      invalid_arg "Interp.bracket: axis not strictly increasing";
+    i
+  end
+
+let linear xs ys x =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Interp.linear: length mismatch";
+  let i = bracket xs x in
+  let x0 = xs.(i) and x1 = xs.(i + 1) in
+  let t = (x -. x0) /. (x1 -. x0) in
+  ys.(i) +. (t *. (ys.(i + 1) -. ys.(i)))
+
+let bilinear ~rows ~cols z r c =
+  let i = bracket rows r and j = bracket cols c in
+  let r0 = rows.(i) and r1 = rows.(i + 1) in
+  let c0 = cols.(j) and c1 = cols.(j + 1) in
+  let tr = (r -. r0) /. (r1 -. r0) in
+  let tc = (c -. c0) /. (c1 -. c0) in
+  let z00 = z.(i).(j) and z01 = z.(i).(j + 1) in
+  let z10 = z.(i + 1).(j) and z11 = z.(i + 1).(j + 1) in
+  let lo = z00 +. (tc *. (z01 -. z00)) in
+  let hi = z10 +. (tc *. (z11 -. z10)) in
+  lo +. (tr *. (hi -. lo))

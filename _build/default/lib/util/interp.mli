@@ -1,0 +1,28 @@
+(** Piecewise-linear interpolation on monotone grids.
+
+    These are the lookup primitives behind NLDM delay/slew tables: 1-D linear
+    interpolation and 2-D bilinear interpolation over rectangular grids with
+    strictly increasing axes.  Queries outside the grid are linearly
+    extrapolated from the outermost segment, matching the behaviour of
+    industrial timing tools on out-of-range slew/load values. *)
+
+val bracket : float array -> float -> int
+(** [bracket axis x] returns the index [i] such that the segment
+    [axis.(i), axis.(i+1)] is used to interpolate at [x].  For [x] below
+    (resp. above) the grid the first (resp. last) segment index is returned.
+    @raise Invalid_argument if [axis] has fewer than 2 points or is not
+    strictly increasing at the chosen segment. *)
+
+val linear : float array -> float array -> float -> float
+(** [linear xs ys x] interpolates [ys] over grid [xs] at [x], extrapolating
+    linearly beyond the ends.  [Array.length xs = Array.length ys >= 2]. *)
+
+val bilinear :
+  rows:float array -> cols:float array -> float array array ->
+  float -> float -> float
+(** [bilinear ~rows ~cols z r c] bilinearly interpolates the matrix [z]
+    (indexed [z.(row).(col)]) at coordinates [(r, c)], extrapolating beyond
+    the grid edges. *)
+
+val monotone_increasing : float array -> bool
+(** [monotone_increasing a] is [true] iff [a] is strictly increasing. *)

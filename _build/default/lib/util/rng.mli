@@ -1,0 +1,27 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every stochastic piece of the reproduction (workload stimuli, synthetic
+    images, property-test inputs that are not driven by qcheck) draws from
+    this generator so that experiments are bit-reproducible across runs. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val split : t -> t
+(** [split t] derives an independent generator stream and advances [t]. *)

@@ -1,0 +1,78 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty sample")
+  | _ :: _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  require_nonempty "Stats.stddev" xs;
+  let m = mean xs in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+    /. float_of_int (List.length xs)
+  in
+  sqrt var
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (infinity, neg_infinity) xs
+
+let percentile p xs =
+  require_nonempty "Stats.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let i = int_of_float (Float.floor rank) in
+    let i = if i >= n - 1 then n - 2 else i in
+    let t = rank -. float_of_int i in
+    a.(i) +. (t *. (a.(i + 1) -. a.(i)))
+  end
+
+let geometric_mean xs =
+  require_nonempty "Stats.geometric_mean" xs;
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geometric_mean: non-positive value"
+        else acc +. log x)
+      0. xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+type histogram = { lo : float; bin_width : float; counts : int array }
+
+let histogram ~lo ~hi ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  let clamp i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+  let add x =
+    let i = clamp (int_of_float (Float.floor ((x -. lo) /. width))) in
+    counts.(i) <- counts.(i) + 1
+  in
+  List.iter add xs;
+  { lo; bin_width = width; counts }
+
+let histogram_rows h =
+  Array.to_list
+    (Array.mapi
+       (fun i count ->
+         let b0 = h.lo +. (float_of_int i *. h.bin_width) in
+         (b0, b0 +. h.bin_width, count))
+       h.counts)
+
+let fraction_below threshold xs =
+  match xs with
+  | [] -> 0.
+  | _ :: _ ->
+    let below = List.length (List.filter (fun x -> x < threshold) xs) in
+    float_of_int below /. float_of_int (List.length xs)

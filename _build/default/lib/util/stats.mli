@@ -1,0 +1,40 @@
+(** Small descriptive-statistics helpers used by the experiment drivers. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation.  @raise Invalid_argument on the empty
+    list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.  @raise Invalid_argument on the empty
+    list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100]: linear-interpolation percentile of
+    the sorted sample.  @raise Invalid_argument on the empty list or [p]
+    outside [0,100]. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument on empty input or non-positive elements. *)
+
+type histogram = {
+  lo : float;           (** lower edge of the first bin *)
+  bin_width : float;    (** uniform bin width *)
+  counts : int array;   (** occupancy per bin *)
+}
+(** A uniform-bin histogram; values outside the range are clamped into the
+    first/last bin so the total count equals the sample size. *)
+
+val histogram : lo:float -> hi:float -> bins:int -> float list -> histogram
+(** [histogram ~lo ~hi ~bins xs] bins [xs] into [bins] uniform bins covering
+    [lo, hi].  @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val histogram_rows : histogram -> (float * float * int) list
+(** [(bin_lo, bin_hi, count)] per bin, in order. *)
+
+val fraction_below : float -> float list -> float
+(** [fraction_below threshold xs] is the fraction of samples strictly below
+    [threshold] (0 on the empty list). *)

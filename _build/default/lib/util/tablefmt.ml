@@ -1,0 +1,53 @@
+type align = Left | Right
+
+let fs fmt = Format.asprintf fmt
+
+let column_widths ~header rows =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  let note row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  note header;
+  List.iter note rows;
+  widths
+
+let pad align width cell =
+  let n = width - String.length cell in
+  if n <= 0 then cell
+  else
+    match align with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    let given = Option.value align ~default:[ Left ] in
+    Array.init ncols (fun i ->
+        match List.nth_opt given i with Some a -> a | None -> Right)
+  in
+  let widths = column_widths ~header rows in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i < ncols then Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

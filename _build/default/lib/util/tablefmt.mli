@@ -1,0 +1,18 @@
+(** Aligned plain-text tables for experiment reports.
+
+    The benchmark harness prints the rows/series of every paper figure through
+    this module so that [bench_output.txt] is stable and diff-able. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with one space-padded column per
+    header entry.  [align] defaults to [Left] for the first column and
+    [Right] for the rest; a shorter [align] list is padded with [Right]. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [print] is [render] followed by [print_string] of the result. *)
+
+val fs : ('a, Format.formatter, unit, string) format4 -> 'a
+(** Shorthand for [Format.asprintf], used to format numeric cells. *)

@@ -1,0 +1,8 @@
+let ps t = t *. 1e12
+let of_ps t = t *. 1e-12
+let ff c = c *. 1e15
+let of_ff c = c *. 1e-15
+let um2 a = a *. 1e12
+let of_nm x = x *. 1e-9
+let pp_ps fmt t = Format.fprintf fmt "%.1f ps" (ps t)
+let pp_percent fmt r = Format.fprintf fmt "%+.1f %%" (r *. 100.)

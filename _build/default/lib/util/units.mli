@@ -1,0 +1,29 @@
+(** Unit conversions and engineering-notation formatting.
+
+    All library code computes in SI units (seconds, farads, volts, meters,
+    amperes); these helpers convert to the units the paper reports
+    (picoseconds, femtofarads, square micrometers) at the printing boundary. *)
+
+val ps : float -> float
+(** Seconds to picoseconds. *)
+
+val of_ps : float -> float
+(** Picoseconds to seconds. *)
+
+val ff : float -> float
+(** Farads to femtofarads. *)
+
+val of_ff : float -> float
+(** Femtofarads to farads. *)
+
+val um2 : float -> float
+(** Square meters to square micrometers. *)
+
+val of_nm : float -> float
+(** Nanometers to meters. *)
+
+val pp_ps : Format.formatter -> float -> unit
+(** Prints a time in seconds as ["12.3 ps"]. *)
+
+val pp_percent : Format.formatter -> float -> unit
+(** Prints a ratio as a signed percentage, e.g. 0.19 -> ["+19.0 %"]. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Aging_cells Aging_core Aging_liberty Aging_netlist Aging_physics Aging_util Alcotest Float Lazy List QCheck2 QCheck_alcotest

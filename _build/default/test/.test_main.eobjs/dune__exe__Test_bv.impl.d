@@ -1,0 +1,1 @@
+test/test_bv.ml: Aging_designs Aging_netlist Aging_util Alcotest Fixtures Fun List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_cells.ml: Aging_cells Aging_physics Aging_spice Alcotest Fixtures List

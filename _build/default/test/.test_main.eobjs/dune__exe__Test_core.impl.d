@@ -1,0 +1,1 @@
+test/test_core.ml: Aging_cells Aging_core Aging_designs Aging_image Aging_liberty Aging_netlist Aging_physics Aging_sim Aging_synth Alcotest Array Filename Fixtures Lazy List String Sys

@@ -1,0 +1,1 @@
+test/test_designs.ml: Aging_designs Aging_image Aging_netlist Aging_util Alcotest Array Fixtures Fun List Printf QCheck2

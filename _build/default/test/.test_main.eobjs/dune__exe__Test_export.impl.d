@@ -1,0 +1,1 @@
+test/test_export.ml: Aging_designs Aging_liberty Aging_netlist Aging_sta Alcotest Array Fixtures Lazy List String

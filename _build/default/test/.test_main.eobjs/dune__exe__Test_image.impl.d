@@ -1,0 +1,1 @@
+test/test_image.ml: Aging_image Aging_util Alcotest Array Fixtures Int64 List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_liberty.ml: Aging_cells Aging_liberty Aging_physics Alcotest Array Fixtures Lazy List QCheck2 String

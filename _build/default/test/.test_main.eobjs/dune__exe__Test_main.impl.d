@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bv Test_cells Test_core Test_designs Test_export Test_image Test_liberty Test_netlist Test_physics Test_sim Test_spice Test_sta Test_synth Test_util

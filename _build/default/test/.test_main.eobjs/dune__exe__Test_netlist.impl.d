@@ -1,0 +1,1 @@
+test/test_netlist.ml: Aging_cells Aging_designs Aging_netlist Alcotest Array Fixtures List Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_physics.ml: Aging_physics Alcotest Fixtures Float List QCheck2

@@ -1,0 +1,1 @@
+test/test_sim.ml: Aging_designs Aging_netlist Aging_physics Aging_sim Aging_util Alcotest Array Fixtures Float Lazy List QCheck2 String

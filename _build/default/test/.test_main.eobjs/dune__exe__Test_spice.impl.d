@@ -1,0 +1,1 @@
+test/test_spice.ml: Aging_physics Aging_spice Alcotest Array Fixtures Float List Printf QCheck2

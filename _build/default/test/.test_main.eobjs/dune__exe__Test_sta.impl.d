@@ -1,0 +1,1 @@
+test/test_sta.ml: Aging_designs Aging_liberty Aging_netlist Aging_sta Alcotest Fixtures Float Lazy List QCheck2 String

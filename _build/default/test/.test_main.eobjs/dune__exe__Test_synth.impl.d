@@ -1,0 +1,1 @@
+test/test_synth.ml: Aging_cells Aging_designs Aging_liberty Aging_netlist Aging_sta Aging_synth Alcotest Array Fixtures Hashtbl Lazy List Option QCheck2

@@ -1,0 +1,1 @@
+test/test_util.ml: Aging_util Alcotest Array Fixtures Format List QCheck2 String

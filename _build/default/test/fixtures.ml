@@ -1,0 +1,66 @@
+(* Shared, lazily built test fixtures: characterizing even a small library
+   costs a second or two, so every suite shares these. *)
+
+module Scenario = Aging_physics.Scenario
+module Axes = Aging_liberty.Axes
+module Characterize = Aging_liberty.Characterize
+module Catalog = Aging_cells.Catalog
+
+let subset_names =
+  [
+    "INV_X1"; "INV_X2"; "INV_X4"; "INV_X1H"; "NAND2_X1"; "NAND2_X2";
+    "NAND2_X4"; "NAND2_X1H"; "NOR2_X1"; "NOR2_X2"; "NAND3_X1"; "NOR3_X1";
+    "AND2_X1"; "OR2_X1"; "AOI21_X1"; "OAI21_X1"; "XOR2_X1"; "XNOR2_X1";
+    "MUX2_X1"; "MUXI2_X1"; "BUF_X1"; "BUF_X4"; "FA_X1"; "HA_X1"; "DFF_X1";
+    "TIELO_X1"; "TIEHI_X1";
+  ]
+
+let subset_cells = lazy (List.map Catalog.find_exn subset_names)
+
+let fresh_library =
+  lazy
+    (Characterize.library
+       ~cells:(Lazy.force subset_cells)
+       ~axes:Axes.coarse ~name:"test-fresh"
+       ~scenario:(Scenario.scenario Scenario.fresh)
+       ())
+
+let aged_library =
+  lazy
+    (Characterize.library
+       ~cells:(Lazy.force subset_cells)
+       ~axes:Axes.coarse ~name:"test-aged"
+       ~scenario:(Scenario.scenario Scenario.worst_case)
+       ())
+
+let deglib =
+  lazy
+    (Aging_core.Degradation_library.create
+       ~cells:(Lazy.force subset_cells)
+       ~axes:Axes.coarse ())
+
+(* Cycle-accurate equivalence of two netlists over random input vectors. *)
+let equivalent ?(cycles = 100) ?(seed = 11L) a b =
+  let module N = Aging_netlist.Netlist in
+  let rng = Aging_util.Rng.create seed in
+  let ca = N.compile a and cb = N.compile b in
+  let sa = ref (N.initial_state a) and sb = ref (N.initial_state b) in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    let inputs = List.map (fun (p, _) -> (p, Aging_util.Rng.bool rng)) a.N.input_ports in
+    let oa, na = N.compiled_cycle ca !sa ~inputs in
+    let ob, nb = N.compiled_cycle cb !sb ~inputs in
+    sa := na;
+    sb := nb;
+    if List.sort compare oa <> List.sort compare ob then ok := false
+  done;
+  !ok
+
+let close ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+let check_close ?tol msg expected actual =
+  if not (close ?tol expected actual) then
+    Alcotest.failf "%s: expected %.6g, got %.6g" msg expected actual
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick (QCheck2.Test.make ~count ~name gen prop)

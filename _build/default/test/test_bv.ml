@@ -1,0 +1,172 @@
+(* Word-level RTL builder: every operator checked against integer
+   semantics through the netlist evaluator. *)
+
+module N = Aging_netlist.Netlist
+module Builder = N.Builder
+module Bv = Aging_designs.Bv
+
+let mask w = (1 lsl w) - 1
+
+let bits name w v =
+  List.init w (fun i -> (Printf.sprintf "%s[%d]" name i, (v asr i) land 1 = 1))
+
+let read outs name w =
+  List.fold_left
+    (fun acc bit ->
+      if List.assoc (Printf.sprintf "%s[%d]" name bit) outs then acc lor (1 lsl bit)
+      else acc)
+    0 (List.init w Fun.id)
+
+(* Builds a combinational netlist computing [f] over two w-bit inputs and
+   checks it against [reference] on a set of operand pairs. *)
+let check_binop ?(w = 8) name f reference =
+  let b = Builder.create "op" in
+  let c = Bv.ctx b in
+  let x = Bv.input c "x" w and y = Bv.input c "y" w in
+  Bv.output c "z" (f c x y);
+  let nl = Builder.finish b in
+  let rng = Aging_util.Rng.create 77L in
+  let cases =
+    [ (0, 0); (mask w, mask w); (1, mask w); (85, 170) ]
+    @ List.init 30 (fun _ ->
+          (Aging_util.Rng.int rng (1 lsl w), Aging_util.Rng.int rng (1 lsl w)))
+  in
+  List.iter
+    (fun (xv, yv) ->
+      let outs = N.eval_combinational nl ~inputs:(bits "x" w xv @ bits "y" w yv) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s %d %d" name xv yv)
+        (reference xv yv land mask w)
+        (read outs "z" w))
+    cases
+
+let test_add () = check_binop "add" (fun c x y -> Bv.add c x y) ( + )
+let test_add_fast () = check_binop "add_fast" (fun c x y -> Bv.add_fast c x y) ( + )
+let test_sub () = check_binop "sub" (fun c x y -> Bv.sub c x y) ( - )
+let test_sub_fast () = check_binop "sub_fast" (fun c x y -> Bv.sub_fast c x y) ( - )
+let test_and () = check_binop "and" (fun c x y -> Bv.and_ c x y) ( land )
+let test_or () = check_binop "or" (fun c x y -> Bv.or_ c x y) ( lor )
+let test_xor () = check_binop "xor" (fun c x y -> Bv.xor_ c x y) ( lxor )
+
+let test_add_fast_wide () =
+  check_binop ~w:13 "add_fast wide" (fun c x y -> Bv.add_fast c x y) ( + )
+
+let test_mul () =
+  let b = Builder.create "mul" in
+  let c = Bv.ctx b in
+  let x = Bv.input c "x" 6 and y = Bv.input c "y" 6 in
+  Bv.output c "z" (Bv.mul c x y);
+  let nl = Builder.finish b in
+  List.iter
+    (fun (xv, yv) ->
+      let outs = N.eval_combinational nl ~inputs:(bits "x" 6 xv @ bits "y" 6 yv) in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" xv yv) (xv * yv) (read outs "z" 12))
+    [ (0, 0); (63, 63); (7, 9); (31, 2); (13, 21) ]
+
+let test_mul_const () =
+  List.iter
+    (fun k ->
+      let b = Builder.create "mulc" in
+      let c = Bv.ctx b in
+      let x = Bv.input c "x" 12 in
+      Bv.output c "z" (Bv.mul_const c x k);
+      let nl = Builder.finish b in
+      List.iter
+        (fun xv ->
+          let outs = N.eval_combinational nl ~inputs:(bits "x" 12 xv) in
+          Alcotest.(check int)
+            (Printf.sprintf "%d * %d" xv k)
+            ((xv * k) land mask 12)
+            (read outs "z" 12))
+        [ 0; 1; 100; 2047 ])
+    [ 0; 1; 45; 63; -12; -59 ]
+
+let test_shifts_and_extends () =
+  let b = Builder.create "sh" in
+  let c = Bv.ctx b in
+  let x = Bv.input c "x" 8 in
+  Bv.output c "shl" (Bv.shl_const c x 3);
+  Bv.output c "asr" (Bv.asr_const c x 2);
+  Bv.output c "sx" (Bv.sext c x 12);
+  Bv.output c "zx" (Bv.zext c x 12);
+  let nl = Builder.finish b in
+  let check xv =
+    let outs = N.eval_combinational nl ~inputs:(bits "x" 8 xv) in
+    let signed = if xv >= 128 then xv - 256 else xv in
+    Alcotest.(check int) "shl" ((xv lsl 3) land 255) (read outs "shl" 8);
+    Alcotest.(check int) "asr" ((signed asr 2) land 255) (read outs "asr" 8);
+    Alcotest.(check int) "sext" (signed land mask 12) (read outs "sx" 12);
+    Alcotest.(check int) "zext" xv (read outs "zx" 12)
+  in
+  List.iter check [ 0; 1; 127; 128; 200; 255 ]
+
+let test_mux_tree () =
+  let b = Builder.create "mux" in
+  let c = Bv.ctx b in
+  let sel = Bv.input c "s" 2 in
+  let choices = List.init 4 (fun i -> Bv.const c (10 + i) 8) in
+  Bv.output c "z" (Bv.mux_tree c ~sel choices);
+  let nl = Builder.finish b in
+  List.iter
+    (fun s ->
+      let outs = N.eval_combinational nl ~inputs:(bits "s" 2 s) in
+      Alcotest.(check int) "selected" (10 + s) (read outs "z" 8))
+    [ 0; 1; 2; 3 ]
+
+let test_eq_const_and_reduce () =
+  let b = Builder.create "cmp" in
+  let c = Bv.ctx b in
+  let x = Bv.input c "x" 5 in
+  Builder.output (Bv.builder c) "eq" (Bv.eq_const c x 19);
+  Builder.output (Bv.builder c) "any" (Bv.reduce_or c x);
+  let nl = Builder.finish b in
+  let run xv =
+    let outs = N.eval_combinational nl ~inputs:(bits "x" 5 xv) in
+    (List.assoc "eq" outs, List.assoc "any" outs)
+  in
+  Alcotest.(check (pair bool bool)) "19" (true, true) (run 19);
+  Alcotest.(check (pair bool bool)) "18" (false, true) (run 18);
+  Alcotest.(check (pair bool bool)) "0" (false, false) (run 0)
+
+let test_constants () =
+  let b = Builder.create "const" in
+  let c = Bv.ctx b in
+  Bv.output c "k" (Bv.const c 0b1011010 8);
+  let nl = Builder.finish b in
+  let outs = N.eval_combinational nl ~inputs:[] in
+  Alcotest.(check int) "constant value" 0b1011010 (read outs "k" 8)
+
+let prop_add_fast_equals_ripple =
+  Fixtures.qtest ~count:20 "prefix adder = ripple adder with carry-in"
+    QCheck2.Gen.(triple (int_range 0 1023) (int_range 0 1023) bool)
+    (fun (xv, yv, cin) ->
+      let b = Builder.create "addcmp" in
+      let c = Bv.ctx b in
+      let x = Bv.input c "x" 10 and y = Bv.input c "y" 10 in
+      let carry = if cin then Bv.one_net c else Bv.zero_net c in
+      Bv.output c "f" (Bv.add_fast ~cin:carry c x y);
+      Bv.output c "r" (Bv.add ~cin:carry c x y);
+      let nl = Builder.finish b in
+      let outs = N.eval_combinational nl ~inputs:(bits "x" 10 xv @ bits "y" 10 yv) in
+      read outs "f" 10 = read outs "r" 10
+      && read outs "f" 10 = (xv + yv + if cin then 1 else 0) land 1023)
+
+let suite =
+  [
+    ("bv: ripple add", `Quick, test_add);
+    ("bv: prefix add", `Quick, test_add_fast);
+    ("bv: sub", `Quick, test_sub);
+    ("bv: fast sub", `Quick, test_sub_fast);
+    ("bv: and", `Quick, test_and);
+    ("bv: or", `Quick, test_or);
+    ("bv: xor", `Quick, test_xor);
+    ("bv: wide prefix add", `Quick, test_add_fast_wide);
+    ("bv: array multiplier", `Quick, test_mul);
+    ("bv: constant multiplier", `Quick, test_mul_const);
+    ("bv: shifts and extends", `Quick, test_shifts_and_extends);
+    ("bv: mux tree", `Quick, test_mux_tree);
+    ("bv: comparison and reduction", `Quick, test_eq_const_and_reduce);
+    ("bv: constants", `Quick, test_constants);
+  ]
+
+let props = [ prop_add_fast_equals_ripple ]

@@ -1,0 +1,194 @@
+module Scenario = Aging_physics.Scenario
+module Library = Aging_liberty.Library
+module Axes = Aging_liberty.Axes
+module N = Aging_netlist.Netlist
+module Designs = Aging_designs.Designs
+module Deg = Aging_core.Degradation_library
+module Guardband = Aging_core.Guardband
+module Aging_synthesis = Aging_core.Aging_synthesis
+module System_eval = Aging_core.System_eval
+module Path_demo = Aging_core.Path_demo
+module Image = Aging_image.Image
+module Dct = Aging_image.Dct
+
+let deglib () = Lazy.force Fixtures.deglib
+
+let test_deglib_memoization () =
+  let t = deglib () in
+  let a = Deg.fresh t and b = Deg.fresh t in
+  Alcotest.(check bool) "same library object" true (a == b);
+  let w = Deg.worst_case t in
+  Alcotest.(check bool) "distinct corners distinct" true (not (a == w))
+
+let test_deglib_disk_cache () =
+  let dir = Filename.temp_file "alib" "" in
+  Sys.remove dir;
+  let cells = [ Aging_cells.Catalog.find_exn "INV_X1" ] in
+  let t1 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  let lib1 = Deg.worst_case t1 in
+  Alcotest.(check bool) "cache file written" true
+    (Array.length (Sys.readdir dir) > 0);
+  (* A second manager must reload rather than re-characterize; compare a
+     table value exactly. *)
+  let t2 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  let lib2 = Deg.worst_case t2 in
+  let d lib =
+    Library.delay_of
+      (List.hd (Library.find_exn lib "INV_X1").Library.arcs)
+      ~dir:Library.Rise ~slew:4e-11 ~load:2e-15
+  in
+  Alcotest.(check (float 0.)) "identical tables from cache" (d lib1) (d lib2)
+
+let test_vth_only_corner_faster () =
+  let t = deglib () in
+  let full = Deg.worst_case t in
+  let vth = Deg.worst_case ~mode:Aging_physics.Degradation.Vth_only t in
+  let d lib name =
+    Library.delay_of
+      (List.hd (Library.find_exn lib name).Library.arcs)
+      ~dir:Library.Rise ~slew:4e-11 ~load:4e-15
+  in
+  Alcotest.(check bool) "vth-only underestimates NAND rise aging" true
+    (d vth "NAND2_X1" < d full "NAND2_X1")
+
+let test_complete_library_corners () =
+  let t = deglib () in
+  let corners = [ Scenario.fresh; Scenario.worst_case ] in
+  let lib = Deg.complete t corners in
+  Alcotest.(check bool) "indexed naming" true
+    (Library.find lib "NAND2_X1@1.0_1.0" <> None
+    && Library.find lib "NAND2_X1@0.0_0.0" <> None)
+
+let test_single_opc_scaling () =
+  let t = deglib () in
+  let pseudo = Deg.single_opc t Scenario.worst_case in
+  let fresh = Deg.fresh t in
+  let e_p = Library.find_exn pseudo "NAND2_X1" in
+  let e_f = Library.find_exn fresh "NAND2_X1" in
+  let ratio slew load =
+    Library.delay_of (List.hd e_p.Library.arcs) ~dir:Library.Rise ~slew ~load
+    /. Library.delay_of (List.hd e_f.Library.arcs) ~dir:Library.Rise ~slew ~load
+  in
+  (* Single-OPC model applies one uniform ratio everywhere. *)
+  Fixtures.check_close ~tol:1e-6 "uniform ratio" (ratio 1e-11 1e-15) (ratio 4e-10 1.5e-14);
+  Alcotest.(check bool) "ratio within clamp" true
+    (ratio 1e-11 1e-15 >= 0.2 && ratio 1e-11 1e-15 <= 8.)
+
+let test_guardband_static () =
+  let t = deglib () in
+  let design = Designs.counter ~bits:8 in
+  let g = Guardband.static ~deglib:t ~corner:Scenario.worst_case design in
+  Alcotest.(check bool) "positive guardband" true (g.Guardband.guardband > 0.);
+  Alcotest.(check bool) "aged = fresh + guardband" true
+    (Fixtures.close ~tol:1e-15
+       (g.Guardband.aged_period -. g.Guardband.fresh_period)
+       g.Guardband.guardband);
+  let balanced =
+    Guardband.static ~deglib:t ~corner:Scenario.balanced design
+  in
+  Alcotest.(check bool) "balanced ages less than worst case" true
+    (balanced.Guardband.guardband < g.Guardband.guardband)
+
+let test_guardband_vth_only_smaller () =
+  let t = deglib () in
+  let design = Designs.counter ~bits:8 in
+  let full = Guardband.static ~deglib:t ~corner:Scenario.worst_case design in
+  let vth =
+    Guardband.static ~mode:Aging_physics.Degradation.Vth_only ~deglib:t
+      ~corner:Scenario.worst_case design
+  in
+  Alcotest.(check bool) "Fig 5a direction" true
+    (vth.Guardband.guardband < full.Guardband.guardband)
+
+let test_guardband_initial_cp_only_smaller () =
+  let t = deglib () in
+  let design = Designs.dsp () in
+  let full = Guardband.static ~deglib:t ~corner:Scenario.worst_case design in
+  let cp =
+    Guardband.initial_cp_only ~deglib:t ~corner:Scenario.worst_case design
+  in
+  Alcotest.(check bool) "Fig 5c direction (cannot exceed full)" true
+    (cp.Guardband.guardband <= full.Guardband.guardband +. 1e-13)
+
+let test_guardband_dynamic () =
+  let t = deglib () in
+  let design = Designs.counter ~bits:4 in
+  let g, annotated =
+    Guardband.dynamic ~cycles:64 ~deglib:t
+      ~stimulus:(fun _ -> [ ("en", true) ])
+      design
+  in
+  Alcotest.(check bool) "dynamic guardband positive" true (g.Guardband.guardband > 0.);
+  let worst = Guardband.static ~deglib:t ~corner:Scenario.worst_case design in
+  Alcotest.(check bool) "workload stress below worst case" true
+    (g.Guardband.guardband <= worst.Guardband.guardband +. 1e-13);
+  Alcotest.(check bool) "netlist annotated" true
+    (Array.exists
+       (fun (inst : N.instance) -> String.contains inst.N.cell_name '@')
+       annotated.N.instances)
+
+let test_aging_synthesis_invariants () =
+  let t = deglib () in
+  let design = Designs.counter ~bits:8 in
+  let options =
+    { Aging_synth.Flow.default_options with Aging_synth.Flow.sizing_passes = 2;
+      map_rounds = 1 }
+  in
+  let c = Aging_synthesis.run ~options ~deglib:t design in
+  Alcotest.(check bool) "both equivalents" true
+    (Fixtures.equivalent design c.Aging_synthesis.traditional
+    && Fixtures.equivalent design c.Aging_synthesis.aware);
+  Alcotest.(check bool) "required guardband positive" true
+    (Aging_synthesis.required_guardband c > 0.);
+  Alcotest.(check bool) "containment never negative (by construction)" true
+    (Aging_synthesis.contained_guardband c
+    <= Aging_synthesis.required_guardband c +. 1e-13);
+  Alcotest.(check bool) "frequency gain consistent" true
+    (Aging_synthesis.frequency_gain c >= -1e-9)
+
+let test_path_demo_switch () =
+  let fresh = Scenario.scenario Scenario.fresh in
+  let worst = Scenario.scenario Scenario.worst_case in
+  let total scenario p = (Path_demo.measure ~scenario p).Path_demo.total in
+  Alcotest.(check bool) "path1 critical fresh" true
+    (total fresh Path_demo.path1 > total fresh Path_demo.path2);
+  Alcotest.(check bool) "path2 critical aged (Fig. 3)" true
+    (total worst Path_demo.path2 > total worst Path_demo.path1)
+
+let test_run_vectors_matches_reference () =
+  (* The full DCT circuit streamed through the gate-level simulator at a
+     relaxed period must be bit-identical to the software reference. *)
+  let t = deglib () in
+  let lib = Deg.fresh t in
+  let sim = Aging_sim.Event_sim.prepare ~library:lib (Designs.dct ()) in
+  let period = 2. *. Aging_sim.Event_sim.min_period sim in
+  let vectors = [ [| 12; -50; 100; 127; -128; 3; 77; -1 |]; Array.make 8 10 ] in
+  let out = System_eval.run_vectors sim ~period vectors in
+  List.iter2
+    (fun got vec ->
+      Alcotest.(check (array int)) "transform matches" (Dct.forward_1d vec) got)
+    out vectors
+
+let test_reference_image () =
+  let img = Aging_image.Synthetic.gradient ~width:16 ~height:16 in
+  let r = System_eval.reference_image img in
+  Alcotest.(check bool) "high quality" true (Image.psnr ~reference:img r > 35.)
+
+let suite =
+  [
+    ("deglib: memoization", `Quick, test_deglib_memoization);
+    ("deglib: disk cache", `Quick, test_deglib_disk_cache);
+    ("deglib: vth-only mode", `Quick, test_vth_only_corner_faster);
+    ("deglib: complete library", `Quick, test_complete_library_corners);
+    ("deglib: single-OPC scaling", `Quick, test_single_opc_scaling);
+    ("guardband: static", `Quick, test_guardband_static);
+    ("guardband: vth-only smaller (Fig 5a)", `Quick, test_guardband_vth_only_smaller);
+    ("guardband: initial-CP smaller (Fig 5c)", `Quick, test_guardband_initial_cp_only_smaller);
+    ("guardband: dynamic workload", `Quick, test_guardband_dynamic);
+    ("synthesis: invariants", `Slow, test_aging_synthesis_invariants);
+    ("path demo: criticality switch (Fig 3)", `Quick, test_path_demo_switch);
+    ("system eval: DCT stream matches reference", `Slow, test_run_vectors_matches_reference);
+    ("system eval: reference image", `Quick, test_reference_image);
+  ]
+
+let props = []

@@ -1,0 +1,285 @@
+module N = Aging_netlist.Netlist
+module Designs = Aging_designs.Designs
+module Dct = Aging_image.Dct
+module Rng = Aging_util.Rng
+
+let bits_of v w = List.init w (fun i -> (v asr i) land 1 = 1)
+
+let vec_inputs prefix w values =
+  List.concat
+    (List.mapi
+       (fun lane v ->
+         List.mapi
+           (fun bit b -> (Printf.sprintf "%s%d[%d]" prefix lane bit, b))
+           (bits_of (v land ((1 lsl w) - 1)) w))
+       values)
+
+let read_signed outs name w =
+  let raw =
+    List.fold_left
+      (fun acc bit ->
+        if List.assoc (Printf.sprintf "%s[%d]" name bit) outs then
+          acc lor (1 lsl bit)
+        else acc)
+      0
+      (List.init w Fun.id)
+  in
+  if raw >= 1 lsl (w - 1) then raw - (1 lsl w) else raw
+
+let run_cycles design inputs_per_cycle =
+  let compiled = N.compile design in
+  let state = ref (N.initial_state design) in
+  List.map
+    (fun inputs ->
+      let outs, next = N.compiled_cycle compiled !state ~inputs in
+      state := next;
+      outs)
+    inputs_per_cycle
+
+let test_all_designs_build () =
+  List.iter
+    (fun (name, nl) ->
+      Alcotest.(check bool) (name ^ " has cells") true
+        (Array.length nl.N.instances > 100);
+      Alcotest.(check bool) (name ^ " has flip-flops") true (N.flipflops nl <> []);
+      (* Building implies a legal netlist; also require acyclic logic. *)
+      Alcotest.(check bool) (name ^ " acyclic") true
+        (N.combinational_order nl <> []))
+    (Designs.all ())
+
+let transform_matches ~inverse vector =
+  let design = if inverse then Designs.idct () else Designs.dct () in
+  let w = Designs.transform_io_width in
+  let inputs = vec_inputs "I" w vector in
+  let outs = run_cycles design [ inputs; inputs; inputs ] in
+  let final = List.nth outs 2 in
+  let got = Array.init 8 (fun i -> read_signed final (Printf.sprintf "O%d" i) w) in
+  let expect =
+    if inverse then Dct.inverse_1d (Array.of_list vector)
+    else Dct.forward_1d (Array.of_list vector)
+  in
+  got = expect
+
+let test_dct_circuit_exact () =
+  Alcotest.(check bool) "dct circuit = reference" true
+    (transform_matches ~inverse:false [ 12; -50; 100; 127; -128; 3; 77; -1 ]);
+  Alcotest.(check bool) "idct circuit = reference" true
+    (transform_matches ~inverse:true [ 360; -12; 45; 0; -100; 5; 9; -77 ])
+
+let prop_dct_circuit_random =
+  Fixtures.qtest ~count:8 "dct circuit bit-exact on random vectors"
+    QCheck2.Gen.(list_size (QCheck2.Gen.return 8) (int_range (-128) 127))
+    (fun vector -> transform_matches ~inverse:false vector)
+
+let test_dsp_mac () =
+  let design = Designs.dsp () in
+  let inputs a x clr =
+    vec_inputs "" 0 [] @ []
+    |> fun _ ->
+    List.concat
+      [
+        List.mapi (fun i b -> (Printf.sprintf "a[%d]" i, b)) (bits_of a 8);
+        List.mapi (fun i b -> (Printf.sprintf "x[%d]" i, b)) (bits_of x 8);
+        [ ("clr", clr) ];
+      ]
+  in
+  (* Feed 7*11 for enough cycles to fill the pipeline and accumulate. *)
+  let cycles = List.init 8 (fun _ -> inputs 7 11 false) in
+  let outs = run_cycles design cycles in
+  let acc_at k =
+    let o = List.nth outs k in
+    List.fold_left
+      (fun acc bit ->
+        if List.assoc (Printf.sprintf "acc[%d]" bit) o then acc lor (1 lsl bit)
+        else acc)
+      0 (List.init 20 Fun.id)
+  in
+  (* Products reach the accumulator with 2 cycles of latency; from then on
+     it grows by 77 per cycle. *)
+  let a3 = acc_at 3 and a4 = acc_at 4 and a5 = acc_at 5 in
+  Alcotest.(check int) "accumulates product" 77 (a4 - a3);
+  Alcotest.(check int) "keeps accumulating" 77 (a5 - a4)
+
+let test_dsp_clear () =
+  let design = Designs.dsp () in
+  let inputs clr =
+    List.concat
+      [
+        List.mapi (fun i b -> (Printf.sprintf "a[%d]" i, b)) (bits_of 5 8);
+        List.mapi (fun i b -> (Printf.sprintf "x[%d]" i, b)) (bits_of 5 8);
+        [ ("clr", clr) ];
+      ]
+  in
+  let cycles = List.init 6 (fun _ -> inputs false) @ [ inputs true; inputs true ] in
+  let outs = run_cycles design cycles in
+  let acc_of o =
+    List.fold_left
+      (fun acc bit ->
+        if List.assoc (Printf.sprintf "acc[%d]" bit) o then acc lor (1 lsl bit)
+        else acc)
+      0 (List.init 20 Fun.id)
+  in
+  let before = acc_of (List.nth outs 5) in
+  let after = acc_of (List.nth outs 7) in
+  Alcotest.(check bool) "accumulated something" true (before > 0);
+  (* After clear the accumulator restarts from one product. *)
+  Alcotest.(check bool) "clear resets" true (after <= 25 + 25)
+
+(* RISC instruction encoding helper (see Designs doc): [15]=we, [14:12]=op,
+   [11:9]=rd, [8:6]=ra, [5:3]=rb, [2]=use_imm, [5:0]=imm6. *)
+let encode ~we ~op ~rd ~ra ~rb ~imm ~use_imm =
+  let imm6 = imm land 0x3f in
+  let base =
+    ((if we then 1 else 0) lsl 15) lor (op lsl 12) lor (rd lsl 9) lor (ra lsl 6)
+  in
+  if use_imm then base lor imm6 lor 0b100
+  else base lor (rb lsl 3)
+
+let risc_inputs word =
+  List.mapi (fun i b -> (Printf.sprintf "instr[%d]" i, b)) (bits_of word 16)
+
+let read_result outs =
+  List.fold_left
+    (fun acc bit ->
+      if List.assoc (Printf.sprintf "result[%d]" bit) outs then acc lor (1 lsl bit)
+      else acc)
+    0 (List.init 16 Fun.id)
+
+let test_risc5_program () =
+  let design = Designs.risc5 () in
+  let nop = encode ~we:false ~op:0 ~rd:0 ~ra:0 ~rb:0 ~imm:0 ~use_imm:false in
+  (* r1 = r0 + 12; r2 = r1 + 12; r3 = r1 + r2 (= 36). *)
+  let prog =
+    [
+      encode ~we:true ~op:0 ~rd:1 ~ra:0 ~rb:0 ~imm:12 ~use_imm:true;
+      nop; nop; nop; nop;
+      encode ~we:true ~op:0 ~rd:2 ~ra:1 ~rb:0 ~imm:12 ~use_imm:true;
+      nop; nop; nop; nop;
+      encode ~we:true ~op:0 ~rd:3 ~ra:1 ~rb:2 ~imm:0 ~use_imm:false;
+      nop; nop; nop; nop; nop; nop;
+    ]
+  in
+  let outs = run_cycles design (List.map risc_inputs prog) in
+  (* The add writing r2 exits WB a few cycles after issue; scan for the
+     expected values appearing on the result port. *)
+  let results = List.map read_result outs in
+  Alcotest.(check bool) "r1 value seen" true (List.mem 12 results);
+  Alcotest.(check bool) "r2 value seen" true (List.mem 24 results);
+  Alcotest.(check bool) "r1+r2 seen" true (List.mem 36 results)
+
+let test_risc6_program () =
+  let design = Designs.risc6 () in
+  let nop = encode ~we:false ~op:0 ~rd:0 ~ra:0 ~rb:0 ~imm:0 ~use_imm:false in
+  let prog =
+    [
+      encode ~we:true ~op:0 ~rd:1 ~ra:0 ~rb:0 ~imm:12 ~use_imm:true;
+      nop; nop; nop; nop; nop;
+      encode ~we:true ~op:4 ~rd:2 ~ra:1 ~rb:1 ~imm:0 ~use_imm:false; (* xor -> 0 *)
+      nop; nop; nop; nop; nop; nop; nop;
+    ]
+  in
+  let outs = run_cycles design (List.map risc_inputs prog) in
+  let results = List.map read_result outs in
+  Alcotest.(check bool) "constant written" true (List.mem 12 results)
+
+let test_vliw_dual_issue () =
+  let design = Designs.vliw () in
+  let nop = encode ~we:false ~op:0 ~rd:0 ~ra:0 ~rb:0 ~imm:0 ~use_imm:false in
+  let slot0 = encode ~we:true ~op:0 ~rd:1 ~ra:0 ~rb:0 ~imm:5 ~use_imm:true in
+  let slot1 = encode ~we:true ~op:0 ~rd:2 ~ra:0 ~rb:0 ~imm:13 ~use_imm:true in
+  let inputs s0 s1 =
+    List.concat
+      [
+        List.mapi (fun i b -> (Printf.sprintf "slot0[%d]" i, b)) (bits_of s0 16);
+        List.mapi (fun i b -> (Printf.sprintf "slot1[%d]" i, b)) (bits_of s1 16);
+      ]
+  in
+  let cycles = [ inputs slot0 slot1 ] @ List.init 5 (fun _ -> inputs nop nop) in
+  let outs = run_cycles design cycles in
+  let read name o =
+    List.fold_left
+      (fun acc bit ->
+        if List.assoc (Printf.sprintf "%s[%d]" name bit) o then acc lor (1 lsl bit)
+        else acc)
+      0 (List.init 16 Fun.id)
+  in
+  let lane0 = List.map (read "r0") outs and lane1 = List.map (read "r1") outs in
+  Alcotest.(check bool) "lane 0 result" true (List.mem 5 lane0);
+  Alcotest.(check bool) "lane 1 result" true (List.mem 13 lane1)
+
+let test_fft_butterfly () =
+  let design = Designs.fft () in
+  let w = 12 in
+  let inputs ar ai br bi =
+    List.concat
+      [
+        List.mapi (fun i b -> (Printf.sprintf "ar[%d]" i, b)) (bits_of ar w);
+        List.mapi (fun i b -> (Printf.sprintf "ai[%d]" i, b)) (bits_of ai w);
+        List.mapi (fun i b -> (Printf.sprintf "br[%d]" i, b)) (bits_of br w);
+        List.mapi (fun i b -> (Printf.sprintf "bi[%d]" i, b)) (bits_of bi w);
+      ]
+  in
+  let ar = 100 and ai = -50 and br = 30 and bi = 60 in
+  let cycles = List.init 3 (fun _ -> inputs ar ai br bi) in
+  let outs = run_cycles design cycles in
+  let final = List.nth outs 2 in
+  (* Reference: W = (45 - 45j)/64, b' = W*b >> 6 with flooring asr. *)
+  let brot = ((45 * br) + (45 * bi)) asr 6 in
+  let birot = ((45 * bi) - (45 * br)) asr 6 in
+  Alcotest.(check int) "x0r" (ar + brot) (read_signed final "x0r" w);
+  Alcotest.(check int) "x0i" (ai + birot) (read_signed final "x0i" w);
+  Alcotest.(check int) "x1r" (ar - brot) (read_signed final "x1r" w);
+  Alcotest.(check int) "x1i" (ai - birot) (read_signed final "x1i" w)
+
+let test_fast_adder_matches_ripple () =
+  (* Bv.add_fast against integer addition via a dedicated netlist. *)
+  let module Builder = N.Builder in
+  let module Bv = Aging_designs.Bv in
+  let b = Builder.create "addcheck" in
+  let c = Bv.ctx b in
+  let x = Bv.input c "x" 10 and y = Bv.input c "y" 10 in
+  Bv.output c "s" (Bv.add_fast c x y);
+  Bv.output c "r" (Bv.add c x y);
+  let nl = Builder.finish b in
+  let rng = Rng.create 3L in
+  for _ = 1 to 50 do
+    let xv = Rng.int rng 1024 and yv = Rng.int rng 1024 in
+    let inputs =
+      List.concat
+        [
+          List.mapi (fun i b -> (Printf.sprintf "x[%d]" i, b)) (bits_of xv 10);
+          List.mapi (fun i b -> (Printf.sprintf "y[%d]" i, b)) (bits_of yv 10);
+        ]
+    in
+    let outs = N.eval_combinational nl ~inputs in
+    let read name =
+      List.fold_left
+        (fun acc bit ->
+          if List.assoc (Printf.sprintf "%s[%d]" name bit) outs then
+            acc lor (1 lsl bit)
+          else acc)
+        0 (List.init 10 Fun.id)
+    in
+    Alcotest.(check int) "fast = truncated sum" ((xv + yv) land 1023) (read "s");
+    Alcotest.(check int) "fast = ripple" (read "r") (read "s")
+  done
+
+let test_by_name () =
+  Alcotest.(check bool) "lookup" true (Designs.by_name "VLIW" <> None);
+  Alcotest.(check bool) "unknown" true (Designs.by_name "GPU" = None)
+
+let suite =
+  [
+    ("designs: all build", `Quick, test_all_designs_build);
+    ("designs: DCT/IDCT circuits exact", `Quick, test_dct_circuit_exact);
+    ("designs: DSP accumulates", `Quick, test_dsp_mac);
+    ("designs: DSP clear", `Quick, test_dsp_clear);
+    ("designs: RISC-5P program", `Quick, test_risc5_program);
+    ("designs: RISC-6P program", `Quick, test_risc6_program);
+    ("designs: VLIW dual issue", `Quick, test_vliw_dual_issue);
+    ("designs: FFT butterfly", `Quick, test_fft_butterfly);
+    ("designs: fast adder correct", `Quick, test_fast_adder_matches_ripple);
+    ("designs: registry", `Quick, test_by_name);
+  ]
+
+let props = [ prop_dct_circuit_random ]

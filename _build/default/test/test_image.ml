@@ -1,0 +1,151 @@
+module Image = Aging_image.Image
+module Dct = Aging_image.Dct
+module Pgm = Aging_image.Pgm
+module Synthetic = Aging_image.Synthetic
+
+let test_image_basics () =
+  let img = Image.create ~width:4 ~height:3 in
+  Image.set img ~x:1 ~y:2 300;
+  Alcotest.(check int) "clamped high" 255 (Image.get img ~x:1 ~y:2);
+  Image.set img ~x:0 ~y:0 (-5);
+  Alcotest.(check int) "clamped low" 0 (Image.get img ~x:0 ~y:0);
+  Alcotest.check_raises "bounds" (Invalid_argument "Image.get: out of bounds")
+    (fun () -> ignore (Image.get img ~x:4 ~y:0))
+
+let test_psnr () =
+  let a = Image.init ~width:8 ~height:8 (fun ~x ~y -> (x + y) * 8) in
+  Alcotest.(check bool) "identical is infinite" true
+    (Image.psnr ~reference:a a = infinity);
+  let b = Image.map (fun p -> p + 1) a in
+  let p = Image.psnr ~reference:a b in
+  Alcotest.(check bool) "one-off pixels ~48 dB" true (p > 44. && p < 52.)
+
+let test_mse_dimension_check () =
+  let a = Image.create ~width:4 ~height:4 in
+  let b = Image.create ~width:5 ~height:4 in
+  Alcotest.check_raises "dims" (Invalid_argument "Image.mse: dimension mismatch")
+    (fun () -> ignore (Image.mse a b))
+
+let test_block_roundtrip () =
+  let img = Image.init ~width:16 ~height:16 (fun ~x ~y -> (x * 16) + y) in
+  let block = Image.block8 img ~bx:1 ~by:0 in
+  Alcotest.(check int) "block anchor" (Image.get img ~x:8 ~y:0) block.(0);
+  let out = Image.create ~width:16 ~height:16 in
+  Image.set_block8 out ~bx:1 ~by:0 block;
+  Alcotest.(check int) "written back" (Image.get img ~x:9 ~y:3) (Image.get out ~x:9 ~y:3)
+
+let test_block_edge_replication () =
+  let img = Image.init ~width:12 ~height:12 (fun ~x ~y -> x + y) in
+  let block = Image.block8 img ~bx:1 ~by:1 in
+  (* Column 4.. of the block falls outside; values replicate the edge. *)
+  Alcotest.(check int) "replicated" (Image.get img ~x:11 ~y:11) block.(63)
+
+let test_dct_matrix_orthogonality () =
+  let m = Dct.coefficients in
+  for i = 0 to 7 do
+    for k = 0 to 7 do
+      let dot = ref 0 in
+      for j = 0 to 7 do
+        dot := !dot + (m.(i).(j) * m.(k).(j))
+      done;
+      if i = k then
+        Alcotest.(check bool) "diagonal near 128^2/8... scaled" true
+          (abs (!dot - 16384) < 600)
+      else
+        Alcotest.(check bool) "off-diagonal near zero" true (abs !dot < 600)
+    done
+  done
+
+let test_dct_dc_block () =
+  let block = Array.make 8 100 in
+  let coeffs = Dct.forward_1d block in
+  Alcotest.(check bool) "DC dominates" true (abs coeffs.(0) > 250);
+  for i = 1 to 7 do
+    Alcotest.(check bool) "AC near zero" true (abs coeffs.(i) <= 2)
+  done
+
+let test_dct_roundtrip_1d () =
+  let x = [| 12; -50; 100; 127; -128; 3; 77; -1 |] in
+  let y = Dct.inverse_1d (Dct.forward_1d x) in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sample %d within rounding" i)
+        true
+        (abs (v - x.(i)) <= 3))
+    y
+
+let prop_dct_roundtrip_8x8 =
+  Fixtures.qtest ~count:50 "2-D DCT/IDCT roundtrip within rounding"
+    QCheck2.Gen.(array_size (QCheck2.Gen.return 64) (int_range (-128) 127))
+    (fun block ->
+      let decoded = Dct.inverse_8x8 (Dct.forward_8x8 block) in
+      Array.for_all2 (fun a b -> abs (a - b) <= 4) block decoded)
+
+let prop_dct_linearity_negation =
+  Fixtures.qtest ~count:50 "DCT of negated block is negated (up to rounding)"
+    QCheck2.Gen.(array_size (QCheck2.Gen.return 8) (int_range (-100) 100))
+    (fun x ->
+      let a = Dct.forward_1d x in
+      let b = Dct.forward_1d (Array.map (fun v -> -v) x) in
+      Array.for_all2 (fun p q -> abs (p + q) <= 2) a b)
+
+let test_roundtrip_image_quality () =
+  List.iter
+    (fun (name, img) ->
+      let psnr = Image.psnr ~reference:img (Dct.roundtrip_image img) in
+      Alcotest.(check bool) (name ^ " roundtrip above 35 dB") true (psnr > 35.))
+    (Synthetic.all ~width:24 ~height:24)
+
+let test_synthetic_deterministic () =
+  let a = Synthetic.blobs ~width:16 ~height:16 () in
+  let b = Synthetic.blobs ~width:16 ~height:16 () in
+  Alcotest.(check bool) "same seed, same image" true (Image.equal a b)
+
+let test_pgm_roundtrip_binary () =
+  let img = Synthetic.checkerboard ~width:9 ~height:5 () in
+  Alcotest.(check bool) "binary" true (Image.equal img (Pgm.of_string (Pgm.to_string img)));
+  Alcotest.(check bool) "ascii" true
+    (Image.equal img (Pgm.of_string (Pgm.to_string ~binary:false img)))
+
+let prop_pgm_roundtrip =
+  Fixtures.qtest ~count:25 "pgm roundtrip on random images"
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 1 12))
+    (fun (w, h) ->
+      let rng = Aging_util.Rng.create (Int64.of_int ((w * 100) + h)) in
+      let img = Image.init ~width:w ~height:h (fun ~x:_ ~y:_ -> Aging_util.Rng.int rng 256) in
+      Image.equal img (Pgm.of_string (Pgm.to_string img))
+      && Image.equal img (Pgm.of_string (Pgm.to_string ~binary:false img)))
+
+let test_pgm_errors () =
+  (try
+     ignore (Pgm.of_string "P9\n1 1\n255\nx");
+     Alcotest.fail "bad magic accepted"
+   with Failure _ -> ());
+  try
+    ignore (Pgm.of_string "P5\n2 2\n255\nab");
+    Alcotest.fail "truncated accepted"
+  with Failure _ -> ()
+
+let test_pgm_comments () =
+  let img = Pgm.of_string "P2\n# a comment\n2 2\n255\n0 64\n128 255\n" in
+  Alcotest.(check int) "pixel" 128 (Image.get img ~x:0 ~y:1)
+
+let suite =
+  [
+    ("image: clamping and bounds", `Quick, test_image_basics);
+    ("image: psnr", `Quick, test_psnr);
+    ("image: mse dimension check", `Quick, test_mse_dimension_check);
+    ("image: 8x8 blocks", `Quick, test_block_roundtrip);
+    ("image: edge replication", `Quick, test_block_edge_replication);
+    ("dct: matrix orthogonality", `Quick, test_dct_matrix_orthogonality);
+    ("dct: DC block", `Quick, test_dct_dc_block);
+    ("dct: 1-D roundtrip", `Quick, test_dct_roundtrip_1d);
+    ("dct: image roundtrip quality", `Quick, test_roundtrip_image_quality);
+    ("synthetic: deterministic", `Quick, test_synthetic_deterministic);
+    ("pgm: roundtrips", `Quick, test_pgm_roundtrip_binary);
+    ("pgm: malformed inputs", `Quick, test_pgm_errors);
+    ("pgm: comments", `Quick, test_pgm_comments);
+  ]
+
+let props = [ prop_dct_roundtrip_8x8; prop_dct_linearity_negation; prop_pgm_roundtrip ]

@@ -1,0 +1,202 @@
+module Scenario = Aging_physics.Scenario
+module Nldm = Aging_liberty.Nldm
+module Axes = Aging_liberty.Axes
+module Library = Aging_liberty.Library
+module Characterize = Aging_liberty.Characterize
+module Merge = Aging_liberty.Merge
+module Io = Aging_liberty.Io
+module Catalog = Aging_cells.Catalog
+module Cell = Aging_cells.Cell
+
+let sample_table =
+  Nldm.make ~slews:[| 1e-11; 1e-10 |] ~loads:[| 1e-15; 1e-14 |]
+    ~values:[| [| 1e-11; 2e-11 |]; [| 3e-11; 4e-11 |] |]
+
+let test_nldm_make_validation () =
+  let bad axis = Nldm.make ~slews:axis ~loads:[| 1.; 2. |] ~values:[| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.check_raises "non-monotone" (Invalid_argument "Nldm.make: slew axis not increasing")
+    (fun () -> ignore (bad [| 2.; 1. |]));
+  Alcotest.check_raises "short axis" (Invalid_argument "Nldm.make: axes need >= 2 points")
+    (fun () -> ignore (bad [| 1. |]));
+  Alcotest.check_raises "shape" (Invalid_argument "Nldm.make: row count mismatch")
+    (fun () ->
+      ignore
+        (Nldm.make ~slews:[| 1.; 2.; 3. |] ~loads:[| 1.; 2. |]
+           ~values:[| [| 1.; 2. |]; [| 3.; 4. |] |]))
+
+let test_nldm_lookup () =
+  Alcotest.(check (float 1e-15)) "grid point" 1e-11
+    (Nldm.lookup sample_table ~slew:1e-11 ~load:1e-15);
+  Alcotest.(check (float 1e-15)) "center" 2.5e-11
+    (Nldm.lookup sample_table ~slew:5.5e-11 ~load:5.5e-15)
+
+let test_nldm_map_fold () =
+  let doubled = Nldm.map (fun v -> 2. *. v) sample_table in
+  Alcotest.(check (float 1e-15)) "map" 8e-11 (Nldm.max_value doubled);
+  Alcotest.(check (float 1e-15)) "min" 1e-11 (Nldm.min_value sample_table);
+  let diff = Nldm.map2 (fun a b -> b -. a) sample_table doubled in
+  Alcotest.(check (float 1e-15)) "map2" 4e-11 (Nldm.max_value diff);
+  Alcotest.(check int) "fold count" 4 (Nldm.fold (fun n _ -> n + 1) 0 sample_table)
+
+let test_axes () =
+  Alcotest.(check int) "paper OPC count" 49 (Axes.count Axes.paper);
+  Alcotest.(check int) "coarse OPC count" 9 (Axes.count Axes.coarse);
+  Alcotest.(check (float 0.)) "paper min slew" 5e-12 Axes.paper.Axes.slews.(0);
+  Alcotest.(check (float 0.)) "paper max load" 20e-15
+    Axes.paper.Axes.loads.(Array.length Axes.paper.Axes.loads - 1)
+
+let fresh_entry name = Library.find_exn (Lazy.force Fixtures.fresh_library) name
+let aged_entry name = Library.find_exn (Lazy.force Fixtures.aged_library) name
+
+let test_characterized_inverter () =
+  let e = fresh_entry "INV_X1" in
+  let arc = List.hd e.Library.arcs in
+  Alcotest.(check bool) "negative unate" true (arc.Library.sense = Library.Negative);
+  let d = Library.delay_of arc ~dir:Library.Rise ~slew:4e-11 ~load:2e-15 in
+  Alcotest.(check bool) "plausible delay" true (d > 5e-12 && d < 1e-10);
+  let s = Library.out_slew_of arc ~dir:Library.Rise ~slew:4e-11 ~load:2e-15 in
+  Alcotest.(check bool) "plausible slew" true (s > 5e-12 && s < 2e-10)
+
+let test_delay_monotone_in_load () =
+  let e = fresh_entry "NAND2_X1" in
+  let arc = List.hd e.Library.arcs in
+  let d load = Library.delay_of arc ~dir:Library.Fall ~slew:4e-11 ~load in
+  Alcotest.(check bool) "monotone" true (d 1e-15 < d 8e-15 && d 8e-15 < d 1.8e-14)
+
+let test_aging_slows_rise () =
+  let fa = List.hd (fresh_entry "NAND2_X1").Library.arcs in
+  let aa = List.hd (aged_entry "NAND2_X1").Library.arcs in
+  let f = Library.delay_of fa ~dir:Library.Rise ~slew:4e-11 ~load:4e-15 in
+  let a = Library.delay_of aa ~dir:Library.Rise ~slew:4e-11 ~load:4e-15 in
+  Alcotest.(check bool) "aged rise slower" true (a > f);
+  Alcotest.(check bool) "increase below 60%" true (a /. f < 1.6)
+
+let test_nor_fall_improves_at_large_slew () =
+  let fa = List.hd (fresh_entry "NOR2_X1").Library.arcs in
+  let aa = List.hd (aged_entry "NOR2_X1").Library.arcs in
+  let slew = 9.47e-10 and load = 5e-16 in
+  let f = Library.delay_of fa ~dir:Library.Fall ~slew ~load in
+  let a = Library.delay_of aa ~dir:Library.Fall ~slew ~load in
+  Alcotest.(check bool) "fall improved (paper Fig. 1b)" true (a < f)
+
+let test_flipflop_entry () =
+  let e = fresh_entry "DFF_X1" in
+  Alcotest.(check int) "one merged launch arc" 1 (List.length e.Library.arcs);
+  let arc = List.hd e.Library.arcs in
+  Alcotest.(check string) "from CK" "CK" arc.Library.from_pin;
+  Alcotest.(check string) "to Q" "Q" arc.Library.to_pin;
+  Alcotest.(check bool) "setup positive" true (e.Library.setup_time > 0.);
+  Alcotest.(check bool) "aged setup larger" true
+    ((aged_entry "DFF_X1").Library.setup_time > e.Library.setup_time)
+
+let test_out_direction () =
+  let arc = List.hd (fresh_entry "INV_X1").Library.arcs in
+  Alcotest.(check bool) "inverting" true
+    (Library.out_direction arc ~in_dir:Library.Rise = Library.Fall)
+
+let test_merge_indexed_names () =
+  Alcotest.(check string) "indexed name" "NAND2_X1@0.4_0.6"
+    (Merge.indexed_name ~base:"NAND2_X1"
+       (Scenario.corner ~lambda_p:0.4 ~lambda_n:0.6));
+  let base, corner = Merge.split_indexed "NAND2_X1@0.4_0.6" in
+  Alcotest.(check string) "base" "NAND2_X1" base;
+  (match corner with
+  | Some c ->
+    Alcotest.(check bool) "corner" true
+      (Scenario.equal c (Scenario.corner ~lambda_p:0.4 ~lambda_n:0.6))
+  | None -> Alcotest.fail "no corner");
+  Alcotest.(check bool) "plain name" true (snd (Merge.split_indexed "INV_X1") = None)
+
+let test_merge_complete () =
+  let cells = [ Catalog.find_exn "INV_X1"; Catalog.find_exn "NAND2_X1" ] in
+  let corners =
+    [ Scenario.fresh; Scenario.worst_case; Scenario.corner ~lambda_p:0.5 ~lambda_n:0.5 ]
+  in
+  let lib = Merge.complete ~cells ~axes:Axes.coarse ~corners ~name:"mini" () in
+  Alcotest.(check int) "cells x corners" 6 (List.length (Library.entries lib));
+  Alcotest.(check bool) "indexed entry resolvable" true
+    (Library.find lib "INV_X1@1.0_1.0" <> None)
+
+let test_library_duplicate_rejected () =
+  let e = fresh_entry "INV_X1" in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Library.create: duplicate INV_X1")
+    (fun () -> ignore (Library.create ~lib_name:"dup" ~axes:Axes.coarse [ e; e ]))
+
+let test_io_roundtrip () =
+  let lib = Lazy.force Fixtures.fresh_library in
+  let reloaded = Io.of_string (Io.to_string lib) in
+  Alcotest.(check int) "entry count" (List.length (Library.entries lib))
+    (List.length (Library.entries reloaded));
+  List.iter
+    (fun (e : Library.entry) ->
+      let r = Library.find_exn reloaded e.Library.indexed_name in
+      Alcotest.(check (float 1e-18)) "setup preserved" e.Library.setup_time
+        r.Library.setup_time;
+      List.iter2
+        (fun (a : Library.arc) (b : Library.arc) ->
+          Alcotest.(check string) "pins" a.Library.from_pin b.Library.from_pin;
+          List.iter
+            (fun (slew, load) ->
+              Alcotest.(check (float 1e-16)) "delay preserved"
+                (Library.delay_of a ~dir:Library.Rise ~slew ~load)
+                (Library.delay_of b ~dir:Library.Rise ~slew ~load))
+            [ (1e-11, 1e-15); (2e-10, 8e-15); (9e-10, 1.9e-14) ])
+        e.Library.arcs r.Library.arcs)
+    (Library.entries lib)
+
+let test_io_parse_errors () =
+  (try
+     ignore (Io.of_string "library x\nbogus\n");
+     Alcotest.fail "expected failure"
+   with Failure msg ->
+     Alcotest.(check bool) "line number in error" true
+       (String.length msg > 0 && String.contains msg ':'));
+  try
+    ignore (Io.of_string "library x\nslews 1e-11 2e-11\nloads 1e-15 2e-15\ncell A UNKNOWN_CELL 0 0 0\n");
+    Alcotest.fail "expected failure"
+  with Failure msg ->
+    Alcotest.(check bool) "unknown cell reported" true
+      (String.length msg > 0)
+
+let test_analytic_backend_runs () =
+  let scenario = Scenario.scenario Scenario.worst_case in
+  let cell = Catalog.find_exn "INV_X1" in
+  let arc = List.hd (Cell.arcs cell) in
+  let d, s =
+    Characterize.arc_measure Characterize.Analytic ~scenario ~cell ~arc
+      ~dir:Library.Rise ~slew:4e-11 ~load:2e-15
+  in
+  Alcotest.(check bool) "positive" true (d > 0. && s > 0.)
+
+let prop_lookup_within_table_bounds =
+  let lib = Fixtures.fresh_library in
+  Fixtures.qtest "interpolated delay within table bounds"
+    QCheck2.Gen.(pair (float_range 5e-12 9.47e-10) (float_range 5e-16 2e-14))
+    (fun (slew, load) ->
+      let e = Library.find_exn (Lazy.force lib) "NAND2_X1" in
+      let arc = List.hd e.Library.arcs in
+      let d = Library.delay_of arc ~dir:Library.Fall ~slew ~load in
+      d >= Nldm.min_value arc.Library.delay_fall -. 1e-12
+      && d <= Nldm.max_value arc.Library.delay_fall +. 1e-12)
+
+let suite =
+  [
+    ("nldm: validation", `Quick, test_nldm_make_validation);
+    ("nldm: lookup", `Quick, test_nldm_lookup);
+    ("nldm: map/fold", `Quick, test_nldm_map_fold);
+    ("axes: paper grids", `Quick, test_axes);
+    ("characterize: inverter", `Quick, test_characterized_inverter);
+    ("characterize: delay monotone in load", `Quick, test_delay_monotone_in_load);
+    ("characterize: aging slows rise arcs", `Quick, test_aging_slows_rise);
+    ("characterize: NOR fall improves at large slew", `Quick, test_nor_fall_improves_at_large_slew);
+    ("characterize: flip-flop entry", `Quick, test_flipflop_entry);
+    ("library: out direction", `Quick, test_out_direction);
+    ("merge: indexed names", `Quick, test_merge_indexed_names);
+    ("merge: mini complete library", `Quick, test_merge_complete);
+    ("library: duplicate rejected", `Quick, test_library_duplicate_rejected);
+    ("io: save/load roundtrip", `Quick, test_io_roundtrip);
+    ("io: parse errors", `Quick, test_io_parse_errors);
+    ("characterize: analytic backend", `Quick, test_analytic_backend_runs);
+  ]
+
+let props = [ prop_lookup_within_table_bounds ]

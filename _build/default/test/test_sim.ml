@@ -1,0 +1,155 @@
+module N = Aging_netlist.Netlist
+module Event_sim = Aging_sim.Event_sim
+module Activity = Aging_sim.Activity
+module Scenario = Aging_physics.Scenario
+module Designs = Aging_designs.Designs
+module Rng = Aging_util.Rng
+
+let fresh () = Lazy.force Fixtures.fresh_library
+
+let random_stimulus design seed =
+  let rng = Rng.create seed in
+  let vectors =
+    Array.init 64 (fun _ ->
+        List.map (fun (p, _) -> (p, Rng.bool rng)) design.N.input_ports)
+  in
+  fun n -> vectors.(n mod 64)
+
+let test_event_sim_matches_reference_at_slow_clock () =
+  List.iter
+    (fun design ->
+      let sim = Event_sim.prepare ~library:(fresh ()) design in
+      let stimulus = random_stimulus design 5L in
+      let period = 3. *. Event_sim.min_period sim in
+      let trace = Event_sim.run sim ~period ~cycles:48 ~stimulus in
+      let reference = Event_sim.run_functional design ~cycles:48 ~stimulus in
+      Alcotest.(check int) "no timing errors" 0 trace.Event_sim.timing_errors;
+      Array.iteri
+        (fun i outs ->
+          if List.sort compare outs <> List.sort compare reference.(i) then
+            Alcotest.failf "%s: outputs diverge at cycle %d"
+              design.N.design_name i)
+        trace.Event_sim.outputs)
+    [ Designs.counter ~bits:6; Designs.dsp () ]
+
+let test_event_sim_errors_at_fast_clock () =
+  let design = Designs.dsp () in
+  let sim = Event_sim.prepare ~library:(fresh ()) design in
+  let stimulus = random_stimulus design 7L in
+  let trace =
+    Event_sim.run sim ~period:(0.3 *. Event_sim.min_period sim) ~cycles:60
+      ~stimulus
+  in
+  Alcotest.(check bool) "timing errors appear" true (trace.Event_sim.timing_errors > 0)
+
+let test_event_sim_error_monotonicity () =
+  let design = Designs.dsp () in
+  let sim = Event_sim.prepare ~library:(fresh ()) design in
+  let stimulus = random_stimulus design 9L in
+  let errors frac =
+    (Event_sim.run sim
+       ~period:(frac *. Event_sim.min_period sim)
+       ~cycles:60 ~stimulus).Event_sim.timing_errors
+  in
+  Alcotest.(check bool) "fewer errors at slower clock" true (errors 0.9 <= errors 0.35)
+
+let test_event_sim_validation () =
+  let design = Designs.counter ~bits:2 in
+  let sim = Event_sim.prepare ~library:(fresh ()) design in
+  Alcotest.check_raises "period" (Invalid_argument "Event_sim.run: period <= 0")
+    (fun () ->
+      ignore (Event_sim.run sim ~period:0. ~cycles:1 ~stimulus:(fun _ -> [ ("en", true) ])))
+
+let test_activity_profile () =
+  let design = Designs.counter ~bits:4 in
+  let profile =
+    Activity.profile design ~cycles:64 ~stimulus:(fun _ -> [ ("en", true) ])
+  in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "probability in range" true (p >= 0. && p <= 1.))
+    profile.Activity.p_high;
+  (* Counter bit 0 toggles every cycle: its probability is ~0.5. *)
+  let _, q0 = List.hd design.N.output_ports in
+  Alcotest.(check bool) "lsb near half" true
+    (Float.abs (profile.Activity.p_high.(q0) -. 0.5) < 0.05);
+  Alcotest.(check bool) "lsb toggles a lot" true (profile.Activity.toggles.(q0) > 30)
+
+let test_activity_constant_input () =
+  let design = Designs.counter ~bits:4 in
+  let profile =
+    Activity.profile design ~cycles:32 ~stimulus:(fun _ -> [ ("en", false) ])
+  in
+  let _, en_net = List.hd design.N.input_ports in
+  Alcotest.(check (float 0.)) "disabled input stays low" 0.
+    profile.Activity.p_high.(en_net)
+
+let test_instance_corner_complementary () =
+  let design = Designs.counter ~bits:4 in
+  let profile =
+    Activity.profile design ~cycles:64 ~stimulus:(fun _ -> [ ("en", true) ])
+  in
+  Array.iter
+    (fun (inst : N.instance) ->
+      if not (N.is_flipflop inst) && inst.N.inputs <> [] then begin
+        let c = Activity.instance_corner profile inst in
+        Fixtures.check_close ~tol:1e-9 "lambda_p + lambda_n = 1" 1.
+          (c.Scenario.lambda_p +. c.Scenario.lambda_n)
+      end)
+    design.N.instances
+
+let test_annotate_and_corners_used () =
+  let design = Designs.counter ~bits:4 in
+  let profile =
+    Activity.profile design ~cycles:64 ~stimulus:(fun _ -> [ ("en", true) ])
+  in
+  let annotated = Activity.annotate design profile in
+  Array.iter
+    (fun (inst : N.instance) ->
+      Alcotest.(check bool) "corner suffix present" true
+        (String.contains inst.N.cell_name '@'))
+    annotated.N.instances;
+  let corners = Activity.corners_used annotated in
+  Alcotest.(check bool) "at least one corner" true (corners <> []);
+  let grid = Scenario.grid () in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "snapped to grid" true
+        (List.exists (Scenario.equal c) grid))
+    corners;
+  Alcotest.(check bool) "functional behaviour unchanged" true
+    (Fixtures.equivalent design annotated)
+
+let test_activity_validation () =
+  let design = Designs.counter ~bits:2 in
+  Alcotest.check_raises "cycles" (Invalid_argument "Activity.profile: cycles <= 0")
+    (fun () ->
+      ignore (Activity.profile design ~cycles:0 ~stimulus:(fun _ -> [ ("en", true) ])))
+
+let prop_event_sim_deterministic =
+  Fixtures.qtest ~count:5 "event simulation is deterministic"
+    QCheck2.Gen.int64
+    (fun seed ->
+      let design = Designs.counter ~bits:4 in
+      let sim = Event_sim.prepare ~library:(Lazy.force Fixtures.fresh_library) design in
+      let stimulus = random_stimulus design seed in
+      let run () =
+        (Event_sim.run sim ~period:2e-10 ~cycles:20 ~stimulus).Event_sim.outputs
+      in
+      run () = run ())
+
+let suite =
+  [
+    ("event sim: matches reference at slow clock", `Quick,
+      test_event_sim_matches_reference_at_slow_clock);
+    ("event sim: errors at fast clock", `Quick, test_event_sim_errors_at_fast_clock);
+    ("event sim: error monotonicity", `Quick, test_event_sim_error_monotonicity);
+    ("event sim: validation", `Quick, test_event_sim_validation);
+    ("activity: counter profile", `Quick, test_activity_profile);
+    ("activity: constant input", `Quick, test_activity_constant_input);
+    ("activity: complementary duty cycles", `Quick, test_instance_corner_complementary);
+    ("activity: annotation", `Quick, test_annotate_and_corners_used);
+    ("activity: validation", `Quick, test_activity_validation);
+  ]
+
+let props = [ prop_event_sim_deterministic ]

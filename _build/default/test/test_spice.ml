@@ -1,0 +1,197 @@
+module Device = Aging_physics.Device
+module Mosfet = Aging_spice.Mosfet
+module Circuit = Aging_spice.Circuit
+module Engine = Aging_spice.Engine
+module Stimulus = Aging_spice.Stimulus
+module Waveform = Aging_spice.Waveform
+
+let nmos = Device.nmos ~w:Device.w_min
+let pmos = Device.pmos ~w:(2. *. Device.w_min)
+
+let test_mosfet_off () =
+  let i = Mosfet.channel_current nmos ~vg:0. ~vd:Device.vdd ~vs:0. in
+  Alcotest.(check bool) "subthreshold leakage only" true (Float.abs i < 1e-7)
+
+let test_mosfet_on_magnitude () =
+  let i = Mosfet.channel_current nmos ~vg:Device.vdd ~vd:Device.vdd ~vs:0. in
+  Alcotest.(check bool) "tens of uA for minimum device" true (i > 3e-5 && i < 3e-4)
+
+let test_saturation_monotone () =
+  let i1 = Mosfet.saturation_current nmos ~vov:0.3 in
+  let i2 = Mosfet.saturation_current nmos ~vov:0.6 in
+  Alcotest.(check bool) "monotone in overdrive" true (i2 > i1);
+  Alcotest.(check (float 0.)) "zero below threshold" 0.
+    (Mosfet.saturation_current nmos ~vov:(-0.1))
+
+let prop_terminal_symmetry =
+  Fixtures.qtest "drain/source swap negates the current"
+    QCheck2.Gen.(triple (float_range 0. 1.1) (float_range 0. 1.1) (float_range 0. 1.1))
+    (fun (vg, vd, vs) ->
+      let a = Mosfet.channel_current nmos ~vg ~vd ~vs in
+      let b = Mosfet.channel_current nmos ~vg ~vd:vs ~vs:vd in
+      Float.abs (a +. b) <= 1e-9 +. (1e-6 *. Float.abs a))
+
+let test_pmos_sign () =
+  (* Conducting pMOS pulling the drain up: conventional drain->source
+     current is negative (current flows from source/Vdd into the drain). *)
+  let i = Mosfet.channel_current pmos ~vg:0. ~vd:0. ~vs:Device.vdd in
+  Alcotest.(check bool) "pull-up direction" true (i < -1e-5)
+
+let test_mu_scales_current () =
+  let weak = Device.with_aging ~delta_vth:0. ~mu_factor:0.5 nmos in
+  let i_fresh = Mosfet.channel_current nmos ~vg:Device.vdd ~vd:Device.vdd ~vs:0. in
+  let i_weak = Mosfet.channel_current weak ~vg:Device.vdd ~vd:Device.vdd ~vs:0. in
+  Fixtures.check_close ~tol:1e-6 "current halves with mobility"
+    (0.5 *. i_fresh) i_weak
+
+let test_rc_discharge () =
+  (* A 10 kOhm resistor discharging 10 fF from Vdd: compare to the
+     analytic exponential at one time constant. *)
+  let c = Circuit.create () in
+  let n = Circuit.fresh_node ~name:"cap" c in
+  Circuit.add_cap c n 1e-14;
+  Circuit.add_res c ~a:n ~b:Circuit.gnd ~ohms:1e4;
+  let r =
+    Engine.transient
+      ~options:{ Engine.default_options with Engine.settle_time = 1e-15 }
+      ~init:[ (n, Device.vdd) ] c ~drives:[] ~t_stop:3e-10
+  in
+  let w = Engine.waveform r n in
+  let tau = 1e-10 in
+  let expected = Device.vdd *. exp (-1.) in
+  let actual = Waveform.value_at w tau in
+  Alcotest.(check bool)
+    (Printf.sprintf "RC decay near analytic value (%.3f vs %.3f)" actual expected)
+    true
+    (Float.abs (actual -. expected) < 0.05)
+
+let build_inverter () =
+  let c = Circuit.create () in
+  let a = Circuit.fresh_node ~name:"a" c in
+  let y = Circuit.fresh_node ~name:"y" c in
+  Circuit.add_mos c ~dev:pmos ~g:a ~d:y ~s:Circuit.vdd;
+  Circuit.add_mos c ~dev:nmos ~g:a ~d:y ~s:Circuit.gnd;
+  Circuit.add_cap c y 2e-15;
+  (c, a, y)
+
+let test_inverter_transient () =
+  let c, a, y = build_inverter () in
+  let stim = Stimulus.ramp ~t_start:1e-10 ~slew:2e-11 ~rising:true () in
+  let r = Engine.transient c ~drives:[ (a, stim) ] ~t_stop:1e-9 in
+  let w = Engine.waveform r y in
+  Alcotest.(check bool) "starts high" true (Waveform.value_at w 0. > Device.vdd -. 0.05);
+  Alcotest.(check bool) "ends low" true (Engine.final_voltage r y < 0.05);
+  match
+    Waveform.delay ~input:(Engine.waveform r a) ~output:w
+      ~out_direction:Waveform.Falling ~vdd:Device.vdd
+  with
+  | Some d -> Alcotest.(check bool) "plausible delay" true (d > 1e-12 && d < 1e-10)
+  | None -> Alcotest.fail "no delay measured"
+
+let test_inverter_load_slows () =
+  let measure load =
+    let c, a, y = build_inverter () in
+    Circuit.add_cap c y load;
+    let stim = Stimulus.ramp ~t_start:1e-10 ~slew:2e-11 ~rising:true () in
+    let r = Engine.transient c ~drives:[ (a, stim) ] ~t_stop:3e-9 in
+    match
+      Waveform.delay ~input:(Engine.waveform r a) ~output:(Engine.waveform r y)
+        ~out_direction:Waveform.Falling ~vdd:Device.vdd
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "no delay"
+  in
+  Alcotest.(check bool) "4x load is slower" true (measure 8e-15 > measure 2e-15)
+
+let test_stop_when () =
+  let c, a, y = build_inverter () in
+  let stim = Stimulus.ramp ~t_start:1e-10 ~slew:2e-11 ~rising:true () in
+  let stopped =
+    Engine.transient c ~drives:[ (a, stim) ]
+      ~stop_when:(fun time _ -> time > 2e-10)
+      ~t_stop:5e-9
+  in
+  let w = Engine.waveform stopped y in
+  Alcotest.(check bool) "record truncated" true
+    (w.Waveform.times.(Array.length w.Waveform.times - 1) < 3e-10)
+
+let test_engine_validation () =
+  let c, a, _ = build_inverter () in
+  ignore a;
+  Alcotest.check_raises "t_stop" (Invalid_argument "Engine.transient: t_stop <= 0")
+    (fun () -> ignore (Engine.transient c ~drives:[] ~t_stop:0.));
+  Alcotest.check_raises "rail drive"
+    (Invalid_argument "Engine.transient: cannot drive a rail") (fun () ->
+      ignore
+        (Engine.transient c ~drives:[ (Circuit.gnd, Stimulus.constant 0.) ] ~t_stop:1e-9))
+
+let test_stimulus_ramp () =
+  let ramp = Stimulus.ramp ~t_start:1e-10 ~slew:6e-11 ~rising:true () in
+  Alcotest.(check (float 1e-9)) "before start" 0. (ramp 0.);
+  Alcotest.(check (float 1e-9)) "after end" Device.vdd (ramp 1e-9);
+  Fixtures.check_close ~tol:1e-3 "midpoint"
+    (Device.vdd /. 2.)
+    (ramp (1e-10 +. (Stimulus.full_ramp_time 6e-11 /. 2.)));
+  Alcotest.check_raises "slew validation" (Invalid_argument "Stimulus.ramp: non-positive slew")
+    (fun () ->
+      ignore (Stimulus.ramp ~t_start:0. ~slew:0. ~rising:true () : Stimulus.t))
+
+let test_waveform_crossings () =
+  let w =
+    { Waveform.times = [| 0.; 1.; 2.; 3.; 4. |]; values = [| 0.; 1.; 0.; 1.; 1. |] }
+  in
+  (match Waveform.cross w ~level:0.5 ~direction:Waveform.Rising with
+  | Some t -> Alcotest.(check (float 1e-9)) "first rising" 0.5 t
+  | None -> Alcotest.fail "missing first crossing");
+  match Waveform.cross_last w ~level:0.5 ~direction:Waveform.Rising with
+  | Some t -> Alcotest.(check (float 1e-9)) "last rising" 2.5 t
+  | None -> Alcotest.fail "missing last crossing"
+
+let test_waveform_slew () =
+  (* Linear 0->1 ramp over 1 s: the 20/80 transition takes 0.6 s. *)
+  let w = { Waveform.times = [| 0.; 1. |]; values = [| 0.; 1. |] } in
+  match Waveform.slew w ~direction:Waveform.Rising ~vdd:1. with
+  | Some s -> Alcotest.(check (float 1e-9)) "20-80 slew" 0.6 s
+  | None -> Alcotest.fail "no slew"
+
+let test_circuit_map_devices () =
+  let c, _, y = build_inverter () in
+  let doubled =
+    Circuit.map_devices
+      (fun d -> { d with Device.w = 2. *. d.Device.w })
+      c
+  in
+  Alcotest.(check int) "same node count" (Circuit.node_count c) (Circuit.node_count doubled);
+  Alcotest.(check bool) "parasitic caps grew" true
+    (Circuit.capacitance doubled y > Circuit.capacitance c y);
+  (* Explicit load must be preserved exactly once. *)
+  let para_fresh =
+    List.fold_left
+      (fun acc (m : Circuit.mos) ->
+        acc
+        +. (if m.Circuit.d = y then Device.drain_capacitance m.Circuit.dev else 0.)
+        +. if m.Circuit.s = y then Device.drain_capacitance m.Circuit.dev else 0.)
+      0. (Circuit.mosfets doubled)
+  in
+  Fixtures.check_close ~tol:1e-18 "explicit cap preserved" 2e-15
+    (Circuit.capacitance doubled y -. para_fresh)
+
+let suite =
+  [
+    ("mosfet: off state", `Quick, test_mosfet_off);
+    ("mosfet: on-current magnitude", `Quick, test_mosfet_on_magnitude);
+    ("mosfet: saturation monotone", `Quick, test_saturation_monotone);
+    ("mosfet: pmos pull-up sign", `Quick, test_pmos_sign);
+    ("mosfet: mobility scales current", `Quick, test_mu_scales_current);
+    ("engine: RC discharge vs analytic", `Quick, test_rc_discharge);
+    ("engine: inverter transient", `Quick, test_inverter_transient);
+    ("engine: load slows the gate", `Quick, test_inverter_load_slows);
+    ("engine: stop_when truncates", `Quick, test_stop_when);
+    ("engine: validation", `Quick, test_engine_validation);
+    ("stimulus: ramp shape", `Quick, test_stimulus_ramp);
+    ("waveform: crossings", `Quick, test_waveform_crossings);
+    ("waveform: slew of a ramp", `Quick, test_waveform_slew);
+    ("circuit: map_devices rebuilds parasitics", `Quick, test_circuit_map_devices);
+  ]
+
+let props = [ prop_terminal_symmetry ]

@@ -1,0 +1,155 @@
+module Interp = Aging_util.Interp
+module Stats = Aging_util.Stats
+module Rng = Aging_util.Rng
+module Tablefmt = Aging_util.Tablefmt
+module Units = Aging_util.Units
+
+let check = Alcotest.(check (float 1e-9))
+let xs = [| 0.; 1.; 2.; 4. |]
+let ys = [| 0.; 10.; 20.; 40. |]
+
+let test_linear_grid_points () =
+  Array.iteri (fun i x -> check "grid point" ys.(i) (Interp.linear xs ys x)) xs
+
+let test_linear_midpoint () =
+  check "midpoint" 5. (Interp.linear xs ys 0.5);
+  check "midpoint" 30. (Interp.linear xs ys 3.)
+
+let test_linear_extrapolation () =
+  check "below" (-10.) (Interp.linear xs ys (-1.));
+  check "above" 50. (Interp.linear xs ys 5.)
+
+let test_bracket () =
+  Alcotest.(check int) "below grid" 0 (Interp.bracket xs (-5.));
+  Alcotest.(check int) "above grid" 2 (Interp.bracket xs 100.);
+  Alcotest.(check int) "interior" 1 (Interp.bracket xs 1.5);
+  Alcotest.check_raises "too short" (Invalid_argument "Interp.bracket: axis needs >= 2 points")
+    (fun () -> ignore (Interp.bracket [| 1. |] 0.))
+
+let test_bilinear () =
+  let rows = [| 0.; 1. |] and cols = [| 0.; 2. |] in
+  let z = [| [| 0.; 2. |]; [| 4.; 6. |] |] in
+  check "corner" 0. (Interp.bilinear ~rows ~cols z 0. 0.);
+  check "corner" 6. (Interp.bilinear ~rows ~cols z 1. 2.);
+  check "center" 3. (Interp.bilinear ~rows ~cols z 0.5 1.);
+  check "edge midpoint" 1. (Interp.bilinear ~rows ~cols z 0. 1.)
+
+let test_monotone () =
+  Alcotest.(check bool) "increasing" true (Interp.monotone_increasing xs);
+  Alcotest.(check bool) "flat" false (Interp.monotone_increasing [| 1.; 1. |]);
+  Alcotest.(check bool) "decreasing" false (Interp.monotone_increasing [| 2.; 1. |])
+
+let prop_linear_bounded =
+  Fixtures.qtest "linear stays within segment bounds"
+    QCheck2.Gen.(float_range 0. 4.)
+    (fun x ->
+      let v = Interp.linear xs ys x in
+      v >= 0. -. 1e-9 && v <= 40. +. 1e-9)
+
+let prop_bilinear_bounded =
+  let rows = [| 0.; 1.; 2. |] and cols = [| 0.; 1. |] in
+  let z = [| [| 1.; 5. |]; [| 2.; 3. |]; [| 0.; 7. |] |] in
+  Fixtures.qtest "bilinear within value bounds inside grid"
+    QCheck2.Gen.(pair (float_range 0. 2.) (float_range 0. 1.))
+    (fun (r, c) ->
+      let v = Interp.bilinear ~rows ~cols z r c in
+      v >= 0. -. 1e-9 && v <= 7. +. 1e-9)
+
+let test_stats_basic () =
+  check "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check "stddev" 0. (Stats.stddev [ 5.; 5. ]);
+  check "stddev of alternating +-1" 1. (Stats.stddev [ 1.; 3.; 1.; 3. ]);
+  let lo, hi = Stats.min_max [ 3.; -1.; 7. ] in
+  check "min" (-1.) lo;
+  check "max" 7. hi;
+  check "geomean" 2. (Stats.geometric_mean [ 1.; 2.; 4. ])
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  check "p0" 1. (Stats.percentile 0. xs);
+  check "p50" 3. (Stats.percentile 50. xs);
+  check "p100" 5. (Stats.percentile 100. xs);
+  check "p25" 2. (Stats.percentile 25. xs)
+
+let test_histogram () =
+  let h = Stats.histogram ~lo:0. ~hi:10. ~bins:5 [ 0.5; 1.; 9.9; -3.; 42. ] in
+  Alcotest.(check int) "total count" 5 (Array.fold_left ( + ) 0 h.Stats.counts);
+  Alcotest.(check int) "first bin has clamped low outlier" 3 h.Stats.counts.(0);
+  Alcotest.(check int) "last bin has clamped high outlier" 2 h.Stats.counts.(4)
+
+let test_fraction_below () =
+  check "empty" 0. (Stats.fraction_below 0. []);
+  check "half" 0.5 (Stats.fraction_below 0. [ -1.; 1. ])
+
+let test_stats_errors () =
+  Alcotest.check_raises "mean empty" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean []));
+  Alcotest.check_raises "percentile range"
+    (Invalid_argument "Stats.percentile: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile 101. [ 1. ]))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split () =
+  let a = Rng.create 42L in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split streams differ" true (Rng.int64 a <> Rng.int64 b)
+
+let prop_rng_float_range =
+  Fixtures.qtest "float in [0,1)"
+    QCheck2.Gen.(int64)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let x = Rng.float rng in
+      x >= 0. && x < 1.)
+
+let prop_rng_int_range =
+  Fixtures.qtest "int in bounds"
+    QCheck2.Gen.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_tablefmt () =
+  let s = Tablefmt.render ~header:[ "name"; "value" ] [ [ "x"; "12" ]; [ "longer"; "3" ] ] in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines)
+
+let test_pp () =
+  Alcotest.(check string) "pp_ps" "12.5 ps" (Format.asprintf "%a" Units.pp_ps 12.5e-12);
+  Alcotest.(check string) "pp_percent" "+19.0 %" (Format.asprintf "%a" Units.pp_percent 0.19)
+
+let test_units () =
+  check "ps roundtrip" 12.5 (Units.ps (Units.of_ps 12.5));
+  check "ff roundtrip" 3.5 (Units.ff (Units.of_ff 3.5));
+  check "nm" 45e-9 (Units.of_nm 45.);
+  check "um2" 1. (Units.um2 1e-12)
+
+let suite =
+  [
+    ("interp: grid points", `Quick, test_linear_grid_points);
+    ("interp: midpoint", `Quick, test_linear_midpoint);
+    ("interp: extrapolation", `Quick, test_linear_extrapolation);
+    ("interp: bracket", `Quick, test_bracket);
+    ("interp: bilinear", `Quick, test_bilinear);
+    ("interp: monotone check", `Quick, test_monotone);
+    ("stats: basics", `Quick, test_stats_basic);
+    ("stats: percentile", `Quick, test_percentile);
+    ("stats: histogram clamps", `Quick, test_histogram);
+    ("stats: fraction below", `Quick, test_fraction_below);
+    ("stats: errors", `Quick, test_stats_errors);
+    ("rng: deterministic", `Quick, test_rng_deterministic);
+    ("rng: split", `Quick, test_rng_split);
+    ("tablefmt: layout", `Quick, test_tablefmt);
+    ("units: conversions", `Quick, test_units);
+    ("units: pretty printers", `Quick, test_pp);
+  ]
+
+let props = [ prop_linear_bounded; prop_bilinear_bounded; prop_rng_float_range; prop_rng_int_range ]
