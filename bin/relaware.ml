@@ -14,6 +14,7 @@ module Scenario = Aging_physics.Scenario
 module Degradation = Aging_physics.Degradation
 module Axes = Aging_liberty.Axes
 module Io = Aging_liberty.Io
+module Characterize = Aging_liberty.Characterize
 module Timing = Aging_sta.Timing
 module Report = Aging_sta.Report
 module Deg = Aging_core.Degradation_library
@@ -77,17 +78,54 @@ let characterize_cmd =
     Arg.(value & opt string "degradation_aware.alib"
          & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output .alib path.")
   in
-  let run corner years axes cache out =
-    let deglib = deglib_of ~axes ~years ~cache in
+  let report_arg =
+    Arg.(value & flag
+         & info [ "report" ]
+             ~doc:"Print the characterization fault/repair report (points \
+                   measured / retried / repaired / failed per cell and arc).")
+  in
+  let fault_rate_arg =
+    Arg.(value & opt float 0.
+         & info [ "fault-rate" ] ~docv:"P"
+             ~doc:"Deterministically inject transient failures into this \
+                   fraction of grid points (testing the retry/fallback \
+                   machinery; bypasses the cache via the fingerprint).")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 0
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seed selecting which grid points the injected faults hit.")
+  in
+  let run corner years axes cache out report fault_rate fault_seed =
+    let backend =
+      if fault_rate > 0. then
+        Characterize.Faulty
+          ({ Characterize.rate = fault_rate; seed = fault_seed; depth = 1 },
+           Characterize.default_backend)
+      else Characterize.default_backend
+    in
+    let deglib = Deg.create ~backend ~axes ~years ~cache_dir:cache () in
     let lib = Deg.corner deglib corner in
     Io.save out lib;
     Printf.printf "wrote %s: %d cells, corner %s, %g years\n" out
       (List.length (Aging_liberty.Library.entries lib))
-      (Scenario.suffix corner) years
+      (Scenario.suffix corner) years;
+    if report then begin
+      match Deg.build_reports deglib with
+      | [] ->
+        print_string
+          "library served from cache; no characterization was performed\n"
+      | reports ->
+        List.iter
+          (fun (name, r) ->
+            Printf.printf "[%s]\n%s" name (Characterize.report_to_string r))
+          reports
+    end
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Build a degradation-aware cell library")
-    Term.(const run $ corner_arg $ years_arg $ axes_arg $ cache_arg $ out_arg)
+    Term.(const run $ corner_arg $ years_arg $ axes_arg $ cache_arg $ out_arg
+          $ report_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ------------------------------ report ------------------------------ *)
 

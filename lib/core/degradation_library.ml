@@ -15,11 +15,15 @@ type t = {
   cache_dir : string option;
   memo : (string, Library.t) Hashtbl.t;
   fingerprint : string;
+  reports : (string * Characterize.report) list ref;
 }
 
-let backend_tag = function
+let rec backend_tag = function
   | Characterize.Transient _ -> "transient"
   | Characterize.Analytic -> "analytic"
+  | Characterize.Faulty (f, inner) ->
+    Printf.sprintf "faulty%g:%d:%d+%s" f.Characterize.rate f.Characterize.seed
+      f.Characterize.depth (backend_tag inner)
 
 let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
     ?(years = 10.) ?cache_dir () =
@@ -46,7 +50,8 @@ let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
            backend_tag backend,
            model_probe ))
   in
-  { backend; cells; axes; years; cache_dir; memo = Hashtbl.create 16; fingerprint }
+  { backend; cells; axes; years; cache_dir; memo = Hashtbl.create 16;
+    fingerprint; reports = ref [] }
 
 let axes t = t.axes
 let years t = t.years
@@ -59,6 +64,33 @@ let key t ~mode ~indexed corner =
     (if indexed then "_idx" else "")
     t.fingerprint
 
+(* A cache file that cannot be read or parsed is a miss, not a crash: log
+   and rebuild.  Cache corruption (truncated write, concurrent writer, a
+   format change) must never take down a characterization job. *)
+let load_cache_file path =
+  if not (Sys.file_exists path) then None
+  else
+    match Io.load path with
+    | lib -> Some lib
+    | exception (Failure msg | Sys_error msg | Invalid_argument msg) ->
+      Printf.eprintf
+        "[degradation_library] corrupt cache file %s (%s); rebuilding\n%!"
+        path msg;
+      None
+
+(* Writes go through a temp file in the same directory plus an atomic
+   rename, so a crash mid-write can never leave a half-written .alib that
+   would poison later runs. *)
+let save_cache_file dir name lib =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".alib") in
+  let tmp = Filename.temp_file ~temp_dir:dir ("." ^ name) ".tmp" in
+  match Io.save tmp lib with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
 let cached t name build =
   match Hashtbl.find_opt t.memo name with
   | Some lib -> lib
@@ -66,38 +98,40 @@ let cached t name build =
     let from_disk =
       match t.cache_dir with
       | None -> None
-      | Some dir ->
-        let path = Filename.concat dir (name ^ ".alib") in
-        if Sys.file_exists path then Some (Io.load path) else None
+      | Some dir -> load_cache_file (Filename.concat dir (name ^ ".alib"))
     in
     let lib =
       match from_disk with
       | Some lib -> lib
       | None ->
         let lib = build () in
-        Option.iter
-          (fun dir ->
-            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-            Io.save (Filename.concat dir (name ^ ".alib")) lib)
-          t.cache_dir;
+        Option.iter (fun dir -> save_cache_file dir name lib) t.cache_dir;
         lib
     in
     Hashtbl.replace t.memo name lib;
     lib
 
+let build_with_report t ?indexed ~name ~scenario () =
+  let lib, report =
+    Characterize.library_report ~backend:t.backend ~cells:t.cells ?indexed
+      ~axes:t.axes ~name ~scenario ()
+  in
+  t.reports := (name, report) :: !(t.reports);
+  lib
+
+let build_reports t = !(t.reports)
+
 let corner ?(mode = Degradation.Full) t c =
   let name = key t ~mode ~indexed:false c in
   cached t name (fun () ->
       let scenario = Scenario.scenario ~years:t.years ~mode c in
-      Characterize.library ~backend:t.backend ~cells:t.cells ~axes:t.axes
-        ~name ~scenario ())
+      build_with_report t ~name ~scenario ())
 
 let indexed_corner t c =
   let name = key t ~mode:Degradation.Full ~indexed:true c in
   cached t name (fun () ->
       let scenario = Scenario.scenario ~years:t.years c in
-      Characterize.library ~backend:t.backend ~cells:t.cells ~indexed:true
-        ~axes:t.axes ~name ~scenario ())
+      build_with_report t ~indexed:true ~name ~scenario ())
 
 let fresh t = corner t Scenario.fresh
 let worst_case ?mode t = corner ?mode t Scenario.worst_case

@@ -22,6 +22,13 @@ val create :
 val axes : t -> Aging_liberty.Axes.t
 val years : t -> float
 
+val build_reports : t -> (string * Aging_liberty.Characterize.report) list
+(** Fault/repair accounting of every library this manager actually
+    characterized (cache hits produce no report), newest first, keyed by
+    the cache name.  Cache files are written atomically (temp file +
+    rename) and a corrupt/unparseable cache file is treated as a miss: the
+    library is rebuilt and the file rewritten. *)
+
 val fresh : t -> Aging_liberty.Library.t
 (** The degradation-unaware (initial) library. *)
 

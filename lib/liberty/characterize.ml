@@ -6,8 +6,33 @@ module Stimulus = Aging_spice.Stimulus
 module Waveform = Aging_spice.Waveform
 module Mosfet = Aging_spice.Mosfet
 module Cell = Aging_cells.Cell
+module Retry = Aging_util.Retry
 
-type backend = Transient of Engine.options | Analytic
+(* ------------------------------------------------------------------ *)
+(* Typed per-point errors                                              *)
+(* ------------------------------------------------------------------ *)
+
+type point_error =
+  | No_settle of float
+  | No_crossing
+  | No_slew
+  | Non_converged of int
+
+let point_error_to_string = function
+  | No_settle v ->
+    Printf.sprintf "output did not settle (%.3f V at the final sample)" v
+  | No_crossing -> "no 50% crossing"
+  | No_slew -> "no 20/80 transition"
+  | Non_converged n ->
+    Printf.sprintf "solver accepted %d non-converged step%s at the dt floor" n
+      (if n = 1 then "" else "s")
+
+type fault = { rate : float; seed : int; depth : int }
+
+type backend =
+  | Transient of Engine.options
+  | Analytic
+  | Faulty of fault * backend
 
 (* Characterization runs many short cell-level transients; a shorter DC
    settle is plenty for single cells and the post-transition tail is cut by
@@ -34,8 +59,8 @@ let aged_circuit ~scenario (cell : Cell.t) =
 (* Transient backend                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let transient_measure options ~base_circuit ~(cell : Cell.t)
-    ~(arc : Cell.arc) ~dir ~slew ~load =
+let transient_measure ?(t_stop_scale = 1.) options ~base_circuit
+    ~(cell : Cell.t) ~(arc : Cell.arc) ~dir ~slew ~load =
   let circuit = Circuit.map_devices Fun.id base_circuit in
   let out_node = List.assoc arc.Cell.arc_output cell.Cell.built.output_nodes in
   let in_node = List.assoc arc.Cell.arc_input cell.Cell.built.input_nodes in
@@ -64,7 +89,7 @@ let transient_measure options ~base_circuit ~(cell : Cell.t)
         | None -> [ q_pre ]
       end
   in
-  let t_stop = t_start +. Stimulus.full_ramp_time slew +. 3e-9 in
+  let t_stop = t_start +. Stimulus.full_ramp_time slew +. (t_stop_scale *. 3e-9) in
   let target = rail (dir = Library.Rise) in
   let stop_when time v =
     (* The output started at the opposite rail; once it is pinned to the
@@ -79,32 +104,30 @@ let transient_measure options ~base_circuit ~(cell : Cell.t)
       ~drives:((in_node, input_stim) :: side_drives)
       ~t_stop
   in
-  let w_in = Engine.waveform result in_node in
-  let w_out = Engine.waveform result out_node in
-  let out_dir =
-    match dir with Library.Rise -> Waveform.Rising | Library.Fall -> Waveform.Falling
-  in
-  let fail reason =
-    failwith
-      (Printf.sprintf "Characterize: %s arc %s->%s dir=%s slew=%.1fps load=%.2ffF: %s"
-         cell.Cell.name arc.Cell.arc_input arc.Cell.arc_output
-         (match dir with Library.Rise -> "rise" | Library.Fall -> "fall")
-         (slew *. 1e12) (load *. 1e15) reason)
-  in
-  let final = Engine.final_voltage result out_node in
-  if Float.abs (final -. target) > 0.15 then
-    fail (Printf.sprintf "output did not settle (%.3f V, expected %.1f V)" final target);
-  let delay =
-    match Waveform.delay ~input:w_in ~output:w_out ~out_direction:out_dir ~vdd:Device.vdd with
-    | Some d -> d
-    | None -> fail "no 50%% crossing"
-  in
-  let out_slew =
-    match Waveform.slew w_out ~direction:out_dir ~vdd:Device.vdd with
-    | Some s -> s
-    | None -> fail "no 20/80 transition"
-  in
-  (delay, out_slew)
+  let diag = Engine.diagnostics result in
+  if diag.Engine.non_converged_steps > 0 then
+    Error (Non_converged diag.Engine.non_converged_steps)
+  else begin
+    let w_in = Engine.waveform result in_node in
+    let w_out = Engine.waveform result out_node in
+    let out_dir =
+      match dir with Library.Rise -> Waveform.Rising | Library.Fall -> Waveform.Falling
+    in
+    let final = Engine.final_voltage result out_node in
+    if Float.abs (final -. target) > 0.15 then Error (No_settle final)
+    else begin
+      match
+        Waveform.delay ~input:w_in ~output:w_out ~out_direction:out_dir
+          ~vdd:Device.vdd
+      with
+      | None -> Error No_crossing
+      | Some delay -> begin
+        match Waveform.slew w_out ~direction:out_dir ~vdd:Device.vdd with
+        | None -> Error No_slew
+        | Some out_slew -> Ok (delay, out_slew)
+      end
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Analytic backend (state-of-the-art closed form, for ablation)       *)
@@ -152,52 +175,302 @@ let analytic_measure ~base_circuit ~(cell : Cell.t) ~(arc : Cell.arc) ~dir
   (delay, out_slew)
 
 (* ------------------------------------------------------------------ *)
+(* Retry with escalation, fault injection                              *)
+(* ------------------------------------------------------------------ *)
+
+type point_key = {
+  key_cell : string;
+  key_from : string;
+  key_to : string;
+  key_dir : Library.direction;
+  key_slew : float;
+  key_load : float;
+}
+
+let key_to_string k =
+  Printf.sprintf "%s arc %s->%s dir=%s slew=%.1fps load=%.2ffF" k.key_cell
+    k.key_from k.key_to
+    (match k.key_dir with Library.Rise -> "rise" | Library.Fall -> "fall")
+    (k.key_slew *. 1e12) (k.key_load *. 1e15)
+
+(* Rungs beyond the first attempt: progressively smaller dt floor, more
+   Newton iterations, longer DC settle, and a longer post-transition tail. *)
+let max_escalations = 2
+
+let escalated attempt (o : Engine.options) =
+  if attempt = 0 then (o, 1.)
+  else
+    let f = float_of_int attempt in
+    ( {
+        o with
+        Engine.dt_min = o.Engine.dt_min /. (4. ** f);
+        newton_max = o.Engine.newton_max * (attempt + 1);
+        settle_time = o.Engine.settle_time *. (1. +. f);
+      },
+      1. +. f )
+
+(* A fault decides deterministically from the point identity (not the call
+   order) whether an attempt is sabotaged, so runs are reproducible and
+   retries of the same point see the same injected failures up to [depth]. *)
+let injects fault key ~attempt =
+  attempt < fault.depth
+  && fault.rate > 0.
+  && Hashtbl.hash (fault.seed, key) land 0xFFFF
+     < int_of_float (Float.min 1. fault.rate *. 65536.)
+
+let injected_error fault key =
+  match Hashtbl.hash (key, fault.seed, "error-kind") land 3 with
+  | 0 -> No_settle (Device.vdd /. 2.)
+  | 1 -> No_crossing
+  | 2 -> No_slew
+  | _ -> Non_converged 1
+
+let rec attempt_point backend ~attempt ~key ~base_circuit ~cell ~arc ~dir ~slew
+    ~load =
+  match backend with
+  | Faulty (fault, inner) ->
+    if injects fault key ~attempt then Error (injected_error fault key)
+    else
+      attempt_point inner ~attempt ~key ~base_circuit ~cell ~arc ~dir ~slew ~load
+  | Analytic -> Ok (analytic_measure ~base_circuit ~cell ~arc ~dir ~slew ~load)
+  | Transient options ->
+    let options, t_stop_scale = escalated attempt options in
+    transient_measure ~t_stop_scale options ~base_circuit ~cell ~arc ~dir ~slew
+      ~load
+
+let measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load =
+  Retry.with_escalation
+    ~ladder:(List.init (max_escalations + 1) Fun.id)
+    (fun attempt ->
+      attempt_point backend ~attempt ~key ~base_circuit ~cell ~arc ~dir ~slew
+        ~load)
+
+(* ------------------------------------------------------------------ *)
+(* Characterization report                                             *)
+(* ------------------------------------------------------------------ *)
+
+type repair = Interpolated | Analytic_fallback
+
+let repair_to_string = function
+  | Interpolated -> "interpolated from neighbour grid points"
+  | Analytic_fallback -> "analytic closed-form fallback"
+
+type arc_stats = {
+  stat_cell : string;
+  stat_from : string;
+  stat_to : string;
+  stat_dir : Library.direction;
+  mutable measured : int;
+  mutable retried : int;
+  mutable repaired : int;
+  mutable failed : int;
+  mutable repairs : repair list;
+  mutable errors : point_error list;
+}
+
+type report = { mutable stats : arc_stats list }
+
+let report_create () = { stats = [] }
+
+let new_arc_stats report ~cell ~from_pin ~to_pin ~dir =
+  let s =
+    {
+      stat_cell = cell;
+      stat_from = from_pin;
+      stat_to = to_pin;
+      stat_dir = dir;
+      measured = 0;
+      retried = 0;
+      repaired = 0;
+      failed = 0;
+      repairs = [];
+      errors = [];
+    }
+  in
+  report.stats <- s :: report.stats;
+  s
+
+type totals = {
+  points : int;
+  clean : int;
+  recovered : int;
+  degraded : int;
+  lost : int;
+}
+
+let report_totals r =
+  List.fold_left
+    (fun t s ->
+      {
+        points = t.points + s.measured + s.retried + s.repaired + s.failed;
+        clean = t.clean + s.measured;
+        recovered = t.recovered + s.retried;
+        degraded = t.degraded + s.repaired;
+        lost = t.lost + s.failed;
+      })
+    { points = 0; clean = 0; recovered = 0; degraded = 0; lost = 0 }
+    r.stats
+
+let report_clean r =
+  let t = report_totals r in
+  t.recovered = 0 && t.degraded = 0 && t.lost = 0
+
+let dir_label = function Library.Rise -> "rise" | Library.Fall -> "fall"
+
+let report_to_string r =
+  let b = Buffer.create 1024 in
+  let t = report_totals r in
+  Buffer.add_string b
+    (Printf.sprintf
+       "characterization report: %d points (%d measured, %d retried, %d \
+        repaired, %d failed)\n"
+       t.points t.clean t.recovered t.degraded t.lost);
+  List.iter
+    (fun s ->
+      if s.retried + s.repaired + s.failed > 0 then begin
+        Buffer.add_string b
+          (Printf.sprintf "  %s %s->%s %s: %d measured, %d retried, %d repaired, %d failed\n"
+             s.stat_cell s.stat_from s.stat_to (dir_label s.stat_dir) s.measured
+             s.retried s.repaired s.failed);
+        List.iter
+          (fun e ->
+            Buffer.add_string b
+              (Printf.sprintf "    - %s\n" (point_error_to_string e)))
+          (List.rev s.errors);
+        List.iter
+          (fun rp ->
+            Buffer.add_string b
+              (Printf.sprintf "    - repair: %s\n" (repair_to_string rp)))
+          (List.rev s.repairs)
+      end)
+    (List.rev r.stats);
+  if t.recovered = 0 && t.degraded = 0 && t.lost = 0 then
+    Buffer.add_string b "  all points measured on the first attempt\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Grid measurement with graceful degradation                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fill one (slews x loads) grid.  Pass 1 measures every point through the
+   escalation ladder; pass 2 repairs exhausted points from already-measured
+   orthogonal neighbours (mean of the adjacent grid values — failures are
+   sparse, so this is a local estimate), degrading to the analytic
+   closed-form model when an entire neighbourhood is missing.  The grid is
+   always complete on return. *)
+let measure_grid backend ~(stats : arc_stats) ~(axes : Axes.t) ~base_circuit
+    ~cell ~arc ~dir =
+  let ns = Array.length axes.Axes.slews and nl = Array.length axes.Axes.loads in
+  let delays = Array.make_matrix ns nl 0. in
+  let slews_out = Array.make_matrix ns nl 0. in
+  let ok = Array.make_matrix ns nl false in
+  let holes = ref [] in
+  for i = 0 to ns - 1 do
+    for j = 0 to nl - 1 do
+      let slew = axes.Axes.slews.(i) and load = axes.Axes.loads.(j) in
+      let key =
+        {
+          key_cell = (cell : Cell.t).Cell.name;
+          key_from = (arc : Cell.arc).Cell.arc_input;
+          key_to = arc.Cell.arc_output;
+          key_dir = dir;
+          key_slew = slew;
+          key_load = load;
+        }
+      in
+      match measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load with
+      | Retry.First_try (d, s) ->
+        delays.(i).(j) <- d;
+        slews_out.(i).(j) <- s;
+        ok.(i).(j) <- true;
+        stats.measured <- stats.measured + 1
+      | Retry.Recovered ((d, s), errs) ->
+        delays.(i).(j) <- d;
+        slews_out.(i).(j) <- s;
+        ok.(i).(j) <- true;
+        stats.retried <- stats.retried + 1;
+        stats.errors <- List.hd errs :: stats.errors
+      | Retry.Exhausted errs ->
+        holes := (i, j) :: !holes;
+        stats.errors <- List.hd errs :: stats.errors
+    done
+  done;
+  List.iter
+    (fun (i, j) ->
+      let neighbours =
+        List.filter
+          (fun (i', j') -> i' >= 0 && i' < ns && j' >= 0 && j' < nl && ok.(i').(j'))
+          [ (i - 1, j); (i + 1, j); (i, j - 1); (i, j + 1) ]
+      in
+      let repair =
+        match neighbours with
+        | [] ->
+          let d, s =
+            analytic_measure ~base_circuit ~cell ~arc ~dir
+              ~slew:axes.Axes.slews.(i) ~load:axes.Axes.loads.(j)
+          in
+          delays.(i).(j) <- d;
+          slews_out.(i).(j) <- s;
+          Analytic_fallback
+        | _ ->
+          let n = float_of_int (List.length neighbours) in
+          let mean get =
+            List.fold_left (fun acc (i', j') -> acc +. get i' j') 0. neighbours /. n
+          in
+          delays.(i).(j) <- mean (fun i' j' -> delays.(i').(j'));
+          slews_out.(i).(j) <- mean (fun i' j' -> slews_out.(i').(j'));
+          Interpolated
+      in
+      stats.repairs <- repair :: stats.repairs;
+      stats.repaired <- stats.repaired + 1)
+    (List.rev !holes);
+  ( Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:delays,
+    Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:slews_out )
+
+(* ------------------------------------------------------------------ *)
 (* Entry / library assembly                                            *)
 (* ------------------------------------------------------------------ *)
 
-let measure backend ~base_circuit ~cell ~arc ~dir ~slew ~load =
-  match backend with
-  | Transient options ->
-    transient_measure options ~base_circuit ~cell ~arc ~dir ~slew ~load
-  | Analytic -> analytic_measure ~base_circuit ~cell ~arc ~dir ~slew ~load
-
-let arc_measure backend ~scenario ~cell ~arc ~dir ~slew ~load =
+let arc_measure backend ~scenario ~(cell : Cell.t) ~(arc : Cell.arc) ~dir ~slew
+    ~load =
   let base_circuit = aged_circuit ~scenario cell in
-  measure backend ~base_circuit ~cell ~arc ~dir ~slew ~load
+  let key =
+    {
+      key_cell = cell.Cell.name;
+      key_from = arc.Cell.arc_input;
+      key_to = arc.Cell.arc_output;
+      key_dir = dir;
+      key_slew = slew;
+      key_load = load;
+    }
+  in
+  (* Legacy single-point entry point: the one place a point failure still
+     escapes as an exception, after the full escalation ladder. *)
+  match measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load with
+  | Retry.First_try v | Retry.Recovered (v, _) -> v
+  | Retry.Exhausted errs ->
+    failwith
+      (Printf.sprintf "Characterize: %s: %s" (key_to_string key)
+         (String.concat "; " (List.map point_error_to_string errs)))
 
 let mid_value table =
   let n_s, n_l = Nldm.dimensions table in
   table.Nldm.values.(n_s / 2).(n_l / 2)
 
-let entry ?(backend = default_backend) ?(indexed = false) ~(axes : Axes.t)
-    ~scenario (cell : Cell.t) =
+let entry ?(backend = default_backend) ?(indexed = false) ?report
+    ~(axes : Axes.t) ~scenario (cell : Cell.t) =
+  let report = match report with Some r -> r | None -> report_create () in
   let base_circuit = aged_circuit ~scenario cell in
-  let arc_tables (arc : Cell.arc) =
-    let tables dir =
-      let delays = Array.make_matrix (Array.length axes.Axes.slews)
-          (Array.length axes.Axes.loads) 0.
-      and slews_out = Array.make_matrix (Array.length axes.Axes.slews)
-          (Array.length axes.Axes.loads) 0. in
-      Array.iteri
-        (fun i s ->
-          Array.iteri
-            (fun j l ->
-              let d, os =
-                measure backend ~base_circuit ~cell ~arc ~dir ~slew:s ~load:l
-              in
-              delays.(i).(j) <- d;
-              slews_out.(i).(j) <- os)
-            axes.Axes.loads)
-        axes.Axes.slews;
-      ( Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:delays,
-        Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:slews_out )
+  let arc_tables (arc : Cell.arc) dir =
+    let stats =
+      new_arc_stats report ~cell:cell.Cell.name ~from_pin:arc.Cell.arc_input
+        ~to_pin:arc.Cell.arc_output ~dir
     in
-    tables
+    measure_grid backend ~stats ~axes ~base_circuit ~cell ~arc ~dir
   in
   let characterize_combinational (arc : Cell.arc) =
-    let tables = arc_tables arc in
-    let delay_rise, slew_rise = tables Library.Rise in
-    let delay_fall, slew_fall = tables Library.Fall in
+    let delay_rise, slew_rise = arc_tables arc Library.Rise in
+    let delay_fall, slew_fall = arc_tables arc Library.Fall in
     {
       Library.from_pin = arc.Cell.arc_input;
       to_pin = arc.Cell.arc_output;
@@ -271,11 +544,16 @@ let entry ?(backend = default_backend) ?(indexed = false) ~(axes : Axes.t)
     setup_time;
   }
 
-let library ?(backend = default_backend) ?cells ?(indexed = false) ~axes ~name
-    ~scenario () =
+let library ?(backend = default_backend) ?cells ?(indexed = false) ?report
+    ~axes ~name ~scenario () =
   let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
-  let entries = List.map (entry ~backend ~indexed ~axes ~scenario) cells in
+  let entries = List.map (entry ~backend ~indexed ?report ~axes ~scenario) cells in
   Library.create ~lib_name:name ~axes entries
+
+let library_report ?backend ?cells ?indexed ~axes ~name ~scenario () =
+  let report = report_create () in
+  let lib = library ?backend ?cells ?indexed ~report ~axes ~name ~scenario () in
+  (lib, report)
 
 let fresh_library ?backend ?cells ~axes () =
   library ?backend ?cells ~axes ~name:"initial"

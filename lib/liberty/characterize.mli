@@ -11,30 +11,120 @@
 
     The [Analytic] backend is that faulted state-of-the-art: a closed-form
     switched-RC estimate from the output-stage drive resistance that cannot
-    see internal slopes.  It exists for the ablation benchmark. *)
+    see internal slopes.  It exists for the ablation benchmark.
+
+    {2 Fault tolerance}
+
+    A library build runs thousands of per-point transients, and a single
+    non-settling grid point must never abort the build.  Every grid point is
+    measured through a typed-result pipeline ({!point_error}), retried up an
+    escalation ladder of progressively more conservative solver settings,
+    and — when every rung fails — repaired from already-measured neighbour
+    grid points or from the analytic model.  Every deviation from a clean
+    first-attempt measurement is recorded in a {!report} that callers can
+    print and tests can assert on.  The [Faulty] backend wrapper injects
+    deterministic point failures so that machinery can be exercised end to
+    end. *)
+
+type point_error =
+  | No_settle of float
+      (** output never reached the target rail; carries the final voltage *)
+  | No_crossing  (** no 50 % delay crossing was found *)
+  | No_slew      (** no 20/80 output transition was found *)
+  | Non_converged of int
+      (** the solver accepted that many non-converged steps at the [dt]
+          floor; the waveform is untrustworthy *)
+
+val point_error_to_string : point_error -> string
+
+type fault = {
+  rate : float;  (** fraction of grid points sabotaged, in [0, 1] *)
+  seed : int;    (** decorrelates which points fail *)
+  depth : int;
+      (** how many rungs of the escalation ladder fail for a sabotaged
+          point: [1] exercises retry-recovery, [max_int] forces the
+          degraded fallbacks *)
+}
 
 type backend =
   | Transient of Aging_spice.Engine.options
   | Analytic
+  | Faulty of fault * backend
+      (** deterministic fault-injection wrapper around another backend *)
 
 val default_backend : backend
 (** [Transient] with default engine options. *)
 
+(** {2 Characterization report} *)
+
+type repair = Interpolated | Analytic_fallback
+
+type arc_stats = {
+  stat_cell : string;
+  stat_from : string;
+  stat_to : string;
+  stat_dir : Library.direction;
+  mutable measured : int;  (** points measured cleanly on the first attempt *)
+  mutable retried : int;   (** points recovered by an escalated re-run *)
+  mutable repaired : int;  (** points filled by a degraded fallback *)
+  mutable failed : int;    (** points lost entirely (never with fallbacks) *)
+  mutable repairs : repair list;      (** one entry per repaired point *)
+  mutable errors : point_error list;
+      (** first error of every non-clean point, newest first *)
+}
+
+type report = { mutable stats : arc_stats list }
+(** Per-(cell, arc, direction) accounting of one characterization run;
+    [stats] is newest-first.  The four counters partition the grid points,
+    so their sum is the total point count. *)
+
+val report_create : unit -> report
+
+type totals = {
+  points : int;     (** all grid points *)
+  clean : int;      (** measured on the first attempt *)
+  recovered : int;  (** needed at least one escalated retry *)
+  degraded : int;   (** repaired by interpolation or the analytic model *)
+  lost : int;       (** failed outright *)
+}
+
+val report_totals : report -> totals
+
+val report_clean : report -> bool
+(** [true] iff every point was measured on the first attempt. *)
+
+val report_to_string : report -> string
+
+(** {2 Characterization} *)
+
 val entry :
   ?backend:backend ->
   ?indexed:bool ->
+  ?report:report ->
   axes:Axes.t ->
   scenario:Aging_physics.Scenario.t ->
   Aging_cells.Cell.t ->
   Library.entry
 (** Characterizes one cell under the scenario.  When [indexed] is true the
     entry name carries the corner suffix ("NAND2_X1\@0.4_0.6"); default
-    false (bare name).
-    @raise Failure if a timing arc fails to produce a transition (indicates
-    a sensitization or convergence problem — never expected for catalog
-    cells). *)
+    false (bare name).  Per-point failures are retried and repaired, never
+    raised; pass [report] to collect the accounting. *)
 
 val library :
+  ?backend:backend ->
+  ?cells:Aging_cells.Cell.t list ->
+  ?indexed:bool ->
+  ?report:report ->
+  axes:Axes.t ->
+  name:string ->
+  scenario:Aging_physics.Scenario.t ->
+  unit ->
+  Library.t
+(** Characterizes a whole library (default: the full catalog) under one
+    scenario.  Always returns a complete library: full grids for every arc
+    of every cell, with failed points repaired (see the module docs). *)
+
+val library_report :
   ?backend:backend ->
   ?cells:Aging_cells.Cell.t list ->
   ?indexed:bool ->
@@ -42,9 +132,8 @@ val library :
   name:string ->
   scenario:Aging_physics.Scenario.t ->
   unit ->
-  Library.t
-(** Characterizes a whole library (default: the full catalog) under one
-    scenario. *)
+  Library.t * report
+(** [library] plus the fault/repair accounting of the build. *)
 
 val fresh_library :
   ?backend:backend -> ?cells:Aging_cells.Cell.t list -> axes:Axes.t ->
@@ -62,4 +151,7 @@ val arc_measure :
   load:float ->
   float * float
 (** Measures a single (delay, output slew) point; exposed for the Fig. 1
-    surface experiment and for tests. *)
+    surface experiment and for tests.  This is the legacy entry point: the
+    escalation ladder still applies, but a point whose every attempt fails
+    raises.
+    @raise Failure when the full escalation ladder is exhausted. *)

@@ -43,8 +43,25 @@ let axes t = t.axes
 let entries t = t.entries
 let find t name = Hashtbl.find_opt t.index name
 
+exception Cell_not_found of { library : string; cell : string }
+exception Pin_not_found of { cell : string; pin : string }
+
+let () =
+  Printexc.register_printer (function
+    | Cell_not_found { library; cell } ->
+      Some
+        (Printf.sprintf "Library.Cell_not_found: no cell %S in library %S"
+           cell library)
+    | Pin_not_found { cell; pin } ->
+      Some
+        (Printf.sprintf "Library.Pin_not_found: cell %S has no input pin %S"
+           cell pin)
+    | _ -> None)
+
 let find_exn t name =
-  match find t name with Some e -> e | None -> raise Not_found
+  match find t name with
+  | Some e -> e
+  | None -> raise (Cell_not_found { library = t.lib_name; cell = name })
 
 let names t = List.map (fun e -> e.indexed_name) t.entries
 
@@ -70,7 +87,7 @@ let out_direction arc ~in_dir =
 let input_cap entry pin =
   match List.assoc_opt pin entry.pin_caps with
   | Some c -> c
-  | None -> raise Not_found
+  | None -> raise (Pin_not_found { cell = entry.indexed_name; pin })
 
 let worst_delay entry =
   List.fold_left

@@ -35,6 +35,14 @@ type entry = {
 type t
 (** A library; build with {!create}, inspect with {!entries}. *)
 
+exception Cell_not_found of { library : string; cell : string }
+(** Raised by {!find_exn} instead of a bare [Not_found], so a failing STA
+    or synthesis run names exactly which cell is missing from which
+    library. *)
+
+exception Pin_not_found of { cell : string; pin : string }
+(** Raised by {!input_cap}; [cell] is the entry's indexed name. *)
+
 val create : lib_name:string -> axes:Axes.t -> entry list -> t
 (** @raise Invalid_argument on duplicate indexed names. *)
 
@@ -46,7 +54,7 @@ val find : t -> string -> entry option
 (** Lookup by indexed name. *)
 
 val find_exn : t -> string -> entry
-(** @raise Not_found *)
+(** @raise Cell_not_found on an unknown indexed name. *)
 
 val names : t -> string list
 
@@ -62,7 +70,7 @@ val out_direction : arc -> in_dir:direction -> direction
     arc's timing sense. *)
 
 val input_cap : entry -> string -> float
-(** @raise Not_found on unknown pin. *)
+(** @raise Pin_not_found on an unknown pin. *)
 
 val worst_delay : entry -> float
 (** Largest delay value across all arcs/directions/grid points (used by

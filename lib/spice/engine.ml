@@ -23,10 +23,18 @@ let default_options =
     c_floor = 2e-17;
   }
 
+type diagnostics = {
+  rejected_steps : int;
+  non_converged_steps : int;
+  settle_non_converged : int;
+  jacobian_refreshes : int;
+}
+
 type result = {
   times : float array;
   node_voltages : float array array; (* node_voltages.(node).(sample) *)
   n_steps : int;
+  diag : diagnostics;
 }
 
 (* Dense LU solve with partial pivoting; [a] and [b] are clobbered. *)
@@ -140,10 +148,15 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
       out.(i) <- (cap.(i) *. (v.(free.(i)) -. v_prev.(i)) /. dt) -. inject.(i)
     done
   in
+  let rejected = ref 0 in
+  let forced = ref 0 in
+  let settle_forced = ref 0 in
+  let jac_refreshes = ref 0 in
   let f0 = Array.make nf 0. in
   let f1 = Array.make nf 0. in
   let jac = Array.make_matrix nf nf 0. in
   let refresh_jacobian v_prev dt =
+    incr jac_refreshes;
     (* Finite-difference Jacobian around the current iterate; f0 must hold
        the residual at the current point. *)
     let dv = 1e-4 in
@@ -222,10 +235,15 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
       if (not converged || change > options.dv_reject)
          && dt_now > options.dt_min then begin
         (* Reject: restore state and retry with half the step. *)
+        incr rejected;
         Array.blit v_saved 0 v 0 n_nodes;
         dt := Float.max options.dt_min (dt_now /. 2.)
       end
       else begin
+        (* Accepting a step that Newton did not converge (only possible at
+           the dt floor) is recorded rather than hidden: callers decide
+           whether the run is trustworthy. *)
+        if not converged then incr (if recording then forced else settle_forced);
         t := t_next;
         incr n_steps;
         if recording then record !t;
@@ -248,7 +266,18 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
   let node_voltages =
     Array.init n_nodes (fun n -> Array.map (fun s -> s.(n)) samples)
   in
-  { times; node_voltages; n_steps = !n_steps }
+  {
+    times;
+    node_voltages;
+    n_steps = !n_steps;
+    diag =
+      {
+        rejected_steps = !rejected;
+        non_converged_steps = !forced;
+        settle_non_converged = !settle_forced;
+        jacobian_refreshes = !jac_refreshes;
+      };
+  }
 
 let waveform r node =
   { Waveform.times = r.times; values = r.node_voltages.(node) }
@@ -258,3 +287,5 @@ let final_voltage r node =
   vs.(Array.length vs - 1)
 
 let steps r = r.n_steps
+let diagnostics r = r.diag
+let converged r = r.diag.non_converged_steps = 0

@@ -14,6 +14,20 @@
 type result
 (** Transient run output: every accepted time point for every node. *)
 
+type diagnostics = {
+  rejected_steps : int;
+      (** step attempts discarded (Newton failure or too-large voltage
+          change) and retried at half the step size *)
+  non_converged_steps : int;
+      (** recorded ([t >= 0]) steps accepted at the [dt_min] floor without
+          Newton convergence — a nonzero count means the waveform may be
+          inaccurate and the run should be retried or discarded *)
+  settle_non_converged : int;
+      (** same, but during the pre-[t=0] DC settling march *)
+  jacobian_refreshes : int;
+      (** finite-difference Jacobian rebuilds over the whole run *)
+}
+
 type options = {
   dt_min : float;      (** floor on the step size [s] *)
   dt_max : float;      (** ceiling on the step size [s] *)
@@ -49,3 +63,10 @@ val final_voltage : result -> Circuit.node -> float
 
 val steps : result -> int
 (** Number of accepted time steps (diagnostic). *)
+
+val diagnostics : result -> diagnostics
+(** Solver-health counters of the run; see {!diagnostics}. *)
+
+val converged : result -> bool
+(** [true] iff no recorded step was accepted without Newton convergence
+    ([non_converged_steps = 0]). *)

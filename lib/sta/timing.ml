@@ -93,7 +93,7 @@ let compute_loads ~config ~library (netlist : Netlist.t) =
           let cap =
             match Library.input_cap entry pin with
             | cap -> cap
-            | exception Not_found ->
+            | exception Library.Pin_not_found _ ->
               failwith
                 (Printf.sprintf "Timing.analyze: %s (%s) has no pin %s in %s"
                    inst.Netlist.inst_name inst.Netlist.cell_name pin

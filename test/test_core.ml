@@ -39,6 +39,37 @@ let test_deglib_disk_cache () =
   in
   Alcotest.(check (float 0.)) "identical tables from cache" (d lib1) (d lib2)
 
+let test_deglib_corrupt_cache_rebuilds () =
+  let dir = Filename.temp_file "alib" "" in
+  Sys.remove dir;
+  let cells = [ Aging_cells.Catalog.find_exn "INV_X1" ] in
+  let t1 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  let lib1 = Deg.worst_case t1 in
+  (* Truncate every cache file mid-stream: a partial/corrupt .alib must be
+     treated as a miss, not crash the loader. *)
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      let oc = open_out_gen [ Open_wronly; Open_trunc ] 0o644 path in
+      output_string oc "library broken\nslews 1e-11";
+      close_out oc)
+    (Sys.readdir dir);
+  let t2 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  let lib2 = Deg.worst_case t2 in
+  let d lib =
+    Library.delay_of
+      (List.hd (Library.find_exn lib "INV_X1").Library.arcs)
+      ~dir:Library.Rise ~slew:4e-11 ~load:2e-15
+  in
+  Alcotest.(check (float 0.)) "rebuilt library matches original" (d lib1) (d lib2);
+  Alcotest.(check int) "rebuild was a real characterization" 1
+    (List.length (Deg.build_reports t2));
+  (* The corrupt file must have been overwritten with a loadable one. *)
+  let t3 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  ignore (Deg.worst_case t3);
+  Alcotest.(check int) "third manager hits the rewritten cache" 0
+    (List.length (Deg.build_reports t3))
+
 let test_vth_only_corner_faster () =
   let t = deglib () in
   let full = Deg.worst_case t in
@@ -178,6 +209,7 @@ let suite =
   [
     ("deglib: memoization", `Quick, test_deglib_memoization);
     ("deglib: disk cache", `Quick, test_deglib_disk_cache);
+    ("deglib: corrupt cache rebuilds", `Quick, test_deglib_corrupt_cache_rebuilds);
     ("deglib: vth-only mode", `Quick, test_vth_only_corner_faster);
     ("deglib: complete library", `Quick, test_complete_library_corners);
     ("deglib: single-OPC scaling", `Quick, test_single_opc_scaling);

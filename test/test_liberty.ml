@@ -158,6 +158,92 @@ let test_io_parse_errors () =
     Alcotest.(check bool) "unknown cell reported" true
       (String.length msg > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: typed errors, retry/escalation, graceful fallback  *)
+(* ------------------------------------------------------------------ *)
+
+let fault_cells () =
+  List.map Catalog.find_exn
+    [ "INV_X1"; "NAND2_X1"; "NOR2_X1"; "XOR2_X1"; "DFF_X1" ]
+
+let faulty_build ~depth =
+  let fault = { Characterize.rate = 0.10; seed = 42; depth } in
+  let backend = Characterize.Faulty (fault, Characterize.default_backend) in
+  Characterize.library_report ~backend ~cells:(fault_cells ()) ~axes:Axes.coarse
+    ~name:"faulty" ~scenario:(Scenario.scenario Scenario.worst_case) ()
+
+let check_complete_library lib =
+  List.iter
+    (fun (e : Library.entry) ->
+      Alcotest.(check bool) ("arcs present for " ^ e.Library.indexed_name) true
+        (e.Library.arcs <> [] || e.Library.cell.Cell.inputs = []);
+      List.iter
+        (fun (a : Library.arc) ->
+          List.iter
+            (fun t ->
+              Alcotest.(check bool) "full finite grid" true
+                (Nldm.fold (fun acc v -> acc && Float.is_finite v) true t))
+            [ a.Library.delay_rise; a.Library.delay_fall; a.Library.slew_rise;
+              a.Library.slew_fall ])
+        e.Library.arcs)
+    (Library.entries lib)
+
+let test_clean_build_report () =
+  let lib, report =
+    Characterize.library_report
+      ~cells:[ Catalog.find_exn "INV_X1" ]
+      ~axes:Axes.coarse ~name:"clean"
+      ~scenario:(Scenario.scenario Scenario.fresh) ()
+  in
+  check_complete_library lib;
+  Alcotest.(check bool) "clean" true (Characterize.report_clean report);
+  let t = Characterize.report_totals report in
+  (* One arc, two directions, 3x3 grid. *)
+  Alcotest.(check int) "point count" 18 t.Characterize.points;
+  Alcotest.(check int) "all clean" 18 t.Characterize.clean
+
+let test_fault_injection_recovers () =
+  (* depth = 1: every injected point fails its first attempt and must be
+     recovered by the escalated re-run — never by a fallback. *)
+  let lib, report = faulty_build ~depth:1 in
+  check_complete_library lib;
+  let t = Characterize.report_totals report in
+  Alcotest.(check bool) "faults were injected" true (t.Characterize.recovered > 0);
+  Alcotest.(check int) "no fallbacks needed" 0 t.Characterize.degraded;
+  Alcotest.(check int) "no points lost" 0 t.Characterize.lost;
+  Alcotest.(check int) "counters partition the grid" t.Characterize.points
+    (t.Characterize.clean + t.Characterize.recovered + t.Characterize.degraded
+    + t.Characterize.lost);
+  Alcotest.(check bool) "report prints the failing arcs" true
+    (String.length (Characterize.report_to_string report) > 0)
+
+let test_fault_injection_fallback () =
+  (* Unbounded depth: injected points fail the whole escalation ladder and
+     must be repaired by neighbour interpolation / the analytic model, so
+     the library is still complete. *)
+  let lib, report = faulty_build ~depth:max_int in
+  check_complete_library lib;
+  let t = Characterize.report_totals report in
+  Alcotest.(check int) "nothing recovered by retry" 0 t.Characterize.recovered;
+  Alcotest.(check bool) "repairs happened" true (t.Characterize.degraded > 0);
+  Alcotest.(check int) "no points lost" 0 t.Characterize.lost;
+  (* The injected point set is a function of (rate, seed) only, so the
+     depth=1 run must recover exactly the points this run repairs. *)
+  let _, shallow = faulty_build ~depth:1 in
+  Alcotest.(check int) "every injected fault accounted for"
+    (Characterize.report_totals shallow).Characterize.recovered
+    t.Characterize.degraded
+
+let test_descriptive_lookup_errors () =
+  let lib = Lazy.force Fixtures.fresh_library in
+  Alcotest.check_raises "missing cell"
+    (Library.Cell_not_found { library = "test-fresh"; cell = "NAND9_X1" })
+    (fun () -> ignore (Library.find_exn lib "NAND9_X1"));
+  let e = fresh_entry "INV_X1" in
+  Alcotest.check_raises "missing pin"
+    (Library.Pin_not_found { cell = "INV_X1"; pin = "Z" })
+    (fun () -> ignore (Library.input_cap e "Z"))
+
 let test_analytic_backend_runs () =
   let scenario = Scenario.scenario Scenario.worst_case in
   let cell = Catalog.find_exn "INV_X1" in
@@ -197,6 +283,10 @@ let suite =
     ("io: save/load roundtrip", `Quick, test_io_roundtrip);
     ("io: parse errors", `Quick, test_io_parse_errors);
     ("characterize: analytic backend", `Quick, test_analytic_backend_runs);
+    ("characterize: clean build report", `Quick, test_clean_build_report);
+    ("characterize: injected faults recovered by retry", `Quick, test_fault_injection_recovers);
+    ("characterize: exhausted faults repaired by fallback", `Quick, test_fault_injection_fallback);
+    ("library: descriptive lookup errors", `Quick, test_descriptive_lookup_errors);
   ]
 
 let props = [ prop_lookup_within_table_bounds ]

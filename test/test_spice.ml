@@ -115,6 +115,49 @@ let test_stop_when () =
   Alcotest.(check bool) "record truncated" true
     (w.Waveform.times.(Array.length w.Waveform.times - 1) < 3e-10)
 
+let test_engine_diagnostics_clean () =
+  let c, a, y = build_inverter () in
+  ignore y;
+  let stim = Stimulus.ramp ~t_start:1e-10 ~slew:2e-11 ~rising:true () in
+  let r = Engine.transient c ~drives:[ (a, stim) ] ~t_stop:1e-9 in
+  let d = Engine.diagnostics r in
+  Alcotest.(check int) "no forced steps" 0 d.Engine.non_converged_steps;
+  Alcotest.(check bool) "converged" true (Engine.converged r);
+  Alcotest.(check bool) "jacobian was built" true (d.Engine.jacobian_refreshes > 0)
+
+let test_engine_diagnostics_stiff () =
+  (* Deliberately stiff setup: a single Newton iteration against an
+     unreachable tolerance, with the dt floor pinned to the ceiling so the
+     solver cannot shrink the step — every accepted step is non-converged
+     and must be counted, not hidden. *)
+  let c, a, y = build_inverter () in
+  ignore y;
+  let options =
+    { Engine.default_options with
+      Engine.newton_max = 1;
+      newton_tol = 1e-18;
+      dt_min = Engine.default_options.Engine.dt_max;
+      settle_time = 1e-10;
+    }
+  in
+  let stim = Stimulus.ramp ~t_start:1e-10 ~slew:2e-11 ~rising:true () in
+  let r = Engine.transient ~options c ~drives:[ (a, stim) ] ~t_stop:1e-9 in
+  let d = Engine.diagnostics r in
+  Alcotest.(check bool) "non-converged steps counted" true
+    (d.Engine.non_converged_steps > 0);
+  Alcotest.(check bool) "not converged" true (not (Engine.converged r))
+
+let test_engine_diagnostics_rejections () =
+  (* A tight dv_reject forces step rejections on the switching edge. *)
+  let c, a, y = build_inverter () in
+  ignore y;
+  let options = { Engine.default_options with Engine.dv_reject = 5e-3 } in
+  let stim = Stimulus.ramp ~t_start:1e-10 ~slew:2e-11 ~rising:true () in
+  let r = Engine.transient ~options c ~drives:[ (a, stim) ] ~t_stop:1e-9 in
+  let d = Engine.diagnostics r in
+  Alcotest.(check bool) "rejections counted" true (d.Engine.rejected_steps > 0);
+  Alcotest.(check bool) "still converged" true (Engine.converged r)
+
 let test_engine_validation () =
   let c, a, _ = build_inverter () in
   ignore a;
@@ -187,6 +230,9 @@ let suite =
     ("engine: inverter transient", `Quick, test_inverter_transient);
     ("engine: load slows the gate", `Quick, test_inverter_load_slows);
     ("engine: stop_when truncates", `Quick, test_stop_when);
+    ("engine: clean-run diagnostics", `Quick, test_engine_diagnostics_clean);
+    ("engine: stiff run counts non-converged steps", `Quick, test_engine_diagnostics_stiff);
+    ("engine: tight dv_reject counts rejections", `Quick, test_engine_diagnostics_rejections);
     ("engine: validation", `Quick, test_engine_validation);
     ("stimulus: ramp shape", `Quick, test_stimulus_ramp);
     ("waveform: crossings", `Quick, test_waveform_crossings);

@@ -1,6 +1,7 @@
 module Interp = Aging_util.Interp
 module Stats = Aging_util.Stats
 module Rng = Aging_util.Rng
+module Retry = Aging_util.Retry
 module Tablefmt = Aging_util.Tablefmt
 module Units = Aging_util.Units
 
@@ -115,6 +116,52 @@ let prop_rng_int_range =
       let v = Rng.int rng bound in
       v >= 0 && v < bound)
 
+let test_retry_first_try () =
+  match Retry.with_escalation ~ladder:[ 1; 2; 3 ] (fun lvl -> Ok (10 * lvl)) with
+  | Retry.First_try v ->
+    Alcotest.(check int) "base rung used" 10 v
+  | _ -> Alcotest.fail "expected First_try"
+
+let test_retry_recovers () =
+  let attempts = ref [] in
+  let outcome =
+    Retry.with_escalation ~ladder:[ 0; 1; 2 ] (fun lvl ->
+        attempts := lvl :: !attempts;
+        if lvl < 2 then Error (Printf.sprintf "rung %d failed" lvl) else Ok lvl)
+  in
+  (match outcome with
+  | Retry.Recovered (v, errors) ->
+    Alcotest.(check int) "succeeded on last rung" 2 v;
+    Alcotest.(check (list string)) "errors in attempt order"
+      [ "rung 0 failed"; "rung 1 failed" ] errors
+  | _ -> Alcotest.fail "expected Recovered");
+  Alcotest.(check (list int)) "every rung tried once" [ 0; 1; 2 ] (List.rev !attempts);
+  Alcotest.(check int) "attempts counted" 3 (Retry.attempts outcome)
+
+let test_retry_exhausted () =
+  let outcome =
+    Retry.with_escalation ~ladder:[ "a"; "b" ] (fun lvl -> Error (lvl ^ "!"))
+  in
+  (match outcome with
+  | Retry.Exhausted errors ->
+    Alcotest.(check (list string)) "all errors kept" [ "a!"; "b!" ] errors
+  | _ -> Alcotest.fail "expected Exhausted");
+  Alcotest.(check bool) "no success value" true (Retry.succeeded outcome = None);
+  Alcotest.check_raises "empty ladder"
+    (Invalid_argument "Retry.with_escalation: empty ladder") (fun () ->
+      ignore (Retry.with_escalation ~ladder:[] (fun _ -> Ok ())))
+
+let test_retry_stops_at_success () =
+  let calls = ref 0 in
+  let outcome =
+    Retry.with_escalation ~ladder:[ 0; 1; 2; 3 ] (fun lvl ->
+        incr calls;
+        if lvl = 1 then Ok "done" else Error lvl)
+  in
+  Alcotest.(check int) "no attempts after success" 2 !calls;
+  Alcotest.(check bool) "value" true (Retry.succeeded outcome = Some "done");
+  Alcotest.(check (list int)) "errors before success" [ 0 ] (Retry.errors outcome)
+
 let test_tablefmt () =
   let s = Tablefmt.render ~header:[ "name"; "value" ] [ [ "x"; "12" ]; [ "longer"; "3" ] ] in
   Alcotest.(check bool) "contains header" true
@@ -147,6 +194,10 @@ let suite =
     ("stats: errors", `Quick, test_stats_errors);
     ("rng: deterministic", `Quick, test_rng_deterministic);
     ("rng: split", `Quick, test_rng_split);
+    ("retry: first try", `Quick, test_retry_first_try);
+    ("retry: recovers after escalation", `Quick, test_retry_recovers);
+    ("retry: exhausted ladder", `Quick, test_retry_exhausted);
+    ("retry: stops at first success", `Quick, test_retry_stops_at_success);
     ("tablefmt: layout", `Quick, test_tablefmt);
     ("units: conversions", `Quick, test_units);
     ("units: pretty printers", `Quick, test_pp);
