@@ -2,14 +2,24 @@
    evaluation (via Aging_core.Experiments) and, with the [micro] command,
    runs Bechamel microbenchmarks of the core kernels.
 
+   Every scenario runs inside a recorded telemetry span, and the harness
+   writes a machine-readable BENCH.json (per-scenario wall time plus the
+   process counters accumulated over the run), then re-reads the file to
+   check it parses and names every scenario it was asked to run.
+
    Usage:
      bench/main.exe                 run all figure reproductions (full mode)
      bench/main.exe --quick         reduced design set / image size
      bench/main.exe fig1 fig5a ...  run selected experiments
+     bench/main.exe smoke           tiny-grid smoke scenario (seconds, no cache)
      bench/main.exe micro           Bechamel microbenchmarks only
+     bench/main.exe --bench-out F   write the report to F (default BENCH.json)
 *)
 
 module Experiments = Aging_core.Experiments
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+module Json = Aging_obs.Json
 
 let all_figures =
   [ "fig1"; "fig2"; "fig3"; "fig5a"; "fig5b"; "fig5c"; "fig6a"; "fig6b";
@@ -37,6 +47,107 @@ let run_experiment t name =
   in
   print_string report;
   print_newline ()
+
+(* ------------------------- smoke scenario ------------------------- *)
+
+(* A few seconds end to end: characterize the cells of a 4-bit counter on
+   the coarse 3x3 grid (fresh corner, no cache directory touched) and run
+   one STA pass over it.  Exercises engine, characterization and STA
+   counters so the emitted BENCH.json has real content. *)
+let smoke () =
+  let design = Aging_designs.Designs.counter ~bits:4 in
+  let names = Hashtbl.create 8 in
+  Array.iter
+    (fun (inst : Aging_netlist.Netlist.instance) ->
+      Hashtbl.replace names
+        (Aging_netlist.Netlist.base_cell_name inst.Aging_netlist.Netlist.cell_name)
+        ())
+    design.Aging_netlist.Netlist.instances;
+  let cells =
+    Hashtbl.fold
+      (fun name () acc -> Aging_cells.Catalog.find_exn name :: acc)
+      names []
+  in
+  let library =
+    Aging_liberty.Characterize.fresh_library ~cells
+      ~axes:Aging_liberty.Axes.coarse ()
+  in
+  let analysis = Aging_sta.Timing.analyze ~library design in
+  Printf.printf "smoke: counter4, %d cells, min period %.3e s\n%!"
+    (List.length cells)
+    (Aging_sta.Timing.min_period analysis)
+
+(* ------------------------- BENCH.json ------------------------- *)
+
+let bench_json ~mode =
+  let scenarios =
+    List.filter_map
+      (fun (s : Span.t) ->
+        if s.Span.name <> "bench.scenario" then None
+        else
+          let name =
+            match List.assoc_opt "scenario" s.Span.attrs with
+            | Some n -> n
+            | None -> s.Span.name
+          in
+          Some (name, Json.Obj [ ("seconds", Json.Float s.Span.duration) ]))
+      (Span.roots ())
+  in
+  let counters =
+    List.filter_map
+      (function
+        | name, Metrics.Counter_value n -> Some (name, Json.Int n)
+        | _, (Metrics.Gauge_value _ | Metrics.Histogram_value _) -> None)
+      (Metrics.snapshot ())
+  in
+  Json.Obj
+    [
+      ("mode", Json.String mode);
+      ("scenarios", Json.Obj scenarios);
+      ("counters", Json.Obj counters);
+    ]
+
+let write_bench path ~mode =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (bench_json ~mode));
+  output_char oc '\n';
+  close_out oc
+
+(* Re-read what we just wrote: it must parse, and its "scenarios" object
+   must name every scenario that ran.  A failure exits nonzero so the dune
+   smoke rule doubles as a test of the report format. *)
+let validate_bench path ~expected =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let doc =
+    try Json.of_string text
+    with Json.Parse_error msg ->
+      Printf.eprintf "%s: invalid JSON: %s\n%!" path msg;
+      exit 1
+  in
+  let scenarios =
+    match Json.member "scenarios" doc with
+    | Some (Json.Obj kvs) -> kvs
+    | Some _ | None ->
+      Printf.eprintf "%s: missing \"scenarios\" object\n%!" path;
+      exit 1
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name scenarios with
+      | Some entry
+        when Option.bind (Json.member "seconds" entry) Json.to_float <> None ->
+        ()
+      | Some _ ->
+        Printf.eprintf "%s: scenario %s has no \"seconds\"\n%!" path name;
+        exit 1
+      | None ->
+        Printf.eprintf "%s: scenario %s missing\n%!" path name;
+        exit 1)
+    expected;
+  Printf.printf "%s: %d scenario(s), ok\n%!" path (List.length expected)
 
 (* ------------------------- microbenchmarks ------------------------- *)
 
@@ -99,20 +210,51 @@ let micro () =
         results)
     tests
 
+(* ------------------------- driver ------------------------- *)
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let bench_out = ref "BENCH.json" in
+  let quick = ref false in
+  let rest = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: tl ->
+      quick := true;
+      parse tl
+    | "--bench-out" :: file :: tl ->
+      bench_out := file;
+      parse tl
+    | [ "--bench-out" ] ->
+      prerr_endline "--bench-out requires a file argument";
+      exit 2
+    | a :: tl ->
+      rest := a :: !rest;
+      parse tl
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let args = List.rev !rest in
   if args = [ "micro" ] then micro ()
   else begin
-    let t = Experiments.create ~quick () in
-    let selected = if args = [] then all_figures else args in
-    Printf.printf "reliability-aware design reproduction — %s mode\n\n%!"
-      (if quick then "quick" else "full");
-    List.iter
-      (fun name ->
-        let t0 = Unix.gettimeofday () in
-        run_experiment t name;
-        Printf.printf "[%s done in %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0))
-      selected
+    Span.set_recording true;
+    let scenario name f =
+      let t0 = Span.now () in
+      Span.with_ "bench.scenario" ~attrs:[ ("scenario", name) ] f;
+      Printf.printf "[%s done in %.1f s]\n\n%!" name (Span.now () -. t0)
+    in
+    let mode, selected =
+      match args with
+      | [ "smoke" ] -> ("smoke", [ "smoke" ])
+      | [] -> ((if !quick then "quick" else "full"), all_figures)
+      | names -> ((if !quick then "quick" else "full"), names)
+    in
+    Printf.printf "reliability-aware design reproduction — %s mode\n\n%!" mode;
+    if mode = "smoke" then scenario "smoke" smoke
+    else begin
+      let t = Experiments.create ~quick:!quick () in
+      List.iter
+        (fun name -> scenario name (fun () -> run_experiment t name))
+        selected
+    end;
+    write_bench !bench_out ~mode;
+    validate_bench !bench_out ~expected:selected
   end

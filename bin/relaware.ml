@@ -22,6 +22,71 @@ module Guardband = Aging_core.Guardband
 module Designs = Aging_designs.Designs
 module Experiments = Aging_core.Experiments
 
+(* ------------------------- telemetry ------------------------- *)
+
+(* Every subcommand shares the observability surface: log verbosity and
+   optional metrics/trace dumps written when the command finishes (or
+   dies — the dump runs in a [finally], so a crashed characterization
+   still leaves its counters behind for a post-mortem). *)
+
+type telemetry = {
+  verbose : bool;
+  quiet : bool;
+  metrics_out : string option;
+  trace_out : string option;
+}
+
+let telemetry_term =
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ]
+             ~doc:"Debug-level logging (overrides $(b,AGING_LOG)).")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ] ~doc:"Silence all progress logging.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Write the metrics registry (solver counters, cache \
+                   hit/miss, per-span timing histograms) as JSON to \
+                   $(docv) on exit.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record hierarchical timed spans and write the trace as \
+                   JSON to $(docv) on exit.")
+  in
+  Term.(const (fun verbose quiet metrics_out trace_out ->
+            { verbose; quiet; metrics_out; trace_out })
+        $ verbose $ quiet $ metrics $ trace)
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+let with_telemetry t f =
+  if t.quiet then Aging_obs.Log.set_level Aging_obs.Log.Quiet
+  else if t.verbose then Aging_obs.Log.set_level Aging_obs.Log.Debug;
+  if t.trace_out <> None then Aging_obs.Span.set_recording true;
+  let dump () =
+    Option.iter
+      (fun path ->
+        write_file path
+          (Aging_obs.Json.to_string ~pretty:true (Aging_obs.Metrics.to_json ())
+          ^ "\n"))
+      t.metrics_out;
+    Option.iter
+      (fun path ->
+        write_file path
+          (Aging_obs.Json.to_string ~pretty:true (Aging_obs.Span.to_json ())
+          ^ "\n"))
+      t.trace_out
+  in
+  Fun.protect ~finally:dump f
+
 (* ------------------------- shared arguments ------------------------- *)
 
 let corner_conv =
@@ -96,7 +161,8 @@ let characterize_cmd =
          & info [ "fault-seed" ] ~docv:"SEED"
              ~doc:"Seed selecting which grid points the injected faults hit.")
   in
-  let run corner years axes cache out report fault_rate fault_seed =
+  let run tele corner years axes cache out report fault_rate fault_seed =
+    with_telemetry tele @@ fun () ->
     let backend =
       if fault_rate > 0. then
         Characterize.Faulty
@@ -124,13 +190,14 @@ let characterize_cmd =
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Build a degradation-aware cell library")
-    Term.(const run $ corner_arg $ years_arg $ axes_arg $ cache_arg $ out_arg
-          $ report_arg $ fault_rate_arg $ fault_seed_arg)
+    Term.(const run $ telemetry_term $ corner_arg $ years_arg $ axes_arg
+          $ cache_arg $ out_arg $ report_arg $ fault_rate_arg $ fault_seed_arg)
 
 (* ------------------------------ report ------------------------------ *)
 
 let report_cmd =
-  let run name corner years axes cache =
+  let run tele name corner years axes cache =
+    with_telemetry tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache in
     let design = design_of name in
     let fresh = Timing.analyze ~library:(Deg.fresh deglib) design in
@@ -140,7 +207,8 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Static timing of a benchmark design, fresh vs aged")
-    Term.(const run $ design_arg $ corner_arg $ years_arg $ axes_arg $ cache_arg)
+    Term.(const run $ telemetry_term $ design_arg $ corner_arg $ years_arg
+          $ axes_arg $ cache_arg)
 
 (* ---------------------------- guardband ---------------------------- *)
 
@@ -151,7 +219,8 @@ let guardband_cmd =
          & info [ "method" ] ~docv:"M"
              ~doc:"full | vth-only | single-opc | cp-only (prior-work models).")
   in
-  let run name corner years axes cache meth =
+  let run tele name corner years axes cache meth =
+    with_telemetry tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache in
     let design = design_of name in
     let g =
@@ -170,13 +239,14 @@ let guardband_cmd =
   in
   Cmd.v
     (Cmd.info "guardband" ~doc:"Estimate the aging guardband of a design")
-    Term.(const run $ design_arg $ corner_arg $ years_arg $ axes_arg $ cache_arg
-          $ method_arg)
+    Term.(const run $ telemetry_term $ design_arg $ corner_arg $ years_arg
+          $ axes_arg $ cache_arg $ method_arg)
 
 (* ------------------------------ synth ------------------------------ *)
 
 let synth_cmd =
-  let run name corner years axes cache =
+  let run tele name corner years axes cache =
+    with_telemetry tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache in
     let design = design_of name in
     let c = Aging_core.Aging_synthesis.run ~corner ~deglib design in
@@ -198,7 +268,8 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Traditional vs aging-aware synthesis of a design")
-    Term.(const run $ design_arg $ corner_arg $ years_arg $ axes_arg $ cache_arg)
+    Term.(const run $ telemetry_term $ design_arg $ corner_arg $ years_arg
+          $ axes_arg $ cache_arg)
 
 (* ------------------------------ export ------------------------------ *)
 
@@ -217,7 +288,8 @@ let export_cmd =
     Arg.(value & opt (some (enum (List.map (fun d -> (d, d)) all))) None
          & info [ "design" ] ~docv:"NAME" ~doc:"Design (verilog/sdf exports).")
   in
-  let run what name corner years axes cache out =
+  let run tele what name corner years axes cache out =
+    with_telemetry tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache in
     let required_design () =
       match name with
@@ -240,8 +312,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Write Verilog netlists, aged SDF files, or .lib libraries")
-    Term.(const run $ what_arg $ design_opt $ corner_arg $ years_arg $ axes_arg
-          $ cache_arg $ out_arg)
+    Term.(const run $ telemetry_term $ what_arg $ design_opt $ corner_arg
+          $ years_arg $ axes_arg $ cache_arg $ out_arg)
 
 (* ---------------------------- experiment ---------------------------- *)
 
@@ -255,7 +327,8 @@ let experiment_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced design set / image size.")
   in
-  let run which quick cache =
+  let run tele which quick cache =
+    with_telemetry tele @@ fun () ->
     let t = Experiments.create ~quick ~cache_dir:cache () in
     let report =
       match which with
@@ -279,7 +352,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures")
-    Term.(const run $ which_arg $ quick_arg $ cache_arg)
+    Term.(const run $ telemetry_term $ which_arg $ quick_arg $ cache_arg)
 
 let () =
   let info =

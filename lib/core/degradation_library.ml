@@ -6,6 +6,14 @@ module Characterize = Aging_liberty.Characterize
 module Nldm = Aging_liberty.Nldm
 module Io = Aging_liberty.Io
 module Cell = Aging_cells.Cell
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+module Log = Aging_obs.Log
+
+let m_memo_hit = Metrics.counter "cache.memo_hit"
+let m_disk_hit = Metrics.counter "cache.disk_hit"
+let m_build = Metrics.counter "cache.build"
+let m_corrupt = Metrics.counter "cache.corrupt"
 
 type t = {
   backend : Characterize.backend;
@@ -73,8 +81,8 @@ let load_cache_file path =
     match Io.load path with
     | lib -> Some lib
     | exception (Failure msg | Sys_error msg | Invalid_argument msg) ->
-      Printf.eprintf
-        "[degradation_library] corrupt cache file %s (%s); rebuilding\n%!"
+      Metrics.incr m_corrupt;
+      Log.warnf "core.cache" "corrupt cache file %s (%s); treating as a miss"
         path msg;
       None
 
@@ -93,7 +101,9 @@ let save_cache_file dir name lib =
 
 let cached t name build =
   match Hashtbl.find_opt t.memo name with
-  | Some lib -> lib
+  | Some lib ->
+    Metrics.incr m_memo_hit;
+    lib
   | None ->
     let from_disk =
       match t.cache_dir with
@@ -102,9 +112,16 @@ let cached t name build =
     in
     let lib =
       match from_disk with
-      | Some lib -> lib
+      | Some lib ->
+        Metrics.incr m_disk_hit;
+        Log.infof "core.cache" "library %s served from disk cache" name;
+        lib
       | None ->
-        let lib = build () in
+        Metrics.incr m_build;
+        Log.infof "core.cache" "library %s: cache miss, characterizing" name;
+        let lib =
+          Span.with_ "deglib.build" ~attrs:[ ("library", name) ] build
+        in
         Option.iter (fun dir -> save_cache_file dir name lib) t.cache_dir;
         lib
     in

@@ -7,6 +7,20 @@ module Waveform = Aging_spice.Waveform
 module Mosfet = Aging_spice.Mosfet
 module Cell = Aging_cells.Cell
 module Retry = Aging_util.Retry
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+module Log = Aging_obs.Log
+
+(* Per-point accounting in the process-global registry; these partition the
+   grid exactly like the [report] counters do, so a metrics dump and a
+   characterization report must always agree. *)
+let m_measured = Metrics.counter "characterize.points.measured"
+let m_retried = Metrics.counter "characterize.points.retried"
+let m_repaired = Metrics.counter "characterize.points.repaired"
+let m_failed = Metrics.counter "characterize.points.failed"
+let m_repair_interpolated = Metrics.counter "characterize.repairs.interpolated"
+let m_repair_analytic = Metrics.counter "characterize.repairs.analytic"
+let m_cells = Metrics.counter "characterize.cells"
 
 (* ------------------------------------------------------------------ *)
 (* Typed per-point errors                                              *)
@@ -378,17 +392,30 @@ let measure_grid backend ~(stats : arc_stats) ~(axes : Axes.t) ~base_circuit
           key_load = load;
         }
       in
-      match measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load with
+      let outcome =
+        Span.with_ "characterize.point"
+          ~attrs:
+            [
+              ("cell", key.key_cell);
+              ("slew", Printf.sprintf "%.3g" slew);
+              ("load", Printf.sprintf "%.3g" load);
+            ]
+          (fun () ->
+            measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load)
+      in
+      match outcome with
       | Retry.First_try (d, s) ->
         delays.(i).(j) <- d;
         slews_out.(i).(j) <- s;
         ok.(i).(j) <- true;
-        stats.measured <- stats.measured + 1
+        stats.measured <- stats.measured + 1;
+        Metrics.incr m_measured
       | Retry.Recovered ((d, s), errs) ->
         delays.(i).(j) <- d;
         slews_out.(i).(j) <- s;
         ok.(i).(j) <- true;
         stats.retried <- stats.retried + 1;
+        Metrics.incr m_retried;
         stats.errors <- List.hd errs :: stats.errors
       | Retry.Exhausted errs ->
         holes := (i, j) :: !holes;
@@ -422,8 +449,18 @@ let measure_grid backend ~(stats : arc_stats) ~(axes : Axes.t) ~base_circuit
           Interpolated
       in
       stats.repairs <- repair :: stats.repairs;
-      stats.repaired <- stats.repaired + 1)
+      stats.repaired <- stats.repaired + 1;
+      Metrics.incr m_repaired;
+      Metrics.incr
+        (match repair with
+        | Interpolated -> m_repair_interpolated
+        | Analytic_fallback -> m_repair_analytic))
     (List.rev !holes);
+  if stats.retried + stats.repaired > 0 then
+    Log.debugf "characterize" "%s %s->%s %s: %d measured, %d retried, %d repaired"
+      stats.stat_cell stats.stat_from stats.stat_to
+      (match stats.stat_dir with Library.Rise -> "rise" | Library.Fall -> "fall")
+      stats.measured stats.retried stats.repaired;
   ( Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:delays,
     Nldm.make ~slews:axes.Axes.slews ~loads:axes.Axes.loads ~values:slews_out )
 
@@ -449,6 +486,7 @@ let arc_measure backend ~scenario ~(cell : Cell.t) ~(arc : Cell.arc) ~dir ~slew
   match measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load with
   | Retry.First_try v | Retry.Recovered (v, _) -> v
   | Retry.Exhausted errs ->
+    Metrics.incr m_failed;
     failwith
       (Printf.sprintf "Characterize: %s: %s" (key_to_string key)
          (String.concat "; " (List.map point_error_to_string errs)))
@@ -459,6 +497,11 @@ let mid_value table =
 
 let entry ?(backend = default_backend) ?(indexed = false) ?report
     ~(axes : Axes.t) ~scenario (cell : Cell.t) =
+  let corner_tag = Scenario.suffix scenario.Scenario.corner in
+  let t_cell = Span.now () in
+  Span.with_ "characterize.cell"
+    ~attrs:[ ("cell", cell.Cell.name); ("corner", corner_tag) ]
+  @@ fun () ->
   let report = match report with Some r -> r | None -> report_create () in
   let base_circuit = aged_circuit ~scenario cell in
   let arc_tables (arc : Cell.arc) dir =
@@ -466,7 +509,15 @@ let entry ?(backend = default_backend) ?(indexed = false) ?report
       new_arc_stats report ~cell:cell.Cell.name ~from_pin:arc.Cell.arc_input
         ~to_pin:arc.Cell.arc_output ~dir
     in
-    measure_grid backend ~stats ~axes ~base_circuit ~cell ~arc ~dir
+    Span.with_ "characterize.arc"
+      ~attrs:
+        [
+          ("cell", cell.Cell.name);
+          ("from", arc.Cell.arc_input);
+          ("to", arc.Cell.arc_output);
+          ("dir", dir_label dir);
+        ]
+      (fun () -> measure_grid backend ~stats ~axes ~base_circuit ~cell ~arc ~dir)
   in
   let characterize_combinational (arc : Cell.arc) =
     let delay_rise, slew_rise = arc_tables arc Library.Rise in
@@ -534,6 +585,10 @@ let entry ?(backend = default_backend) ?(indexed = false) ?report
       cell.Cell.name ^ "@" ^ Scenario.suffix scenario.Scenario.corner
     else cell.Cell.name
   in
+  Metrics.incr m_cells;
+  Log.infof "characterize" "cell %s [%s]: %d arcs in %.2f s" cell.Cell.name
+    corner_tag (List.length arcs)
+    (Span.now () -. t_cell);
   {
     Library.cell;
     indexed_name;
@@ -547,6 +602,10 @@ let entry ?(backend = default_backend) ?(indexed = false) ?report
 let library ?(backend = default_backend) ?cells ?(indexed = false) ?report
     ~axes ~name ~scenario () =
   let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
+  Span.with_ "characterize.library" ~attrs:[ ("library", name) ] @@ fun () ->
+  Log.infof "characterize" "library %s: characterizing %d cells [%s]" name
+    (List.length cells)
+    (Scenario.suffix scenario.Scenario.corner);
   let entries = List.map (entry ~backend ~indexed ?report ~axes ~scenario) cells in
   Library.create ~lib_name:name ~axes entries
 

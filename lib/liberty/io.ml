@@ -209,12 +209,19 @@ let save path lib =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string lib))
+    (fun () -> output_string oc (to_string lib));
+  Aging_obs.Log.infof "liberty.io" "wrote %s: %d cells" path
+    (List.length (Library.entries lib))
 
 let load path =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+  let lib =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        of_string (really_input_string ic n))
+  in
+  Aging_obs.Log.debugf "liberty.io" "loaded %s: %d cells" path
+    (List.length (Library.entries lib));
+  lib

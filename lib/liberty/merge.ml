@@ -11,9 +11,12 @@ let split_indexed name =
     (base, Scenario.of_suffix suffix)
 
 let complete ?backend ?cells ?(years = 10.) ~axes ~corners ~name () =
+  let total = List.length corners in
   let libraries =
-    List.map
-      (fun corner ->
+    List.mapi
+      (fun i corner ->
+        Aging_obs.Log.infof "liberty.merge" "corner %s (%d/%d)"
+          (Scenario.suffix corner) (i + 1) total;
         let scenario = Scenario.scenario ~years corner in
         Characterize.library ?backend ?cells ~indexed:true ~axes
           ~name:(Printf.sprintf "%s[%s]" name (Scenario.suffix corner))

@@ -1,0 +1,49 @@
+type level = Debug | Info | Warn | Quiet
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Quiet -> 3
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "quiet" | "off" | "none" -> Some Quiet
+  | _ -> None
+
+let current =
+  ref
+    (match Sys.getenv_opt "AGING_LOG" with
+    | Some s -> Option.value (level_of_string s) ~default:Info
+    | None -> Info)
+
+let set_level l = current := l
+let level () = !current
+let enabled l = severity l >= severity !current
+
+let label = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Quiet -> "quiet"
+
+let warnings = Metrics.counter "log.warnings"
+
+let emit lvl sub fields msg =
+  if lvl = Warn then Metrics.incr warnings;
+  if enabled lvl then begin
+    let suffix =
+      match fields with
+      | [] -> ""
+      | kvs ->
+        " "
+        ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+    in
+    Printf.eprintf "[%s][%s] %s%s\n%!" (label lvl) sub msg suffix
+  end
+
+let logf lvl ?(fields = []) sub fmt =
+  Printf.ksprintf (emit lvl sub fields) fmt
+
+let debugf ?fields sub fmt = logf Debug ?fields sub fmt
+let infof ?fields sub fmt = logf Info ?fields sub fmt
+let warnf ?fields sub fmt = logf Warn ?fields sub fmt

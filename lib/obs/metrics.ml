@@ -1,0 +1,192 @@
+type counter = { mutable count : int }
+type gauge = { mutable level : float }
+
+type histogram = {
+  bounds : float array;  (* ascending upper bounds; overflow bucket implicit *)
+  counts : int array;    (* length = Array.length bounds + 1 *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let mismatch name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Aging_obs.Metrics: %s is already a %s, not a %s" name
+       (kind_name existing) wanted)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some m -> mismatch name m "counter"
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.replace registry name (Counter c);
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some m -> mismatch name m "gauge"
+  | None ->
+    let g = { level = 0. } in
+    Hashtbl.replace registry name (Gauge g);
+    g
+
+let set g v = g.level <- v
+let gauge_value g = g.level
+
+(* Half-decade log-scale buckets from 1 ns to ~3000 s: wall times of
+   anything from a single NLDM lookup to a full figure reproduction land in
+   a meaningful bucket. *)
+let default_bounds =
+  Array.init 26 (fun i -> 1e-9 *. (10. ** (float_of_int i /. 2.)))
+
+let histogram ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some m -> mismatch name m "histogram"
+  | None ->
+    Array.iteri
+      (fun i b ->
+        if i > 0 && bounds.(i - 1) >= b then
+          invalid_arg
+            (Printf.sprintf
+               "Aging_obs.Metrics: histogram %s bounds not ascending" name))
+      bounds;
+    let h =
+      {
+        bounds = Array.copy bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.;
+        n = 0;
+      }
+    in
+    Hashtbl.replace registry name (Histogram h);
+    h
+
+let observe h x =
+  h.sum <- h.sum +. x;
+  h.n <- h.n + 1;
+  let nb = Array.length h.bounds in
+  let rec slot i = if i >= nb || x <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1
+
+let histogram_count h = h.n
+let histogram_sum h = h.sum
+
+let bucket_counts h =
+  List.init
+    (Array.length h.counts)
+    (fun i ->
+      let bound =
+        if i < Array.length h.bounds then h.bounds.(i) else infinity
+      in
+      (bound, h.counts.(i)))
+
+(* ------------------------- snapshot / export ----------------------- *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+and histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list;
+}
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | Counter c -> Counter_value c.count
+        | Gauge g -> Gauge_value g.level
+        | Histogram h ->
+          Histogram_value
+            { hs_count = h.n; hs_sum = h.sum; hs_buckets = bucket_counts h }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         let body =
+           match v with
+           | Counter_value n ->
+             [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+           | Gauge_value g ->
+             [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+           | Histogram_value h ->
+             [
+               ("type", Json.String "histogram");
+               ("count", Json.Int h.hs_count);
+               ("sum", Json.Float h.hs_sum);
+               ( "buckets",
+                 Json.List
+                   (List.filter_map
+                      (fun (bound, count) ->
+                        (* empty buckets are noise; the overflow bound is not
+                           a finite float, so it serializes as "+Inf" *)
+                        if count = 0 then None
+                        else
+                          Some
+                            (Json.Obj
+                               [
+                                 ( "le",
+                                   if Float.is_finite bound then
+                                     Json.Float bound
+                                   else Json.String "+Inf" );
+                                 ("count", Json.Int count);
+                               ]))
+                      h.hs_buckets) );
+             ]
+         in
+         (name, Json.Obj body))
+       (snapshot ()))
+
+let to_text () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_value n -> Buffer.add_string b (Printf.sprintf "%s %d\n" name n)
+      | Gauge_value g -> Buffer.add_string b (Printf.sprintf "%s %g\n" name g)
+      | Histogram_value h ->
+        let mean = if h.hs_count = 0 then 0. else h.hs_sum /. float_of_int h.hs_count in
+        Buffer.add_string b
+          (Printf.sprintf "%s count=%d sum=%.6g mean=%.6g\n" name h.hs_count
+             h.hs_sum mean))
+    (snapshot ());
+  Buffer.contents b
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.level <- 0.
+      | Histogram h ->
+        h.sum <- 0.;
+        h.n <- 0;
+        Array.fill h.counts 0 (Array.length h.counts) 0)
+    registry

@@ -1,0 +1,78 @@
+(** Process-global metrics registry: counters, gauges and histograms.
+
+    Every metric is identified by a dotted name ([subsystem.quantity], e.g.
+    ["engine.steps"], ["cache.corrupt"]).  Handles are get-or-create — the
+    first call registers the metric, later calls (anywhere in the process)
+    return the same storage — so instrumented modules can create their
+    handles at initialization and hot paths pay a single unboxed field
+    update per event.
+
+    The registry is process-global on purpose: a characterization build
+    fans out through engine, retry, cache and STA layers that share no
+    state, and the whole point is one place where "how many solver steps
+    did this run take" can be answered afterwards.  Exporters ({!to_json},
+    {!to_text}) serialize a consistent snapshot; {!reset} zeroes all
+    registered metrics in place (handles stay valid), which tests use to
+    isolate their deltas. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get-or-create.  @raise Invalid_argument if the name is already
+    registered as a different metric kind. *)
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?bounds:float array -> string -> histogram
+(** Get-or-create; [bounds] are ascending bucket upper bounds (an overflow
+    bucket is implicit).  The default is fixed log-scale buckets in
+    half-decade steps from 1 ns to ~3000 s, sized for wall-time
+    observations in seconds.
+    @raise Invalid_argument on non-ascending bounds or a kind conflict. *)
+
+val observe : histogram -> float -> unit
+
+val histogram_count : histogram -> int
+(** Number of observations. *)
+
+val histogram_sum : histogram -> float
+
+val bucket_counts : histogram -> (float * int) list
+(** (upper bound, count) per bucket, ascending; the final pair has bound
+    [infinity] (the overflow bucket).  Counts are per-bucket, not
+    cumulative. *)
+
+(** {2 Snapshot and export} *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram_snapshot
+
+and histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list;  (** as {!bucket_counts} *)
+}
+
+val snapshot : unit -> (string * value) list
+(** All registered metrics, sorted by name. *)
+
+val to_json : unit -> Json.t
+(** Object keyed by metric name; each value carries a ["type"] tag and its
+    data.  Histogram overflow bounds serialize as the string ["+Inf"]. *)
+
+val to_text : unit -> string
+(** One line per metric, for human eyes. *)
+
+val reset : unit -> unit
+(** Zeroes every registered metric in place.  Handles held by instrumented
+    modules remain valid (and registered) — this clears values, not the
+    registry. *)

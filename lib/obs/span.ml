@@ -1,0 +1,108 @@
+type outcome = Completed | Raised of string
+
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  t_start : float;
+  duration : float;
+  outcome : outcome;
+  children : t list;
+}
+
+type frame = {
+  f_name : string;
+  f_attrs : (string * string) list;
+  f_t0 : float;
+  mutable f_children : t list; (* newest first *)
+}
+
+let stack : frame list ref = ref []
+let root_acc : t list ref = ref [] (* newest first *)
+let recording_on = ref false
+let recorded = ref 0
+let dropped_count = ref 0
+let max_recorded = 100_000
+
+let now () = Unix.gettimeofday ()
+let set_recording b = recording_on := b
+let recording () = !recording_on
+let roots () = List.rev !root_acc
+let dropped () = !dropped_count
+
+let reset () =
+  stack := [];
+  root_acc := [];
+  recorded := 0;
+  dropped_count := 0
+
+let with_ ?(attrs = []) name f =
+  let t0 = now () in
+  let frame = { f_name = name; f_attrs = attrs; f_t0 = t0; f_children = [] } in
+  stack := frame :: !stack;
+  let finish outcome =
+    (* Pop back to (and past) our frame even if an exotic caller left
+       deeper frames unclosed. *)
+    let rec pop = function
+      | fr :: rest when fr == frame -> rest
+      | _ :: rest -> pop rest
+      | [] -> []
+    in
+    stack := pop !stack;
+    let duration = now () -. t0 in
+    Metrics.observe (Metrics.histogram ("span." ^ name)) duration;
+    (match outcome with
+    | Raised _ -> Metrics.incr (Metrics.counter ("span." ^ name ^ ".errors"))
+    | Completed -> ());
+    if !recording_on then begin
+      let span =
+        {
+          name;
+          attrs;
+          t_start = t0;
+          duration;
+          outcome;
+          children = List.rev frame.f_children;
+        }
+      in
+      match !stack with
+      | parent :: _ ->
+        (* The cap bounds child spans only: top-level spans are the
+           artifact (per-scenario wall times) and must survive. *)
+        if !recorded < max_recorded then begin
+          parent.f_children <- span :: parent.f_children;
+          incr recorded
+        end
+        else incr dropped_count
+      | [] ->
+        root_acc := span :: !root_acc;
+        incr recorded
+    end
+  in
+  match f () with
+  | v ->
+    finish Completed;
+    v
+  | exception e ->
+    finish (Raised (Printexc.to_string e));
+    raise e
+
+let rec span_to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs));
+      ("start", Json.Float s.t_start);
+      ("duration_s", Json.Float s.duration);
+      ( "outcome",
+        match s.outcome with
+        | Completed -> Json.String "ok"
+        | Raised msg -> Json.Obj [ ("raised", Json.String msg) ] );
+      ("children", Json.List (List.map span_to_json s.children));
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ("spans", Json.List (List.map span_to_json (roots ())));
+      ("dropped", Json.Int !dropped_count);
+    ]

@@ -1,0 +1,54 @@
+(** Hierarchical timed spans.
+
+    [with_ "characterize.cell" ~attrs:[("cell", "NAND2_X1")] f] times [f],
+    records its nesting relative to enclosing spans, and captures the
+    outcome — including an exception raised by [f], which closes the span
+    (outcome [Raised]) before re-raising, so the span stack can never be
+    left unbalanced.
+
+    Two products come out of every span, at different costs:
+
+    - Always: the duration is observed into the metrics histogram
+      ["span.<name>"] (and a raise bumps ["span.<name>.errors"]).  This is
+      cheap — two clock reads and a hashtable lookup — so instrumenting hot
+      paths is fine.
+    - When {!set_recording} is on: the full span tree (name, attributes,
+      start time, duration, outcome, children) is kept for export via
+      {!roots} / {!to_json}.  Recording is off by default; the CLI's
+      [--trace] and the bench harness switch it on.  Completed child spans
+      are capped (100k) to bound memory on huge builds — the cap drops
+      children, never top-level spans, and {!dropped} reports the loss. *)
+
+type outcome = Completed | Raised of string
+
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  t_start : float;  (** seconds, Unix epoch *)
+  duration : float; (** seconds *)
+  outcome : outcome;
+  children : t list;  (** completed sub-spans, oldest first *)
+}
+
+val with_ : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the function inside a span named [name] (convention:
+    [subsystem.operation]). *)
+
+val set_recording : bool -> unit
+val recording : unit -> bool
+
+val roots : unit -> t list
+(** Completed top-level spans, oldest first. *)
+
+val dropped : unit -> int
+(** Child spans discarded because the recording cap was reached. *)
+
+val reset : unit -> unit
+(** Clears recorded spans and the drop counter (not the recording flag). *)
+
+val to_json : unit -> Json.t
+(** [{"spans": [...], "dropped": n}] with children nested. *)
+
+val now : unit -> float
+(** Wall clock, seconds since the Unix epoch (the span timebase), exposed
+    so callers can log durations without a second timing API. *)

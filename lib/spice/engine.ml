@@ -1,4 +1,15 @@
 module Device = Aging_physics.Device
+module Metrics = Aging_obs.Metrics
+
+(* Solver-health counters mirrored into the process-global registry so a
+   whole build's solver effort is visible without threading [diagnostics]
+   records through every caller. *)
+let m_transients = Metrics.counter "engine.transients"
+let m_steps = Metrics.counter "engine.steps"
+let m_rejected = Metrics.counter "engine.rejected_steps"
+let m_non_converged = Metrics.counter "engine.non_converged_steps"
+let m_jacobians = Metrics.counter "engine.jacobian_refreshes"
+let m_newton = Metrics.counter "engine.newton_iterations"
 
 type options = {
   dt_min : float;
@@ -28,6 +39,7 @@ type diagnostics = {
   non_converged_steps : int;
   settle_non_converged : int;
   jacobian_refreshes : int;
+  newton_iterations : int;
 }
 
 type result = {
@@ -152,6 +164,7 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
   let forced = ref 0 in
   let settle_forced = ref 0 in
   let jac_refreshes = ref 0 in
+  let newton_iters = ref 0 in
   let f0 = Array.make nf 0. in
   let f1 = Array.make nf 0. in
   let jac = Array.make_matrix nf nf 0. in
@@ -177,6 +190,7 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
     let rec iterate k =
       if k >= options.newton_max then false
       else begin
+        incr newton_iters;
         residual v_prev dt f0;
         if k = 0 || k mod 6 = 5 then refresh_jacobian v_prev dt;
         let a = Array.map Array.copy jac in
@@ -266,6 +280,12 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
   let node_voltages =
     Array.init n_nodes (fun n -> Array.map (fun s -> s.(n)) samples)
   in
+  Metrics.incr m_transients;
+  Metrics.incr ~by:!n_steps m_steps;
+  Metrics.incr ~by:!rejected m_rejected;
+  Metrics.incr ~by:(!forced + !settle_forced) m_non_converged;
+  Metrics.incr ~by:!jac_refreshes m_jacobians;
+  Metrics.incr ~by:!newton_iters m_newton;
   {
     times;
     node_voltages;
@@ -276,6 +296,7 @@ let transient ?(options = default_options) ?(init = []) ?stop_when circuit
         non_converged_steps = !forced;
         settle_non_converged = !settle_forced;
         jacobian_refreshes = !jac_refreshes;
+        newton_iterations = !newton_iters;
       };
   }
 

@@ -26,6 +26,8 @@ type diagnostics = {
       (** same, but during the pre-[t=0] DC settling march *)
   jacobian_refreshes : int;
       (** finite-difference Jacobian rebuilds over the whole run *)
+  newton_iterations : int;
+      (** Newton iterations over the whole run, DC settle included *)
 }
 
 type options = {

@@ -1,5 +1,21 @@
 module Library = Aging_liberty.Library
 module Netlist = Aging_netlist.Netlist
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+
+let m_analyses = Metrics.counter "sta.analyses"
+let m_arcs = Metrics.counter "sta.arcs_evaluated"
+let m_lookups = Metrics.counter "sta.lookups"
+
+(* Counted NLDM accesses: every bilinear interpolation the analysis performs
+   goes through these two wrappers. *)
+let lookup_delay arc ~dir ~slew ~load =
+  Metrics.incr m_lookups;
+  Library.delay_of arc ~dir ~slew ~load
+
+let lookup_out_slew arc ~dir ~slew ~load =
+  Metrics.incr m_lookups;
+  Library.out_slew_of arc ~dir ~slew ~load
 
 type config = {
   input_slew : float;
@@ -109,6 +125,10 @@ let compute_loads ~config ~library (netlist : Netlist.t) =
 
 let analyze ?(config = default_config) ?structure ~library
     (netlist : Netlist.t) =
+  Span.with_ "sta.analyze"
+    ~attrs:[ ("design", netlist.Netlist.design_name) ]
+  @@ fun () ->
+  Metrics.incr m_analyses;
   let structure =
     match structure with Some s -> s | None -> prepare_structure netlist
   in
@@ -143,15 +163,16 @@ let analyze ?(config = default_config) ?structure ~library
           match Library.arc_of entry ~from_pin:"CK" ~to_pin:pin with
           | None -> ()
           | Some arc ->
+            Metrics.incr m_arcs;
             List.iter
               (fun dir ->
                 let i = dir_index dir in
                 let delay =
-                  Library.delay_of arc ~dir ~slew:config.clock_slew
+                  lookup_delay arc ~dir ~slew:config.clock_slew
                     ~load:loads.(qnet)
                 in
                 let out_slew =
-                  Library.out_slew_of arc ~dir ~slew:config.clock_slew
+                  lookup_out_slew arc ~dir ~slew:config.clock_slew
                     ~load:loads.(qnet)
                 in
                 if delay > arr.(i).(qnet) then begin
@@ -173,6 +194,7 @@ let analyze ?(config = default_config) ?structure ~library
               List.assoc_opt arc.Library.to_pin inst.Netlist.outputs )
           with
           | Some in_net, Some out_net ->
+            Metrics.incr m_arcs;
             List.iter
               (fun in_dir ->
                 let ii = dir_index in_dir in
@@ -183,13 +205,13 @@ let analyze ?(config = default_config) ?structure ~library
                   let slew_in = slews.(ii).(in_net) in
                   let load = loads.(out_net) in
                   let delay =
-                    Library.delay_of arc ~dir:out_dir ~slew:slew_in ~load
+                    lookup_delay arc ~dir:out_dir ~slew:slew_in ~load
                   in
                   let a_out = a_in +. delay in
                   if a_out > arr.(oi).(out_net) then begin
                     arr.(oi).(out_net) <- a_out;
                     slews.(oi).(out_net) <-
-                      Library.out_slew_of arc ~dir:out_dir ~slew:slew_in ~load;
+                      lookup_out_slew arc ~dir:out_dir ~slew:slew_in ~load;
                     prov.(oi).(out_net) <-
                       Some (inst, arc.Library.from_pin, in_dir)
                   end;

@@ -1,5 +1,12 @@
 module Netlist = Aging_netlist.Netlist
 module Timing = Aging_sta.Timing
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+module Log = Aging_obs.Log
+
+let m_rounds = Metrics.counter "synth.rounds"
+let g_subject_nodes = Metrics.gauge "synth.subject_nodes"
+let g_cells = Metrics.gauge "synth.cells"
 
 type options = {
   estimates : Mapper.estimate_config;
@@ -21,29 +28,43 @@ let default_options =
   }
 
 let compile ?(options = default_options) ~library (netlist : Netlist.t) =
-  let subject, boundaries = Decompose.of_netlist netlist in
+  let design = netlist.Netlist.design_name in
+  let attrs = [ ("design", design) ] in
+  Span.with_ "synth.compile" ~attrs @@ fun () ->
+  let subject, boundaries =
+    Span.with_ "synth.decompose" ~attrs (fun () -> Decompose.of_netlist netlist)
+  in
+  Metrics.set g_subject_nodes (float_of_int (Subject.size subject));
+  Log.debugf "synth" "%s: subject graph %d nodes" design (Subject.size subject);
   let clock_name = "clk" in
   let one_round hints =
+    Metrics.incr m_rounds;
     let mapped =
-      Mapper.map ~estimates:options.estimates ?hints ~library
-        ~design_name:netlist.Netlist.design_name ~clock_name subject boundaries
+      Span.with_ "synth.map" ~attrs (fun () ->
+          Mapper.map ~estimates:options.estimates ?hints ~library
+            ~design_name:design ~clock_name subject boundaries)
     in
     let buffered =
-      Buffering.buffer_fanout ~max_fanout:options.max_fanout
-        mapped.Mapper.netlist
+      Span.with_ "synth.buffer" ~attrs (fun () ->
+          Buffering.buffer_fanout ~max_fanout:options.max_fanout
+            mapped.Mapper.netlist)
     in
     let swept =
-      Sizing.variant_sweep ~config:options.sta_config ~library buffered
+      Span.with_ "synth.variant_sweep" ~attrs (fun () ->
+          Sizing.variant_sweep ~config:options.sta_config ~library buffered)
     in
     let sized =
-      Sizing.resize ~passes:options.sizing_passes ~config:options.sta_config
-        ~library swept
+      Span.with_ "synth.resize" ~attrs (fun () ->
+          Sizing.resize ~passes:options.sizing_passes
+            ~config:options.sta_config ~library swept)
     in
     let repaired =
       match options.repair_slew with
       | None -> sized
       | Some slew_limit ->
-        Slew_repair.repair ~slew_limit ~config:options.sta_config ~library sized
+        Span.with_ "synth.slew_repair" ~attrs (fun () ->
+            Slew_repair.repair ~slew_limit ~config:options.sta_config ~library
+              sized)
     in
     (repaired, mapped.Mapper.net_of_node)
   in
@@ -83,7 +104,11 @@ let compile ?(options = default_options) ~library (netlist : Netlist.t) =
              (Some (extract_hints sized net_of_node))
     end
   in
-  rounds (max 1 options.map_rounds) netlist infinity None
+  let best = rounds (max 1 options.map_rounds) netlist infinity None in
+  Metrics.set g_cells (float_of_int (Array.length best.Netlist.instances));
+  Log.debugf "synth" "%s: mapped to %d instances" design
+    (Array.length best.Netlist.instances);
+  best
 
 let min_period ?config ~library netlist =
   Timing.min_period (Timing.analyze ?config ~library netlist)

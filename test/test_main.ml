@@ -29,4 +29,5 @@ let () =
       ("bv:properties", Test_bv.props);
       ("export", Test_export.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,278 @@
+(* Telemetry library: metrics registry, JSON, spans, and agreement between
+   the process-global counters and the characterization report of PR 1. *)
+
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+module Log = Aging_obs.Log
+module Json = Aging_obs.Json
+module Scenario = Aging_physics.Scenario
+module Axes = Aging_liberty.Axes
+module Characterize = Aging_liberty.Characterize
+module Catalog = Aging_cells.Catalog
+
+(* ------------------------------ metrics ------------------------------ *)
+
+let test_counter () =
+  let c = Metrics.counter "test.obs.counter" in
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c';
+  Alcotest.(check int) "get-or-create shares storage" 5 (Metrics.value c);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes in place" 0 (Metrics.value c);
+  Metrics.incr c;
+  Alcotest.(check int) "handle survives reset" 1 (Metrics.value c')
+
+let test_kind_mismatch () =
+  ignore (Metrics.counter "test.obs.kind");
+  (try
+     ignore (Metrics.gauge "test.obs.kind");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Metrics.histogram "test.obs.kind");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_gauge () =
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set g 2.5;
+  Metrics.set g 42.;
+  Alcotest.(check (float 0.)) "last write wins" 42. (Metrics.gauge_value g)
+
+let test_histogram () =
+  let h = Metrics.histogram ~bounds:[| 1.; 10.; 100. |] "test.obs.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 5.; 50.; 5000. ];
+  Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 5060.5 (Metrics.histogram_sum h);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "per-bucket counts with overflow"
+    [ (1., 1); (10., 2); (100., 1); (infinity, 1) ]
+    (Metrics.bucket_counts h);
+  Alcotest.check_raises "non-ascending bounds"
+    (Invalid_argument
+       "Aging_obs.Metrics: histogram test.obs.hist.bad bounds not ascending")
+    (fun () ->
+      ignore (Metrics.histogram ~bounds:[| 2.; 1. |] "test.obs.hist.bad"))
+
+let test_metrics_json () =
+  let c = Metrics.counter "test.obs.json.counter" in
+  Metrics.incr ~by:7 c;
+  let h = Metrics.histogram ~bounds:[| 1. |] "test.obs.json.hist" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 2.;
+  (* The export must survive a round trip through its own parser and keep
+     counter integers exact. *)
+  let doc = Json.of_string (Json.to_string ~pretty:true (Metrics.to_json ())) in
+  (match Json.member "test.obs.json.counter" doc with
+  | Some entry ->
+    Alcotest.(check (option string)) "type tag" (Some "counter")
+      (match Json.member "type" entry with
+      | Some (Json.String s) -> Some s
+      | _ -> None);
+    Alcotest.(check bool) "exact integer value" true
+      (Json.member "value" entry = Some (Json.Int 7))
+  | None -> Alcotest.fail "counter missing from JSON export");
+  match Json.member "test.obs.json.hist" doc with
+  | Some entry ->
+    Alcotest.(check bool) "histogram count" true
+      (Json.member "count" entry = Some (Json.Int 2));
+    (* the overflow bucket bound serializes as the string "+Inf" *)
+    let buckets =
+      match Json.member "buckets" entry with Some (Json.List l) -> l | _ -> []
+    in
+    Alcotest.(check bool) "overflow bound is \"+Inf\"" true
+      (List.exists
+         (fun b -> Json.member "le" b = Some (Json.String "+Inf"))
+         buckets)
+  | None -> Alcotest.fail "histogram missing from JSON export"
+
+(* ------------------------------- json ------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("big", Json.Int max_int);
+        ("float", Json.Float 1.6180339887498949);
+        ("tiny", Json.Float 4.9302499294281006e-11);
+        ("str", Json.String "a\"b\\c\n\t\x01é");
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  Alcotest.(check bool) "compact round trip" true
+    (Json.of_string (Json.to_string v) = v);
+  Alcotest.(check bool) "pretty round trip" true
+    (Json.of_string (Json.to_string ~pretty:true v) = v)
+
+let test_json_parse () =
+  Alcotest.(check bool) "escapes" true
+    (Json.of_string {|"a\u00e9\u0041\n"|} = Json.String "aéA\n");
+  Alcotest.(check bool) "number classes" true
+    (Json.of_string "[1, 1.0, 1e2]"
+    = Json.List [ Json.Int 1; Json.Float 1.; Json.Float 100. ]);
+  let bad s =
+    try
+      ignore (Json.of_string s);
+      Alcotest.failf "accepted malformed %S" s
+    with Json.Parse_error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "{\"a\":1} x"; "nul"; "\"\\q\"" ]
+
+(* ------------------------------- spans ------------------------------- *)
+
+let test_span_nesting () =
+  Span.reset ();
+  Span.set_recording true;
+  let r =
+    Span.with_ "test.outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Span.with_ "test.inner" (fun () -> ());
+        Span.with_ "test.inner" (fun () -> ());
+        17)
+  in
+  Span.set_recording false;
+  Alcotest.(check int) "with_ returns the result" 17 r;
+  match Span.roots () with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "test.outer" outer.Span.name;
+    Alcotest.(check (list (pair string string))) "attrs" [ ("k", "v") ]
+      outer.Span.attrs;
+    Alcotest.(check int) "two children" 2 (List.length outer.Span.children);
+    Alcotest.(check bool) "outcome completed" true
+      (outer.Span.outcome = Span.Completed);
+    List.iter
+      (fun (c : Span.t) ->
+        Alcotest.(check string) "child name" "test.inner" c.Span.name;
+        Alcotest.(check bool) "child within parent" true
+          (c.Span.duration <= outer.Span.duration +. 1e-9))
+      outer.Span.children
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let test_span_exception_safety () =
+  Span.reset ();
+  Span.set_recording true;
+  Metrics.reset ();
+  (try
+     Span.with_ "test.boom" (fun () ->
+         Span.with_ "test.boom.inner" (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  (* The stack unwound cleanly: a later span is a new root, not a child of
+     the raised one. *)
+  Span.with_ "test.after" (fun () -> ());
+  Span.set_recording false;
+  (match Span.roots () with
+  | [ boom; after ] ->
+    Alcotest.(check string) "raised root" "test.boom" boom.Span.name;
+    Alcotest.(check bool) "outcome raised" true
+      (match boom.Span.outcome with
+      | Span.Raised msg -> String.length msg > 0
+      | Span.Completed -> false);
+    Alcotest.(check int) "raised child recorded" 1
+      (List.length boom.Span.children);
+    Alcotest.(check string) "next span is a fresh root" "test.after"
+      after.Span.name
+  | roots -> Alcotest.failf "expected 2 roots, got %d" (List.length roots));
+  Alcotest.(check int) "error counter bumped" 1
+    (Metrics.value (Metrics.counter "span.test.boom.errors"))
+
+let test_span_histogram_without_recording () =
+  Span.reset ();
+  Metrics.reset ();
+  Alcotest.(check bool) "recording off" false (Span.recording ());
+  Span.with_ "test.cheap" (fun () -> ());
+  Span.with_ "test.cheap" (fun () -> ());
+  Alcotest.(check (list (pair string string))) "no tree recorded" []
+    (List.map (fun (s : Span.t) -> (s.Span.name, "")) (Span.roots ()));
+  Alcotest.(check int) "duration histogram still fed" 2
+    (Metrics.histogram_count (Metrics.histogram "span.test.cheap"))
+
+(* ---------------------- log levels and warnings ---------------------- *)
+
+let test_log_levels () =
+  let saved = Log.level () in
+  Fun.protect ~finally:(fun () -> Log.set_level saved) @@ fun () ->
+  Metrics.reset ();
+  Log.set_level Log.Quiet;
+  Log.warnf "test" "suppressed %d" 1;
+  Alcotest.(check int) "quiet still counts warnings" 1
+    (Metrics.value (Metrics.counter "log.warnings"));
+  Alcotest.(check (option string)) "level names parse"
+    (Some "debug")
+    (match Log.level_of_string "debug" with
+    | Some Log.Debug -> Some "debug"
+    | _ -> None);
+  Alcotest.(check bool) "unknown level rejected" true
+    (Log.level_of_string "loud" = None);
+  Log.set_level Log.Warn;
+  Alcotest.(check bool) "warn enabled at Warn" true (Log.enabled Log.Warn);
+  Alcotest.(check bool) "info disabled at Warn" false (Log.enabled Log.Info)
+
+(* ----------- counters agree with the characterization report ---------- *)
+
+let totals_vs_counters ~backend ~scenario =
+  Metrics.reset ();
+  let _lib, report =
+    Characterize.library_report ~backend
+      ~cells:[ Catalog.find_exn "INV_X1" ]
+      ~axes:Axes.coarse ~name:"obs" ~scenario ()
+  in
+  let t = Characterize.report_totals report in
+  let v name = Metrics.value (Metrics.counter name) in
+  Alcotest.(check int) "measured = clean" t.Characterize.clean
+    (v "characterize.points.measured");
+  Alcotest.(check int) "retried = recovered" t.Characterize.recovered
+    (v "characterize.points.retried");
+  Alcotest.(check int) "repaired = degraded" t.Characterize.degraded
+    (v "characterize.points.repaired");
+  Alcotest.(check int) "failed = lost" t.Characterize.lost
+    (v "characterize.points.failed");
+  Alcotest.(check int) "one cell" 1 (v "characterize.cells");
+  t
+
+let test_build_metrics_clean () =
+  let t =
+    totals_vs_counters ~backend:Characterize.default_backend
+      ~scenario:(Scenario.scenario Scenario.fresh)
+  in
+  Alcotest.(check bool) "grid measured" true (t.Characterize.points > 0);
+  let v name = Metrics.value (Metrics.counter name) in
+  Alcotest.(check bool) "engine ran transients" true (v "engine.transients" > 0);
+  Alcotest.(check bool) "engine stepped" true
+    (v "engine.steps" > v "engine.transients");
+  Alcotest.(check bool) "newton iterated" true
+    (v "engine.newton_iterations" >= v "engine.steps")
+
+let test_build_metrics_faulty () =
+  let fault = { Characterize.rate = 1.0; seed = 7; depth = 1 } in
+  let t =
+    totals_vs_counters
+      ~backend:(Characterize.Faulty (fault, Characterize.default_backend))
+      ~scenario:(Scenario.scenario Scenario.worst_case)
+  in
+  Alcotest.(check bool) "every point needed a retry" true
+    (t.Characterize.recovered > 0)
+
+let suite =
+  [
+    Alcotest.test_case "counter get-or-create / reset" `Quick test_counter;
+    Alcotest.test_case "metric kind mismatch" `Quick test_kind_mismatch;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "metrics JSON export" `Quick test_metrics_json;
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parser" `Quick test_json_parse;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception safety" `Quick
+      test_span_exception_safety;
+    Alcotest.test_case "span histogram without recording" `Quick
+      test_span_histogram_without_recording;
+    Alcotest.test_case "log levels" `Quick test_log_levels;
+    Alcotest.test_case "build counters match report (clean)" `Slow
+      test_build_metrics_clean;
+    Alcotest.test_case "build counters match report (faulty)" `Slow
+      test_build_metrics_faulty;
+  ]
