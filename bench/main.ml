@@ -12,7 +12,9 @@
      bench/main.exe --quick         reduced design set / image size
      bench/main.exe fig1 fig5a ...  run selected experiments
      bench/main.exe smoke           tiny-grid smoke scenario (seconds, no cache)
+     bench/main.exe scaling         jobs=1 vs jobs=N characterization scaling
      bench/main.exe micro           Bechamel microbenchmarks only
+     bench/main.exe --jobs N        worker domains for scaling (default: auto)
      bench/main.exe --bench-out F   write the report to F (default BENCH.json)
 *)
 
@@ -76,6 +78,54 @@ let smoke () =
   Printf.printf "smoke: counter4, %d cells, min period %.3e s\n%!"
     (List.length cells)
     (Aging_sta.Timing.min_period analysis)
+
+(* ------------------------- scaling scenario ------------------------- *)
+
+(* The same small characterization run at jobs=1 and jobs=N: the two
+   libraries must be entry-for-entry identical (the pool's determinism
+   guarantee) and both wall times land in BENCH.json, so the recorded
+   scenario seconds capture the parallel speedup. *)
+let scaling_build ~jobs =
+  let cells =
+    List.map Aging_cells.Catalog.find_exn
+      [ "INV_X1"; "NAND2_X1"; "NOR2_X1"; "BUF_X1" ]
+  in
+  let scenario =
+    Aging_physics.Scenario.scenario Aging_physics.Scenario.worst_case
+  in
+  Aging_liberty.Characterize.library ~jobs ~cells
+    ~axes:Aging_liberty.Axes.coarse ~name:"scaling" ~scenario ()
+
+(* Entry equality field by field: [Library.entry] holds the catalog
+   [Cell.t] (which contains closures, so whole-entry [=] would raise);
+   the characterized payload — names, arcs with their NLDM tables, pin
+   caps, setup times — is all plain data. *)
+let libraries_equal a b =
+  let module L = Aging_liberty.Library in
+  List.length (L.entries a) = List.length (L.entries b)
+  && List.for_all2
+       (fun (ea : L.entry) (eb : L.entry) ->
+         ea.L.indexed_name = eb.L.indexed_name
+         && ea.L.setup_time = eb.L.setup_time
+         && ea.L.pin_caps = eb.L.pin_caps
+         && ea.L.arcs = eb.L.arcs)
+       (L.entries a) (L.entries b)
+
+let scaling ~jobs ~scenario =
+  let seq = ref None and par = ref None in
+  let t0 = Span.now () in
+  scenario "scaling-jobs1" (fun () -> seq := Some (scaling_build ~jobs:1));
+  let t1 = Span.now () in
+  scenario "scaling-jobsN" (fun () -> par := Some (scaling_build ~jobs));
+  let t2 = Span.now () in
+  match (!seq, !par) with
+  | Some a, Some b when libraries_equal a b ->
+    Printf.printf "scaling: jobs=%d identical to jobs=1; speedup %.2fx\n%!"
+      jobs ((t1 -. t0) /. Float.max 1e-9 (t2 -. t1))
+  | Some _, Some _ ->
+    prerr_endline "scaling: parallel library differs from sequential build";
+    exit 1
+  | _ -> assert false
 
 (* ------------------------- BENCH.json ------------------------- *)
 
@@ -215,6 +265,7 @@ let micro () =
 let () =
   let bench_out = ref "BENCH.json" in
   let quick = ref false in
+  let jobs = ref (Aging_util.Pool.default_jobs ()) in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
@@ -226,6 +277,12 @@ let () =
       parse tl
     | [ "--bench-out" ] ->
       prerr_endline "--bench-out requires a file argument";
+      exit 2
+    | ("--jobs" | "-j") :: n :: tl when int_of_string_opt n <> None ->
+      jobs := max 1 (Option.get (int_of_string_opt n));
+      parse tl
+    | [ ("--jobs" | "-j") ] | ("--jobs" | "-j") :: _ ->
+      prerr_endline "--jobs requires an integer argument";
       exit 2
     | a :: tl ->
       rest := a :: !rest;
@@ -244,13 +301,15 @@ let () =
     let mode, selected =
       match args with
       | [ "smoke" ] -> ("smoke", [ "smoke" ])
+      | [ "scaling" ] -> ("scaling", [ "scaling-jobs1"; "scaling-jobsN" ])
       | [] -> ((if !quick then "quick" else "full"), all_figures)
       | names -> ((if !quick then "quick" else "full"), names)
     in
     Printf.printf "reliability-aware design reproduction — %s mode\n\n%!" mode;
     if mode = "smoke" then scenario "smoke" smoke
+    else if mode = "scaling" then scaling ~jobs:!jobs ~scenario
     else begin
-      let t = Experiments.create ~quick:!quick () in
+      let t = Experiments.create ~quick:!quick ~jobs:!jobs () in
       List.iter
         (fun name -> scenario name (fun () -> run_experiment t name))
         selected

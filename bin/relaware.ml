@@ -124,12 +124,21 @@ let cache_arg =
   Arg.(value & opt string "_libcache"
        & info [ "cache" ] ~docv:"DIR" ~doc:"Library cache directory.")
 
+let jobs_arg =
+  Arg.(value & opt int (Aging_util.Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for characterization (cells and corners in \
+                 parallel; results are identical to $(b,--jobs 1)).  \
+                 Default: $(b,AGING_JOBS) if set, else the recommended \
+                 domain count of the machine.")
+
 let design_arg =
   let all = [ "DSP"; "FFT"; "RISC-6P"; "RISC-5P"; "VLIW"; "DCT"; "IDCT" ] in
   Arg.(required & opt (some (enum (List.map (fun d -> (d, d)) all))) None
        & info [ "design" ] ~docv:"NAME" ~doc:"Benchmark design name.")
 
-let deglib_of ~axes ~years ~cache = Deg.create ~axes ~years ~cache_dir:cache ()
+let deglib_of ~axes ~years ~cache ~jobs =
+  Deg.create ~axes ~years ~cache_dir:cache ~jobs ()
 
 let design_of name =
   match Designs.by_name name with
@@ -161,7 +170,7 @@ let characterize_cmd =
          & info [ "fault-seed" ] ~docv:"SEED"
              ~doc:"Seed selecting which grid points the injected faults hit.")
   in
-  let run tele corner years axes cache out report fault_rate fault_seed =
+  let run tele corner years axes cache jobs out report fault_rate fault_seed =
     with_telemetry tele @@ fun () ->
     let backend =
       if fault_rate > 0. then
@@ -170,7 +179,7 @@ let characterize_cmd =
            Characterize.default_backend)
       else Characterize.default_backend
     in
-    let deglib = Deg.create ~backend ~axes ~years ~cache_dir:cache () in
+    let deglib = Deg.create ~backend ~axes ~years ~cache_dir:cache ~jobs () in
     let lib = Deg.corner deglib corner in
     Io.save out lib;
     Printf.printf "wrote %s: %d cells, corner %s, %g years\n" out
@@ -191,14 +200,15 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize" ~doc:"Build a degradation-aware cell library")
     Term.(const run $ telemetry_term $ corner_arg $ years_arg $ axes_arg
-          $ cache_arg $ out_arg $ report_arg $ fault_rate_arg $ fault_seed_arg)
+          $ cache_arg $ jobs_arg $ out_arg $ report_arg $ fault_rate_arg
+          $ fault_seed_arg)
 
 (* ------------------------------ report ------------------------------ *)
 
 let report_cmd =
-  let run tele name corner years axes cache =
+  let run tele name corner years axes cache jobs =
     with_telemetry tele @@ fun () ->
-    let deglib = deglib_of ~axes ~years ~cache in
+    let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let design = design_of name in
     let fresh = Timing.analyze ~library:(Deg.fresh deglib) design in
     let aged = Timing.analyze ~library:(Deg.corner deglib corner) design in
@@ -208,7 +218,7 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Static timing of a benchmark design, fresh vs aged")
     Term.(const run $ telemetry_term $ design_arg $ corner_arg $ years_arg
-          $ axes_arg $ cache_arg)
+          $ axes_arg $ cache_arg $ jobs_arg)
 
 (* ---------------------------- guardband ---------------------------- *)
 
@@ -219,9 +229,9 @@ let guardband_cmd =
          & info [ "method" ] ~docv:"M"
              ~doc:"full | vth-only | single-opc | cp-only (prior-work models).")
   in
-  let run tele name corner years axes cache meth =
+  let run tele name corner years axes cache jobs meth =
     with_telemetry tele @@ fun () ->
-    let deglib = deglib_of ~axes ~years ~cache in
+    let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let design = design_of name in
     let g =
       match meth with
@@ -240,14 +250,14 @@ let guardband_cmd =
   Cmd.v
     (Cmd.info "guardband" ~doc:"Estimate the aging guardband of a design")
     Term.(const run $ telemetry_term $ design_arg $ corner_arg $ years_arg
-          $ axes_arg $ cache_arg $ method_arg)
+          $ axes_arg $ cache_arg $ jobs_arg $ method_arg)
 
 (* ------------------------------ synth ------------------------------ *)
 
 let synth_cmd =
-  let run tele name corner years axes cache =
+  let run tele name corner years axes cache jobs =
     with_telemetry tele @@ fun () ->
-    let deglib = deglib_of ~axes ~years ~cache in
+    let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let design = design_of name in
     let c = Aging_core.Aging_synthesis.run ~corner ~deglib design in
     let module AS = Aging_core.Aging_synthesis in
@@ -269,7 +279,7 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Traditional vs aging-aware synthesis of a design")
     Term.(const run $ telemetry_term $ design_arg $ corner_arg $ years_arg
-          $ axes_arg $ cache_arg)
+          $ axes_arg $ cache_arg $ jobs_arg)
 
 (* ------------------------------ export ------------------------------ *)
 
@@ -288,9 +298,9 @@ let export_cmd =
     Arg.(value & opt (some (enum (List.map (fun d -> (d, d)) all))) None
          & info [ "design" ] ~docv:"NAME" ~doc:"Design (verilog/sdf exports).")
   in
-  let run tele what name corner years axes cache out =
+  let run tele what name corner years axes cache jobs out =
     with_telemetry tele @@ fun () ->
-    let deglib = deglib_of ~axes ~years ~cache in
+    let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let required_design () =
       match name with
       | Some n -> design_of n
@@ -313,7 +323,7 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Write Verilog netlists, aged SDF files, or .lib libraries")
     Term.(const run $ telemetry_term $ what_arg $ design_opt $ corner_arg
-          $ years_arg $ axes_arg $ cache_arg $ out_arg)
+          $ years_arg $ axes_arg $ cache_arg $ jobs_arg $ out_arg)
 
 (* ---------------------------- experiment ---------------------------- *)
 
@@ -327,9 +337,9 @@ let experiment_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced design set / image size.")
   in
-  let run tele which quick cache =
+  let run tele which quick cache jobs =
     with_telemetry tele @@ fun () ->
-    let t = Experiments.create ~quick ~cache_dir:cache () in
+    let t = Experiments.create ~quick ~cache_dir:cache ~jobs () in
     let report =
       match which with
       | "fig1" -> Experiments.fig1 t
@@ -352,7 +362,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures")
-    Term.(const run $ telemetry_term $ which_arg $ quick_arg $ cache_arg)
+    Term.(const run $ telemetry_term $ which_arg $ quick_arg $ cache_arg
+          $ jobs_arg)
 
 let () =
   let info =

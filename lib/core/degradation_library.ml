@@ -9,6 +9,7 @@ module Cell = Aging_cells.Cell
 module Metrics = Aging_obs.Metrics
 module Span = Aging_obs.Span
 module Log = Aging_obs.Log
+module Pool = Aging_util.Pool
 
 let m_memo_hit = Metrics.counter "cache.memo_hit"
 let m_disk_hit = Metrics.counter "cache.disk_hit"
@@ -21,9 +22,13 @@ type t = {
   axes : Axes.t;
   years : float;
   cache_dir : string option;
+  jobs : int;
   memo : (string, Library.t) Hashtbl.t;
   fingerprint : string;
   reports : (string * Characterize.report) list ref;
+  lock : Mutex.t;
+      (* guards [memo] and [reports]: [complete] builds corners on
+         concurrent domains that all land their results here *)
 }
 
 let rec backend_tag = function
@@ -34,11 +39,15 @@ let rec backend_tag = function
       f.Characterize.depth (backend_tag inner)
 
 let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
-    ?(years = 10.) ?cache_dir () =
+    ?(years = 10.) ?cache_dir ?(jobs = 1) () =
   let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
   (* The fingerprint must change whenever anything that affects the tables
-     changes: cell set, axes, backend, and the physics model itself (probed
-     by sampling the degradation of a reference device). *)
+     changes: cell set, axes, backend, lifetime, and the physics model
+     itself (probed by sampling the degradation of a reference device).
+     It is a digest of a full canonical serialization — NOT [Hashtbl.hash],
+     whose bounded traversal (10 meaningful nodes by default) ignores
+     everything past the first few cells and axis points, so perturbing a
+     late axis value or cell would silently reuse a stale cache file. *)
   let model_probe =
     let stress = Aging_physics.Bti.stress ~duty:1.0 () in
     let d =
@@ -50,19 +59,38 @@ let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
     (d.Degradation.delta_vth, d.Degradation.mu_factor, dn.Degradation.delta_vth)
   in
   let fingerprint =
-    Printf.sprintf "%08x"
-      (Hashtbl.hash
-         ( List.map (fun (c : Cell.t) -> c.Cell.name) cells,
-           Array.to_list axes.Axes.slews,
-           Array.to_list axes.Axes.loads,
-           backend_tag backend,
-           model_probe ))
+    let b = Buffer.create 512 in
+    (* %h is lossless for floats, so distinct values never collide in the
+       serialization the way a rounded decimal print could. *)
+    let addf x = Buffer.add_string b (Printf.sprintf "%h;" x) in
+    Buffer.add_string b "cells:";
+    List.iter
+      (fun (c : Cell.t) ->
+        Buffer.add_string b c.Cell.name;
+        Buffer.add_char b ';')
+      cells;
+    Buffer.add_string b "|slews:";
+    Array.iter addf axes.Axes.slews;
+    Buffer.add_string b "|loads:";
+    Array.iter addf axes.Axes.loads;
+    Buffer.add_string b "|backend:";
+    Buffer.add_string b (backend_tag backend);
+    Buffer.add_string b "|years:";
+    addf years;
+    Buffer.add_string b "|probe:";
+    let p_vth, p_mu, n_vth = model_probe in
+    addf p_vth;
+    addf p_mu;
+    addf n_vth;
+    Digest.to_hex (Digest.string (Buffer.contents b))
   in
-  { backend; cells; axes; years; cache_dir; memo = Hashtbl.create 16;
-    fingerprint; reports = ref [] }
+  { backend; cells; axes; years; cache_dir; jobs = max 1 jobs;
+    memo = Hashtbl.create 16; fingerprint; reports = ref [];
+    lock = Mutex.create () }
 
 let axes t = t.axes
 let years t = t.years
+let fingerprint t = t.fingerprint
 
 let mode_tag = function Degradation.Full -> "full" | Degradation.Vth_only -> "vth"
 
@@ -86,11 +114,26 @@ let load_cache_file path =
         path msg;
       None
 
+(* [Sys.mkdir] is not recursive, so a nested cache dir ("cache/aged/v2")
+   needs every ancestor created first; a concurrent writer racing us to any
+   component surfaces as EEXIST ([Sys_error]) and is fine as long as the
+   directory is there afterwards. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _
+      when (try Sys.is_directory dir with Sys_error _ -> false) ->
+      ()
+  end
+
 (* Writes go through a temp file in the same directory plus an atomic
    rename, so a crash mid-write can never leave a half-written .alib that
    would poison later runs. *)
 let save_cache_file dir name lib =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let path = Filename.concat dir (name ^ ".alib") in
   let tmp = Filename.temp_file ~temp_dir:dir ("." ^ name) ".tmp" in
   match Io.save tmp lib with
@@ -99,8 +142,15 @@ let save_cache_file dir name lib =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
 
+(* The memo is read and written from whichever domain asks for a corner
+   ([complete] builds corners concurrently), so lookups and inserts take
+   the manager lock; the expensive build itself runs outside it so
+   distinct corners really do characterize in parallel.  Two domains
+   racing on the {e same} key would both build and one insert would win —
+   harmless (identical results), and [complete] never issues duplicate
+   corners. *)
 let cached t name build =
-  match Hashtbl.find_opt t.memo name with
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.memo name) with
   | Some lib ->
     Metrics.incr m_memo_hit;
     lib
@@ -125,18 +175,18 @@ let cached t name build =
         Option.iter (fun dir -> save_cache_file dir name lib) t.cache_dir;
         lib
     in
-    Hashtbl.replace t.memo name lib;
+    Mutex.protect t.lock (fun () -> Hashtbl.replace t.memo name lib);
     lib
 
 let build_with_report t ?indexed ~name ~scenario () =
   let lib, report =
     Characterize.library_report ~backend:t.backend ~cells:t.cells ?indexed
-      ~axes:t.axes ~name ~scenario ()
+      ~jobs:t.jobs ~axes:t.axes ~name ~scenario ()
   in
-  t.reports := (name, report) :: !(t.reports);
+  Mutex.protect t.lock (fun () -> t.reports := (name, report) :: !(t.reports));
   lib
 
-let build_reports t = !(t.reports)
+let build_reports t = Mutex.protect t.lock (fun () -> !(t.reports))
 
 let corner ?(mode = Degradation.Full) t c =
   let name = key t ~mode ~indexed:false c in
@@ -154,7 +204,12 @@ let fresh t = corner t Scenario.fresh
 let worst_case ?mode t = corner ?mode t Scenario.worst_case
 
 let complete t corners =
-  match List.map (indexed_corner t) corners with
+  (* Corners are independent characterizations; fan them out over the
+     pool (each build then runs its own cell grids sequentially — the
+     pool's nesting guard keeps the total domain count at [t.jobs]).
+     [Pool.map] preserves corner order, so the merged library is identical
+     to a sequential build. *)
+  match Pool.map ~jobs:t.jobs (indexed_corner t) corners with
   | [] -> invalid_arg "Degradation_library.complete: no corners"
   | first :: rest ->
     let merged = List.fold_left Library.merge_entries first rest in

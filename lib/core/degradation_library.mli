@@ -14,13 +14,26 @@ val create :
   ?axes:Aging_liberty.Axes.t ->
   ?years:float ->
   ?cache_dir:string ->
+  ?jobs:int ->
   unit ->
   t
 (** Defaults: transient backend, full catalog, the paper's 7x7 axes,
-    10-year lifetime, no disk cache. *)
+    10-year lifetime, no disk cache, sequential builds ([jobs = 1]).
+    [jobs > 1] characterizes on that many domains — within one library
+    build, and across corners in {!complete} — with results identical to a
+    sequential build.  [cache_dir] may be nested ("a/b/c"); missing parent
+    directories are created on the first write. *)
 
 val axes : t -> Aging_liberty.Axes.t
 val years : t -> float
+
+val fingerprint : t -> string
+(** The configuration fingerprint embedded in every cache key: a digest of
+    a full canonical serialization of (cell names, all slew/load axis
+    values, backend tag, lifetime, and a probe of the degradation model),
+    so {e any} configuration change — including to the last axis point or
+    the last cell — invalidates the disk cache.  Exposed for
+    cache-sensitivity tests. *)
 
 val build_reports : t -> (string * Aging_liberty.Characterize.report) list
 (** Fault/repair accounting of every library this manager actually

@@ -23,11 +23,11 @@ type t = {
   mutable comparison_cache : (string * Aging_synthesis.comparison) list;
 }
 
-let create ?(quick = false) ?(cache_dir = "_libcache") () =
+let create ?(quick = false) ?(cache_dir = "_libcache") ?(jobs = 1) () =
   {
-    deglib = Degradation_library.create ~cache_dir ();
-    deglib_1y = Degradation_library.create ~years:1. ~cache_dir ();
-    deglib_3y = Degradation_library.create ~years:3. ~cache_dir ();
+    deglib = Degradation_library.create ~cache_dir ~jobs ();
+    deglib_1y = Degradation_library.create ~years:1. ~cache_dir ~jobs ();
+    deglib_3y = Degradation_library.create ~years:3. ~cache_dir ~jobs ();
     quick;
     design_cache = [];
     comparison_cache = [];

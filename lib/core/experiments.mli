@@ -11,10 +11,12 @@ type t
 (** Shared experiment context: the degradation-library managers (with disk
     cache), the benchmark designs and memoized synthesis results. *)
 
-val create : ?quick:bool -> ?cache_dir:string -> unit -> t
+val create : ?quick:bool -> ?cache_dir:string -> ?jobs:int -> unit -> t
 (** [quick] restricts the design set (DSP, RISC-5P, DCT), shrinks the test
     image and lowers optimization effort — for smoke runs.  [cache_dir]
-    defaults to ["_libcache"] relative to the working directory. *)
+    defaults to ["_libcache"] relative to the working directory.  [jobs]
+    (default 1) is handed to every degradation-library manager: cache-miss
+    characterizations run on that many domains. *)
 
 val is_quick : t -> bool
 

@@ -7,6 +7,7 @@ module Waveform = Aging_spice.Waveform
 module Mosfet = Aging_spice.Mosfet
 module Cell = Aging_cells.Cell
 module Retry = Aging_util.Retry
+module Pool = Aging_util.Pool
 module Metrics = Aging_obs.Metrics
 module Span = Aging_obs.Span
 module Log = Aging_obs.Log
@@ -286,23 +287,23 @@ type report = { mutable stats : arc_stats list }
 
 let report_create () = { stats = [] }
 
-let new_arc_stats report ~cell ~from_pin ~to_pin ~dir =
-  let s =
-    {
-      stat_cell = cell;
-      stat_from = from_pin;
-      stat_to = to_pin;
-      stat_dir = dir;
-      measured = 0;
-      retried = 0;
-      repaired = 0;
-      failed = 0;
-      repairs = [];
-      errors = [];
-    }
-  in
-  report.stats <- s :: report.stats;
-  s
+(* Fresh, unattached stats record: in a parallel build each (arc, dir) work
+   unit owns its record exclusively and the records are appended to the
+   report afterwards, in work-unit order, so the report is identical
+   whatever the worker interleaving was. *)
+let make_arc_stats ~cell ~from_pin ~to_pin ~dir =
+  {
+    stat_cell = cell;
+    stat_from = from_pin;
+    stat_to = to_pin;
+    stat_dir = dir;
+    measured = 0;
+    retried = 0;
+    repaired = 0;
+    failed = 0;
+    repairs = [];
+    errors = [];
+  }
 
 type totals = {
   points : int;
@@ -495,7 +496,29 @@ let mid_value table =
   let n_s, n_l = Nldm.dimensions table in
   table.Nldm.values.(n_s / 2).(n_l / 2)
 
-let entry ?(backend = default_backend) ?(indexed = false) ?report
+(* The independent work units of one cell, in a fixed canonical order (the
+   order the sequential code has always measured them in): every
+   combinational arc contributes a Rise and a Fall grid; a flip-flop
+   contributes its launch-rise and launch-fall grids.  The two launch arcs
+   (Q rise with D=1, Q fall with D=0) merge into one library arc; each
+   capture value only yields its own output direction. *)
+let grid_jobs (cell : Cell.t) =
+  match cell.Cell.kind with
+  | Cell.Combinational ->
+    List.concat_map
+      (fun arc -> [ (arc, Library.Rise); (arc, Library.Fall) ])
+      (Cell.arcs cell)
+  | Cell.Flipflop ->
+    let q_arcs = Cell.arcs cell in
+    let rise_arc =
+      List.find (fun (a : Cell.arc) -> a.Cell.positive_unate) q_arcs
+    in
+    let fall_arc =
+      List.find (fun (a : Cell.arc) -> not a.Cell.positive_unate) q_arcs
+    in
+    [ (rise_arc, Library.Rise); (fall_arc, Library.Fall) ]
+
+let entry ?(backend = default_backend) ?(indexed = false) ?report ?(jobs = 1)
     ~(axes : Axes.t) ~scenario (cell : Cell.t) =
   let corner_tag = Scenario.suffix scenario.Scenario.corner in
   let t_cell = Span.now () in
@@ -503,54 +526,60 @@ let entry ?(backend = default_backend) ?(indexed = false) ?report
     ~attrs:[ ("cell", cell.Cell.name); ("corner", corner_tag) ]
   @@ fun () ->
   let report = match report with Some r -> r | None -> report_create () in
+  (* Shared read-only by every worker; each measurement copies it before
+     attaching its own load. *)
   let base_circuit = aged_circuit ~scenario cell in
-  let arc_tables (arc : Cell.arc) dir =
-    let stats =
-      new_arc_stats report ~cell:cell.Cell.name ~from_pin:arc.Cell.arc_input
-        ~to_pin:arc.Cell.arc_output ~dir
-    in
-    Span.with_ "characterize.arc"
-      ~attrs:
-        [
-          ("cell", cell.Cell.name);
-          ("from", arc.Cell.arc_input);
-          ("to", arc.Cell.arc_output);
-          ("dir", dir_label dir);
-        ]
-      (fun () -> measure_grid backend ~stats ~axes ~base_circuit ~cell ~arc ~dir)
+  let work = grid_jobs cell in
+  let results =
+    Pool.map ~jobs
+      (fun ((arc : Cell.arc), dir) ->
+        let stats =
+          make_arc_stats ~cell:cell.Cell.name ~from_pin:arc.Cell.arc_input
+            ~to_pin:arc.Cell.arc_output ~dir
+        in
+        let tables =
+          Span.with_ "characterize.arc"
+            ~attrs:
+              [
+                ("cell", cell.Cell.name);
+                ("from", arc.Cell.arc_input);
+                ("to", arc.Cell.arc_output);
+                ("dir", dir_label dir);
+              ]
+            (fun () ->
+              measure_grid backend ~stats ~axes ~base_circuit ~cell ~arc ~dir)
+        in
+        (stats, tables))
+      work
   in
-  let characterize_combinational (arc : Cell.arc) =
-    let delay_rise, slew_rise = arc_tables arc Library.Rise in
-    let delay_fall, slew_fall = arc_tables arc Library.Fall in
-    {
-      Library.from_pin = arc.Cell.arc_input;
-      to_pin = arc.Cell.arc_output;
-      sense =
-        (if arc.Cell.positive_unate then Library.Positive else Library.Negative);
-      when_side = arc.Cell.side;
-      delay_rise;
-      delay_fall;
-      slew_rise;
-      slew_fall;
-    }
-  in
+  (* Same newest-first report order as a sequential run: prepend in
+     work-unit order regardless of which domain finished first. *)
+  List.iter (fun (stats, _) -> report.stats <- stats :: report.stats) results;
+  let tables = Array.of_list (List.map snd results) in
   let arcs =
     match cell.Cell.kind with
     | Cell.Combinational ->
-      List.map characterize_combinational (Cell.arcs cell)
+      List.mapi
+        (fun i (arc : Cell.arc) ->
+          let delay_rise, slew_rise = tables.(2 * i) in
+          let delay_fall, slew_fall = tables.((2 * i) + 1) in
+          {
+            Library.from_pin = arc.Cell.arc_input;
+            to_pin = arc.Cell.arc_output;
+            sense =
+              (if arc.Cell.positive_unate then Library.Positive
+               else Library.Negative);
+            when_side = arc.Cell.side;
+            delay_rise;
+            delay_fall;
+            slew_rise;
+            slew_fall;
+          })
+        (Cell.arcs cell)
     | Cell.Flipflop ->
-      (* The two launch arcs (Q rise with D=1, Q fall with D=0) merge into
-         one library arc; each capture value only yields its own output
-         direction. *)
-      let q_arcs = Cell.arcs cell in
-      let rise_arc =
-        List.find (fun (a : Cell.arc) -> a.Cell.positive_unate) q_arcs
-      in
-      let fall_arc =
-        List.find (fun (a : Cell.arc) -> not a.Cell.positive_unate) q_arcs
-      in
-      let delay_rise, slew_rise = arc_tables rise_arc Library.Rise in
-      let delay_fall, slew_fall = arc_tables fall_arc Library.Fall in
+      let rise_arc, _ = List.nth work 0 in
+      let delay_rise, slew_rise = tables.(0) in
+      let delay_fall, slew_fall = tables.(1) in
       [
         {
           Library.from_pin = rise_arc.Cell.arc_input;
@@ -600,20 +629,45 @@ let entry ?(backend = default_backend) ?(indexed = false) ?report
   }
 
 let library ?(backend = default_backend) ?cells ?(indexed = false) ?report
-    ~axes ~name ~scenario () =
+    ?(jobs = 1) ~axes ~name ~scenario () =
   let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
   Span.with_ "characterize.library" ~attrs:[ ("library", name) ] @@ fun () ->
-  Log.infof "characterize" "library %s: characterizing %d cells [%s]" name
-    (List.length cells)
-    (Scenario.suffix scenario.Scenario.corner);
-  let entries = List.map (entry ~backend ~indexed ?report ~axes ~scenario) cells in
-  Library.create ~lib_name:name ~axes entries
+  Log.infof "characterize" "library %s: characterizing %d cells [%s, %d job%s]"
+    name (List.length cells)
+    (Scenario.suffix scenario.Scenario.corner)
+    jobs
+    (if jobs = 1 then "" else "s");
+  (* Two fan-out levels share the same budget: cells across the pool, and
+     (arc, dir) grids within each cell.  The pool's nesting guard makes the
+     inner level sequential whenever the outer one actually spawned, so the
+     inner fan-out only kicks in for small cell lists (tests, bench
+     subsets) where the outer level alone cannot fill the pool.  Every
+     worker fills a private report; the reports are merged in cell order,
+     which makes the final report — like the entry list — bit-for-bit
+     independent of the worker count. *)
+  let per_cell =
+    Pool.map ~jobs
+      (fun cell ->
+        let cell_report = report_create () in
+        let e =
+          entry ~backend ~indexed ~report:cell_report ~jobs ~axes ~scenario cell
+        in
+        (e, cell_report))
+      cells
+  in
+  (match report with
+  | None -> ()
+  | Some dst ->
+    List.iter (fun (_, r) -> dst.stats <- r.stats @ dst.stats) per_cell);
+  Library.create ~lib_name:name ~axes (List.map fst per_cell)
 
-let library_report ?backend ?cells ?indexed ~axes ~name ~scenario () =
+let library_report ?backend ?cells ?indexed ?jobs ~axes ~name ~scenario () =
   let report = report_create () in
-  let lib = library ?backend ?cells ?indexed ~report ~axes ~name ~scenario () in
+  let lib =
+    library ?backend ?cells ?indexed ~report ?jobs ~axes ~name ~scenario ()
+  in
   (lib, report)
 
-let fresh_library ?backend ?cells ~axes () =
-  library ?backend ?cells ~axes ~name:"initial"
+let fresh_library ?backend ?cells ?jobs ~axes () =
+  library ?backend ?cells ?jobs ~axes ~name:"initial"
     ~scenario:(Scenario.scenario Scenario.fresh) ()

@@ -24,7 +24,20 @@
     first-attempt measurement is recorded in a {!report} that callers can
     print and tests can assert on.  The [Faulty] backend wrapper injects
     deterministic point failures so that machinery can be exercised end to
-    end. *)
+    end.
+
+    {2 Parallelism}
+
+    Characterization is embarrassingly parallel: every (cell, arc,
+    direction) grid is independent.  {!library} and {!entry} accept a
+    [jobs] count and fan the grids out over an {!Aging_util.Pool} of
+    domains — cells across the pool, (arc, direction) grids within a cell
+    when the cell level alone cannot fill it.  The result is {e
+    deterministic}: entries, tables, and the merged report are assembled in
+    input order, never completion order, so [library ~jobs:n] is
+    bit-for-bit identical to [library ~jobs:1] for every [n].  [jobs]
+    defaults to [1] (sequential); the CLI and benches default it to
+    {!Aging_util.Pool.default_jobs}. *)
 
 type point_error =
   | No_settle of float
@@ -101,6 +114,7 @@ val entry :
   ?backend:backend ->
   ?indexed:bool ->
   ?report:report ->
+  ?jobs:int ->
   axes:Axes.t ->
   scenario:Aging_physics.Scenario.t ->
   Aging_cells.Cell.t ->
@@ -108,13 +122,16 @@ val entry :
 (** Characterizes one cell under the scenario.  When [indexed] is true the
     entry name carries the corner suffix ("NAND2_X1\@0.4_0.6"); default
     false (bare name).  Per-point failures are retried and repaired, never
-    raised; pass [report] to collect the accounting. *)
+    raised; pass [report] to collect the accounting.  [jobs] (default 1)
+    fans the cell's (arc, direction) grids out over that many domains;
+    results and report order do not depend on it. *)
 
 val library :
   ?backend:backend ->
   ?cells:Aging_cells.Cell.t list ->
   ?indexed:bool ->
   ?report:report ->
+  ?jobs:int ->
   axes:Axes.t ->
   name:string ->
   scenario:Aging_physics.Scenario.t ->
@@ -122,12 +139,16 @@ val library :
   Library.t
 (** Characterizes a whole library (default: the full catalog) under one
     scenario.  Always returns a complete library: full grids for every arc
-    of every cell, with failed points repaired (see the module docs). *)
+    of every cell, with failed points repaired (see the module docs).
+    [jobs] (default 1) parallelizes across cells (and within them — see
+    {e Parallelism} above); the returned library and any [report] are
+    identical for every [jobs] value. *)
 
 val library_report :
   ?backend:backend ->
   ?cells:Aging_cells.Cell.t list ->
   ?indexed:bool ->
+  ?jobs:int ->
   axes:Axes.t ->
   name:string ->
   scenario:Aging_physics.Scenario.t ->
@@ -136,8 +157,8 @@ val library_report :
 (** [library] plus the fault/repair accounting of the build. *)
 
 val fresh_library :
-  ?backend:backend -> ?cells:Aging_cells.Cell.t list -> axes:Axes.t ->
-  unit -> Library.t
+  ?backend:backend -> ?cells:Aging_cells.Cell.t list -> ?jobs:int ->
+  axes:Axes.t -> unit -> Library.t
 (** Convenience: the degradation-unaware (initial) library — zero-duty
     corner, bare names. *)
 

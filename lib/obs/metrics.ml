@@ -1,11 +1,19 @@
-type counter = { mutable count : int }
-type gauge = { mutable level : float }
+(* Domain safety: parallel characterization (Aging_util.Pool) drives these
+   handles from several domains at once.  Counters and gauges are single
+   atomic words, so the hot-path cost of an [incr] is one fetch-and-add and
+   no lock.  Histograms update three fields per observation and take a
+   per-histogram mutex; the registry itself (rare: handle creation,
+   snapshot, reset) is guarded by one global mutex. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
   bounds : float array;  (* ascending upper bounds; overflow bucket implicit *)
   counts : int array;    (* length = Array.length bounds + 1 *)
   mutable sum : float;
   mutable n : int;
+  lock : Mutex.t;
 }
 
 type metric =
@@ -14,6 +22,7 @@ type metric =
   | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -25,29 +34,37 @@ let mismatch name existing wanted =
     (Printf.sprintf "Aging_obs.Metrics: %s is already a %s, not a %s" name
        (kind_name existing) wanted)
 
-let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some m -> mismatch name m "counter"
-  | None ->
-    let c = { count = 0 } in
-    Hashtbl.replace registry name (Counter c);
-    c
+(* Get-or-create under the registry lock; [make] must not lock. *)
+let register name ~wanted ~make ~cast =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> begin
+        match cast m with Some v -> v | None -> mismatch name m wanted
+      end
+      | None ->
+        let v, m = make () in
+        Hashtbl.replace registry name m;
+        v)
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
+let counter name =
+  register name ~wanted:"counter"
+    ~make:(fun () ->
+      let c = Atomic.make 0 in
+      (c, Counter c))
+    ~cast:(function Counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let value c = Atomic.get c
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> g
-  | Some m -> mismatch name m "gauge"
-  | None ->
-    let g = { level = 0. } in
-    Hashtbl.replace registry name (Gauge g);
-    g
+  register name ~wanted:"gauge"
+    ~make:(fun () ->
+      let g = Atomic.make 0. in
+      (g, Gauge g))
+    ~cast:(function Gauge g -> Some g | _ -> None)
 
-let set g v = g.level <- v
-let gauge_value g = g.level
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 (* Half-decade log-scale buckets from 1 ns to ~3000 s: wall times of
    anything from a single NLDM lookup to a full figure reproduction land in
@@ -56,40 +73,40 @@ let default_bounds =
   Array.init 26 (fun i -> 1e-9 *. (10. ** (float_of_int i /. 2.)))
 
 let histogram ?(bounds = default_bounds) name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> h
-  | Some m -> mismatch name m "histogram"
-  | None ->
-    Array.iteri
-      (fun i b ->
-        if i > 0 && bounds.(i - 1) >= b then
-          invalid_arg
-            (Printf.sprintf
-               "Aging_obs.Metrics: histogram %s bounds not ascending" name))
-      bounds;
-    let h =
-      {
-        bounds = Array.copy bounds;
-        counts = Array.make (Array.length bounds + 1) 0;
-        sum = 0.;
-        n = 0;
-      }
-    in
-    Hashtbl.replace registry name (Histogram h);
-    h
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg
+          (Printf.sprintf "Aging_obs.Metrics: histogram %s bounds not ascending"
+             name))
+    bounds;
+  register name ~wanted:"histogram"
+    ~make:(fun () ->
+      let h =
+        {
+          bounds = Array.copy bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0.;
+          n = 0;
+          lock = Mutex.create ();
+        }
+      in
+      (h, Histogram h))
+    ~cast:(function Histogram h -> Some h | _ -> None)
 
 let observe h x =
-  h.sum <- h.sum +. x;
-  h.n <- h.n + 1;
   let nb = Array.length h.bounds in
   let rec slot i = if i >= nb || x <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
-  h.counts.(i) <- h.counts.(i) + 1
+  Mutex.protect h.lock (fun () ->
+      h.sum <- h.sum +. x;
+      h.n <- h.n + 1;
+      h.counts.(i) <- h.counts.(i) + 1)
 
-let histogram_count h = h.n
-let histogram_sum h = h.sum
+let histogram_count h = Mutex.protect h.lock (fun () -> h.n)
+let histogram_sum h = Mutex.protect h.lock (fun () -> h.sum)
 
-let bucket_counts h =
+let bucket_counts_locked h =
   List.init
     (Array.length h.counts)
     (fun i ->
@@ -97,6 +114,8 @@ let bucket_counts h =
         if i < Array.length h.bounds then h.bounds.(i) else infinity
       in
       (bound, h.counts.(i)))
+
+let bucket_counts h = Mutex.protect h.lock (fun () -> bucket_counts_locked h)
 
 (* ------------------------- snapshot / export ----------------------- *)
 
@@ -112,18 +131,24 @@ and histogram_snapshot = {
 }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
-      let v =
-        match m with
-        | Counter c -> Counter_value c.count
-        | Gauge g -> Gauge_value g.level
-        | Histogram h ->
-          Histogram_value
-            { hs_count = h.n; hs_sum = h.sum; hs_buckets = bucket_counts h }
-      in
-      (name, v) :: acc)
-    registry []
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | Counter c -> Counter_value (Atomic.get c)
+            | Gauge g -> Gauge_value (Atomic.get g)
+            | Histogram h ->
+              Mutex.protect h.lock (fun () ->
+                  Histogram_value
+                    {
+                      hs_count = h.n;
+                      hs_sum = h.sum;
+                      hs_buckets = bucket_counts_locked h;
+                    })
+          in
+          (name, v) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let to_json () =
@@ -180,13 +205,15 @@ let to_text () =
   Buffer.contents b
 
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.level <- 0.
-      | Histogram h ->
-        h.sum <- 0.;
-        h.n <- 0;
-        Array.fill h.counts 0 (Array.length h.counts) 0)
-    registry
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.
+          | Histogram h ->
+            Mutex.protect h.lock (fun () ->
+                h.sum <- 0.;
+                h.n <- 0;
+                Array.fill h.counts 0 (Array.length h.counts) 0))
+        registry)

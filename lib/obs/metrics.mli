@@ -13,7 +13,15 @@
     did this run take" can be answered afterwards.  Exporters ({!to_json},
     {!to_text}) serialize a consistent snapshot; {!reset} zeroes all
     registered metrics in place (handles stay valid), which tests use to
-    isolate their deltas. *)
+    isolate their deltas.
+
+    Every operation is domain-safe: counters and gauges are single atomic
+    words (an [incr] is one lock-free fetch-and-add, cheap enough for the
+    solver's per-step counters), histogram observations take a
+    per-histogram mutex, and registration/snapshot/reset serialize on a
+    registry mutex — so the parallel characterization pool
+    ({!Aging_util.Pool}) can drive shared handles from every worker domain
+    and a dump still equals the sum of all workers' events. *)
 
 type counter
 type gauge

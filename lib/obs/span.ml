@@ -16,26 +16,37 @@ type frame = {
   mutable f_children : t list; (* newest first *)
 }
 
-let stack : frame list ref = ref []
-let root_acc : t list ref = ref [] (* newest first *)
-let recording_on = ref false
-let recorded = ref 0
-let dropped_count = ref 0
+(* Domain safety: the open-frame stack is domain-local state (a worker's
+   spans nest under the worker's own frames, never under another domain's),
+   while the completed-roots accumulator and its counters are shared and
+   synchronized.  A span completed on a worker domain whose stack is empty
+   becomes a top-level root — in a parallel characterization the per-arc
+   spans therefore surface as roots of their own rather than children of
+   the spawning domain's cell span. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let roots_lock = Mutex.create ()
+let root_acc : t list ref = ref [] (* newest first; guarded by roots_lock *)
+let recording_on = Atomic.make false
+let recorded = Atomic.make 0
+let dropped_count = Atomic.make 0
 let max_recorded = 100_000
 
 let now () = Unix.gettimeofday ()
-let set_recording b = recording_on := b
-let recording () = !recording_on
-let roots () = List.rev !root_acc
-let dropped () = !dropped_count
+let set_recording b = Atomic.set recording_on b
+let recording () = Atomic.get recording_on
+let roots () = Mutex.protect roots_lock (fun () -> List.rev !root_acc)
+let dropped () = Atomic.get dropped_count
 
 let reset () =
-  stack := [];
-  root_acc := [];
-  recorded := 0;
-  dropped_count := 0
+  Domain.DLS.get stack_key := [];
+  Mutex.protect roots_lock (fun () -> root_acc := []);
+  Atomic.set recorded 0;
+  Atomic.set dropped_count 0
 
 let with_ ?(attrs = []) name f =
+  let stack = Domain.DLS.get stack_key in
   let t0 = now () in
   let frame = { f_name = name; f_attrs = attrs; f_t0 = t0; f_children = [] } in
   stack := frame :: !stack;
@@ -53,7 +64,7 @@ let with_ ?(attrs = []) name f =
     (match outcome with
     | Raised _ -> Metrics.incr (Metrics.counter ("span." ^ name ^ ".errors"))
     | Completed -> ());
-    if !recording_on then begin
+    if Atomic.get recording_on then begin
       let span =
         {
           name;
@@ -68,14 +79,14 @@ let with_ ?(attrs = []) name f =
       | parent :: _ ->
         (* The cap bounds child spans only: top-level spans are the
            artifact (per-scenario wall times) and must survive. *)
-        if !recorded < max_recorded then begin
+        if Atomic.get recorded < max_recorded then begin
           parent.f_children <- span :: parent.f_children;
-          incr recorded
+          ignore (Atomic.fetch_and_add recorded 1)
         end
-        else incr dropped_count
+        else ignore (Atomic.fetch_and_add dropped_count 1)
       | [] ->
-        root_acc := span :: !root_acc;
-        incr recorded
+        Mutex.protect roots_lock (fun () -> root_acc := span :: !root_acc);
+        ignore (Atomic.fetch_and_add recorded 1)
     end
   in
   match f () with
@@ -104,5 +115,5 @@ let to_json () =
   Json.Obj
     [
       ("spans", Json.List (List.map span_to_json (roots ())));
-      ("dropped", Json.Int !dropped_count);
+      ("dropped", Json.Int (Atomic.get dropped_count));
     ]

@@ -17,7 +17,15 @@
       {!roots} / {!to_json}.  Recording is off by default; the CLI's
       [--trace] and the bench harness switch it on.  Completed child spans
       are capped (100k) to bound memory on huge builds — the cap drops
-      children, never top-level spans, and {!dropped} reports the loss. *)
+      children, never top-level spans, and {!dropped} reports the loss.
+
+    The open-frame stack is per-domain (via {!Domain.DLS}): spans opened on
+    a pool worker nest under that worker's own frames, and a span that
+    completes with an empty domain-local stack is recorded as a top-level
+    root (the shared root list and both counters are synchronized).  So in
+    a parallel characterization the per-arc spans of worker domains appear
+    as additional roots rather than children of the spawning domain's
+    span — timing histograms are unaffected. *)
 
 type outcome = Completed | Raised of string
 

@@ -1,0 +1,59 @@
+let default_jobs () =
+  match Sys.getenv_opt "AGING_JOBS" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ()
+  end
+  | None -> Domain.recommended_domain_count ()
+
+(* Set while a domain is executing pool work; a nested [map] sees it and
+   degrades to List.map, so stacked parallel layers cannot multiply the
+   domain count. *)
+let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 || Domain.DLS.get inside_pool -> List.map f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let jobs = min jobs n in
+    let results = Array.make n None in
+    (* Lowest failing input index wins, so the caller sees the same
+       exception a sequential run would raise first. *)
+    let failure = Atomic.make None in
+    let record_failure i e bt =
+      let rec cas () =
+        let cur = Atomic.get failure in
+        match cur with
+        | Some (j, _, _) when j <= i -> ()
+        | _ -> if not (Atomic.compare_and_set failure cur (Some (i, e, bt))) then cas ()
+      in
+      cas ()
+    in
+    let run_chunk k =
+      let lo = k * n / jobs and hi = (k + 1) * n / jobs in
+      for i = lo to hi - 1 do
+        match f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
+      done
+    in
+    let worker k () =
+      Domain.DLS.set inside_pool true;
+      run_chunk k
+    in
+    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    Domain.DLS.set inside_pool true;
+    run_chunk 0;
+    Domain.DLS.set inside_pool false;
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)

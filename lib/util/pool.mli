@@ -1,0 +1,31 @@
+(** A small domain-based worker pool for embarrassingly parallel maps.
+
+    [map ~jobs f xs] applies [f] to every element of [xs] on up to [jobs]
+    domains and returns the results {e in input order} — never in
+    completion order — so a parallel map is bit-for-bit substitutable for
+    [List.map].  The input is split into [jobs] contiguous chunks, one per
+    domain (work units are expected to be coarse and similar in cost:
+    characterization grids, library corners), and the calling domain works
+    a chunk itself rather than idling.
+
+    Nested calls never oversubscribe: a [map] issued from inside a pool
+    worker runs sequentially on that worker, so composed parallel layers
+    (corners over cells over arcs) fan out only at the outermost level
+    that actually has more than one work item.
+
+    Exceptions propagate: if any application of [f] raises, every chunk
+    still runs to completion (no cancellation), and then the exception of
+    the {e lowest-indexed} failing element is re-raised in the caller with
+    its original backtrace — deterministic no matter which domain hit it
+    first. *)
+
+val default_jobs : unit -> int
+(** The pool width used by the CLI and benches when none is given
+    explicitly: [$AGING_JOBS] if set to a positive integer, otherwise
+    {!Domain.recommended_domain_count} (an unparsable or non-positive
+    [$AGING_JOBS] falls back to the recommended count). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs] domains
+    ([jobs] defaults to {!default_jobs}; values [<= 1], singleton/empty
+    inputs, and nested calls run sequentially without spawning). *)

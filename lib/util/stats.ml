@@ -25,7 +25,7 @@ let percentile p xs =
   require_nonempty "Stats.percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p outside [0,100]";
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = Array.length a in
   if n = 1 then a.(0)
   else begin
@@ -47,20 +47,31 @@ let geometric_mean xs =
   in
   exp (log_sum /. float_of_int (List.length xs))
 
-type histogram = { lo : float; bin_width : float; counts : int array }
+type histogram = {
+  lo : float;
+  bin_width : float;
+  counts : int array;
+  nan_count : int;
+}
 
 let histogram ~lo ~hi ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins <= 0";
   if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
   let width = (hi -. lo) /. float_of_int bins in
   let counts = Array.make bins 0 in
+  let nan_count = ref 0 in
   let clamp i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
   let add x =
-    let i = clamp (int_of_float (Float.floor ((x -. lo) /. width))) in
-    counts.(i) <- counts.(i) + 1
+    (* [int_of_float nan] is 0, which would silently land a NaN sample in
+       bin 0 as if it were a real low outlier — count it apart instead. *)
+    if Float.is_nan x then incr nan_count
+    else begin
+      let i = clamp (int_of_float (Float.floor ((x -. lo) /. width))) in
+      counts.(i) <- counts.(i) + 1
+    end
   in
   List.iter add xs;
-  { lo; bin_width = width; counts }
+  { lo; bin_width = width; counts; nan_count = !nan_count }
 
 let histogram_rows h =
   Array.to_list

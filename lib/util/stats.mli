@@ -24,9 +24,12 @@ type histogram = {
   lo : float;           (** lower edge of the first bin *)
   bin_width : float;    (** uniform bin width *)
   counts : int array;   (** occupancy per bin *)
+  nan_count : int;      (** NaN samples, counted apart from every bin *)
 }
-(** A uniform-bin histogram; values outside the range are clamped into the
-    first/last bin so the total count equals the sample size. *)
+(** A uniform-bin histogram; finite values outside the range are clamped
+    into the first/last bin, so the total bin count equals the number of
+    non-NaN samples.  NaN samples are never binned (they would otherwise
+    masquerade as bin-0 outliers); they are reported in [nan_count]. *)
 
 val histogram : lo:float -> hi:float -> bins:int -> float list -> histogram
 (** [histogram ~lo ~hi ~bins xs] bins [xs] into [bins] uniform bins covering

@@ -1,10 +1,16 @@
 (* Shared, lazily built test fixtures: characterizing even a small library
-   costs a second or two, so every suite shares these. *)
+   costs a second or two, so every suite shares these.  They characterize
+   with [Pool.default_jobs] worker domains — results are identical to a
+   sequential build, so suites see the same fixtures; the @parallel-smoke
+   alias sets AGING_JOBS=4 to force the parallel path through every
+   fixture-based test. *)
 
 module Scenario = Aging_physics.Scenario
 module Axes = Aging_liberty.Axes
 module Characterize = Aging_liberty.Characterize
 module Catalog = Aging_cells.Catalog
+
+let jobs = Aging_util.Pool.default_jobs ()
 
 let subset_names =
   [
@@ -19,7 +25,7 @@ let subset_cells = lazy (List.map Catalog.find_exn subset_names)
 
 let fresh_library =
   lazy
-    (Characterize.library
+    (Characterize.library ~jobs
        ~cells:(Lazy.force subset_cells)
        ~axes:Axes.coarse ~name:"test-fresh"
        ~scenario:(Scenario.scenario Scenario.fresh)
@@ -27,7 +33,7 @@ let fresh_library =
 
 let aged_library =
   lazy
-    (Characterize.library
+    (Characterize.library ~jobs
        ~cells:(Lazy.force subset_cells)
        ~axes:Axes.coarse ~name:"test-aged"
        ~scenario:(Scenario.scenario Scenario.worst_case)
@@ -35,7 +41,7 @@ let aged_library =
 
 let deglib =
   lazy
-    (Aging_core.Degradation_library.create
+    (Aging_core.Degradation_library.create ~jobs
        ~cells:(Lazy.force subset_cells)
        ~axes:Axes.coarse ())
 

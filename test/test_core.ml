@@ -70,6 +70,68 @@ let test_deglib_corrupt_cache_rebuilds () =
   Alcotest.(check int) "third manager hits the rewritten cache" 0
     (List.length (Deg.build_reports t3))
 
+let test_fingerprint_sensitivity () =
+  (* Every configuration knob must reach the cache fingerprint — including
+     the LAST axis point and the LAST cell, which the old [Hashtbl.hash]
+     fingerprint never saw (its traversal stops after 10 meaningful
+     nodes), silently serving stale cache files. *)
+  let cells =
+    List.map Aging_cells.Catalog.find_exn [ "INV_X1"; "NAND2_X1"; "NOR2_X1" ]
+  in
+  let fp ?(cells = cells) ?(axes = Axes.coarse) ?(years = 10.) ?backend () =
+    Deg.fingerprint (Deg.create ~cells ~axes ~years ?backend ())
+  in
+  let perturb_last a = Array.mapi (fun i x ->
+      if i = Array.length a - 1 then x *. (1. +. 1e-9) else x) a
+  in
+  let base = fp () in
+  Alcotest.(check string) "same config, same fingerprint" base (fp ());
+  let differs name other =
+    Alcotest.(check bool) (name ^ " changes fingerprint") true (other <> base)
+  in
+  differs "last load axis point"
+    (fp ~axes:{ Axes.coarse with Axes.loads = perturb_last Axes.coarse.Axes.loads } ());
+  differs "last slew axis point"
+    (fp ~axes:{ Axes.coarse with Axes.slews = perturb_last Axes.coarse.Axes.slews } ());
+  differs "dropping the last cell"
+    (fp ~cells:(List.filteri (fun i _ -> i < 2) cells) ());
+  differs "lifetime" (fp ~years:7. ());
+  differs "backend" (fp ~backend:Aging_liberty.Characterize.Analytic ())
+
+let test_nested_cache_dir () =
+  (* --cache-dir a/b/c used to crash in [Sys.mkdir] (not recursive); the
+     nested directory must be created and round-trip like a flat one. *)
+  let root = Filename.temp_file "alib" "" in
+  Sys.remove root;
+  let dir = Filename.concat (Filename.concat root "aged") "v2" in
+  let cells = [ Aging_cells.Catalog.find_exn "INV_X1" ] in
+  let t1 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  ignore (Deg.worst_case t1);
+  Alcotest.(check bool) "nested cache file written" true
+    (Sys.is_directory dir && Array.length (Sys.readdir dir) > 0);
+  let t2 = Deg.create ~cells ~axes:Axes.coarse ~cache_dir:dir () in
+  ignore (Deg.worst_case t2);
+  Alcotest.(check int) "second manager served from nested cache" 0
+    (List.length (Deg.build_reports t2))
+
+let test_complete_parallel_matches_sequential () =
+  let cells =
+    List.map Aging_cells.Catalog.find_exn [ "INV_X1"; "NAND2_X1" ]
+  in
+  let corners = [ Scenario.fresh; Scenario.worst_case ] in
+  let build jobs =
+    Deg.complete (Deg.create ~cells ~axes:Axes.coarse ~jobs ()) corners
+  in
+  let seq = build 1 and par = build 2 in
+  Alcotest.(check (list string)) "same entries in the same order"
+    (Library.names seq) (Library.names par);
+  List.iter2
+    (fun (a : Library.entry) (b : Library.entry) ->
+      Alcotest.(check bool)
+        (a.Library.indexed_name ^ ": identical arcs") true
+        (a.Library.arcs = b.Library.arcs))
+    (Library.entries seq) (Library.entries par)
+
 let test_vth_only_corner_faster () =
   let t = deglib () in
   let full = Deg.worst_case t in
@@ -210,6 +272,10 @@ let suite =
     ("deglib: memoization", `Quick, test_deglib_memoization);
     ("deglib: disk cache", `Quick, test_deglib_disk_cache);
     ("deglib: corrupt cache rebuilds", `Quick, test_deglib_corrupt_cache_rebuilds);
+    ("deglib: fingerprint sensitivity", `Quick, test_fingerprint_sensitivity);
+    ("deglib: nested cache dir", `Quick, test_nested_cache_dir);
+    ("deglib: parallel complete matches sequential", `Quick,
+     test_complete_parallel_matches_sequential);
     ("deglib: vth-only mode", `Quick, test_vth_only_corner_faster);
     ("deglib: complete library", `Quick, test_complete_library_corners);
     ("deglib: single-OPC scaling", `Quick, test_single_opc_scaling);

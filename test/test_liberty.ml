@@ -234,6 +234,38 @@ let test_fault_injection_fallback () =
     (Characterize.report_totals shallow).Characterize.recovered
     t.Characterize.degraded
 
+let test_parallel_determinism () =
+  (* The tentpole guarantee: [library ~jobs:n] is identical to
+     [~jobs:1] — entries, tables, and the build report are assembled in
+     input order, never completion order.  Mixed cell kinds (combinational
+     and flip-flop) exercise both grid fan-out shapes. *)
+  let cells =
+    List.map Catalog.find_exn [ "INV_X1"; "NAND2_X1"; "DFF_X1" ]
+  in
+  let build jobs =
+    Characterize.library_report ~cells ~jobs ~axes:Axes.coarse
+      ~name:"determinism" ~scenario:(Scenario.scenario Scenario.worst_case) ()
+  in
+  let lib1, rep1 = build 1 in
+  let lib4, rep4 = build 4 in
+  Alcotest.(check (list string)) "same entry order"
+    (Library.names lib1) (Library.names lib4);
+  List.iter2
+    (fun (a : Library.entry) (b : Library.entry) ->
+      let name = a.Library.indexed_name in
+      Alcotest.(check string) "entry name" name b.Library.indexed_name;
+      Alcotest.(check (float 0.)) (name ^ ": setup") a.Library.setup_time
+        b.Library.setup_time;
+      Alcotest.(check bool) (name ^ ": pin caps") true
+        (a.Library.pin_caps = b.Library.pin_caps);
+      (* Arc records are plain data (tables are float arrays), so
+         structural equality is exact table-for-table identity. *)
+      Alcotest.(check bool) (name ^ ": identical arcs") true
+        (a.Library.arcs = b.Library.arcs))
+    (Library.entries lib1) (Library.entries lib4);
+  Alcotest.(check bool) "identical reports, same stats order" true
+    (rep1.Characterize.stats = rep4.Characterize.stats)
+
 let test_descriptive_lookup_errors () =
   let lib = Lazy.force Fixtures.fresh_library in
   Alcotest.check_raises "missing cell"
@@ -286,6 +318,7 @@ let suite =
     ("characterize: clean build report", `Quick, test_clean_build_report);
     ("characterize: injected faults recovered by retry", `Quick, test_fault_injection_recovers);
     ("characterize: exhausted faults repaired by fallback", `Quick, test_fault_injection_fallback);
+    ("characterize: parallel build deterministic", `Slow, test_parallel_determinism);
     ("library: descriptive lookup errors", `Quick, test_descriptive_lookup_errors);
   ]
 

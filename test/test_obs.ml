@@ -213,11 +213,12 @@ let test_log_levels () =
 
 (* ----------- counters agree with the characterization report ---------- *)
 
-let totals_vs_counters ~backend ~scenario =
+let totals_vs_counters ?(jobs = 1) ?(cells = [ "INV_X1" ]) ~backend ~scenario
+    () =
   Metrics.reset ();
   let _lib, report =
-    Characterize.library_report ~backend
-      ~cells:[ Catalog.find_exn "INV_X1" ]
+    Characterize.library_report ~backend ~jobs
+      ~cells:(List.map Catalog.find_exn cells)
       ~axes:Axes.coarse ~name:"obs" ~scenario ()
   in
   let t = Characterize.report_totals report in
@@ -230,13 +231,14 @@ let totals_vs_counters ~backend ~scenario =
     (v "characterize.points.repaired");
   Alcotest.(check int) "failed = lost" t.Characterize.lost
     (v "characterize.points.failed");
-  Alcotest.(check int) "one cell" 1 (v "characterize.cells");
+  Alcotest.(check int) "cell count" (List.length cells)
+    (v "characterize.cells");
   t
 
 let test_build_metrics_clean () =
   let t =
     totals_vs_counters ~backend:Characterize.default_backend
-      ~scenario:(Scenario.scenario Scenario.fresh)
+      ~scenario:(Scenario.scenario Scenario.fresh) ()
   in
   Alcotest.(check bool) "grid measured" true (t.Characterize.points > 0);
   let v name = Metrics.value (Metrics.counter name) in
@@ -251,10 +253,25 @@ let test_build_metrics_faulty () =
   let t =
     totals_vs_counters
       ~backend:(Characterize.Faulty (fault, Characterize.default_backend))
-      ~scenario:(Scenario.scenario Scenario.worst_case)
+      ~scenario:(Scenario.scenario Scenario.worst_case) ()
   in
   Alcotest.(check bool) "every point needed a retry" true
     (t.Characterize.recovered > 0)
+
+let test_build_metrics_parallel () =
+  (* Counters are bumped from worker domains during a parallel build; the
+     registry's atomics must not lose increments, so the counters still
+     agree exactly with the (deterministically merged) report. *)
+  let t =
+    totals_vs_counters ~jobs:4
+      ~cells:[ "INV_X1"; "NAND2_X1"; "NOR2_X1" ]
+      ~backend:Characterize.default_backend
+      ~scenario:(Scenario.scenario Scenario.worst_case) ()
+  in
+  Alcotest.(check bool) "grid measured" true (t.Characterize.points > 0);
+  Alcotest.(check int) "counters partition the grid" t.Characterize.points
+    (t.Characterize.clean + t.Characterize.recovered + t.Characterize.degraded
+    + t.Characterize.lost)
 
 let suite =
   [
@@ -275,4 +292,6 @@ let suite =
       test_build_metrics_clean;
     Alcotest.test_case "build counters match report (faulty)" `Slow
       test_build_metrics_faulty;
+    Alcotest.test_case "build counters match report (parallel)" `Slow
+      test_build_metrics_parallel;
   ]

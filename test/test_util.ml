@@ -4,6 +4,7 @@ module Rng = Aging_util.Rng
 module Retry = Aging_util.Retry
 module Tablefmt = Aging_util.Tablefmt
 module Units = Aging_util.Units
+module Pool = Aging_util.Pool
 
 let check = Alcotest.(check (float 1e-9))
 let xs = [| 0.; 1.; 2.; 4. |]
@@ -77,6 +78,15 @@ let test_histogram () =
   Alcotest.(check int) "total count" 5 (Array.fold_left ( + ) 0 h.Stats.counts);
   Alcotest.(check int) "first bin has clamped low outlier" 3 h.Stats.counts.(0);
   Alcotest.(check int) "last bin has clamped high outlier" 2 h.Stats.counts.(4)
+
+let test_histogram_nan () =
+  let h = Stats.histogram ~lo:0. ~hi:10. ~bins:5 [ 1.; Float.nan; 9. ] in
+  Alcotest.(check int) "NaN lands in no bin" 2
+    (Array.fold_left ( + ) 0 h.Stats.counts);
+  Alcotest.(check int) "NaN does not pollute bin 0" 1 h.Stats.counts.(0);
+  Alcotest.(check int) "NaN counted separately" 1 h.Stats.nan_count;
+  let clean = Stats.histogram ~lo:0. ~hi:10. ~bins:5 [ 1.; 9. ] in
+  Alcotest.(check int) "clean sample has no NaNs" 0 clean.Stats.nan_count
 
 let test_fraction_below () =
   check "empty" 0. (Stats.fraction_below 0. []);
@@ -179,6 +189,53 @@ let test_units () =
   check "nm" 45e-9 (Units.of_nm 45.);
   check "um2" 1. (Units.um2 1e-12)
 
+let range n = List.init n (fun i -> i)
+
+let test_pool_matches_sequential () =
+  let f x = (x * x) + 1 in
+  let xs = range 37 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d equals List.map" jobs)
+        (List.map f xs)
+        (Pool.map ~jobs f xs))
+    [ 1; 2; 3; 4; 8; 64 ]
+
+let test_pool_edge_inputs () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~jobs:4 succ [ 7 ]);
+  Alcotest.(check (list int)) "fewer items than jobs" [ 1; 2 ]
+    (Pool.map ~jobs:16 succ [ 0; 1 ])
+
+let test_pool_exception_lowest_index () =
+  (* Both index 3 and index 7 raise; the propagated exception must be the
+     lowest-index one regardless of which domain finishes first. *)
+  Alcotest.check_raises "lowest index wins" (Failure "item 3") (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun x ->
+             if x = 3 || x = 7 then failwith (Printf.sprintf "item %d" x)
+             else x)
+           (range 12)))
+
+let test_pool_nested () =
+  (* A worker calling Pool.map again must not spawn a second tier of
+     domains; the nested map runs sequentially and the composite result is
+     still the sequential one. *)
+  let expected =
+    List.map (fun i -> List.map (fun j -> (10 * i) + j) (range 4)) (range 6)
+  in
+  let got =
+    Pool.map ~jobs:3
+      (fun i -> Pool.map ~jobs:3 (fun j -> (10 * i) + j) (range 4))
+      (range 6)
+  in
+  Alcotest.(check (list (list int))) "nested map sequentialized" expected got
+
+let test_pool_default_jobs () =
+  Alcotest.(check bool) "default is at least 1" true (Pool.default_jobs () >= 1)
+
 let suite =
   [
     ("interp: grid points", `Quick, test_linear_grid_points);
@@ -190,6 +247,7 @@ let suite =
     ("stats: basics", `Quick, test_stats_basic);
     ("stats: percentile", `Quick, test_percentile);
     ("stats: histogram clamps", `Quick, test_histogram);
+    ("stats: histogram skips NaN", `Quick, test_histogram_nan);
     ("stats: fraction below", `Quick, test_fraction_below);
     ("stats: errors", `Quick, test_stats_errors);
     ("rng: deterministic", `Quick, test_rng_deterministic);
@@ -201,6 +259,11 @@ let suite =
     ("tablefmt: layout", `Quick, test_tablefmt);
     ("units: conversions", `Quick, test_units);
     ("units: pretty printers", `Quick, test_pp);
+    ("pool: matches sequential map", `Quick, test_pool_matches_sequential);
+    ("pool: edge inputs", `Quick, test_pool_edge_inputs);
+    ("pool: lowest-index exception", `Quick, test_pool_exception_lowest_index);
+    ("pool: nested maps sequentialize", `Quick, test_pool_nested);
+    ("pool: default jobs", `Quick, test_pool_default_jobs);
   ]
 
 let props = [ prop_linear_bounded; prop_bilinear_bounded; prop_rng_float_range; prop_rng_int_range ]
