@@ -16,12 +16,15 @@
      bench/main.exe micro           Bechamel microbenchmarks only
      bench/main.exe --jobs N        worker domains for scaling (default: auto)
      bench/main.exe --bench-out F   write the report to F (default BENCH.json)
+     bench/main.exe --ledger DIR    append one run-ledger record per scenario
+                                    (inspect with `relaware obs`)
 *)
 
 module Experiments = Aging_core.Experiments
 module Metrics = Aging_obs.Metrics
 module Span = Aging_obs.Span
 module Json = Aging_obs.Json
+module Run_ledger = Aging_obs.Run_ledger
 
 let all_figures =
   [ "fig1"; "fig2"; "fig3"; "fig5a"; "fig5b"; "fig5c"; "fig6a"; "fig6b";
@@ -75,9 +78,12 @@ let smoke () =
       ~axes:Aging_liberty.Axes.coarse ()
   in
   let analysis = Aging_sta.Timing.analyze ~library design in
+  let min_period = Aging_sta.Timing.min_period analysis in
+  (* Noted QoR lands in this scenario's ledger record (if --ledger is on);
+     without a ledger the accumulator is simply never drained. *)
+  Run_ledger.note_qor "smoke.min_period_ps" (min_period *. 1e12);
   Printf.printf "smoke: counter4, %d cells, min period %.3e s\n%!"
-    (List.length cells)
-    (Aging_sta.Timing.min_period analysis)
+    (List.length cells) min_period
 
 (* ------------------------- scaling scenario ------------------------- *)
 
@@ -113,11 +119,11 @@ let libraries_equal a b =
 
 let scaling ~jobs ~scenario =
   let seq = ref None and par = ref None in
-  let t0 = Span.now () in
+  let t0 = Span.elapsed () in
   scenario "scaling-jobs1" (fun () -> seq := Some (scaling_build ~jobs:1));
-  let t1 = Span.now () in
+  let t1 = Span.elapsed () in
   scenario "scaling-jobsN" (fun () -> par := Some (scaling_build ~jobs));
-  let t2 = Span.now () in
+  let t2 = Span.elapsed () in
   match (!seq, !par) with
   | Some a, Some b when libraries_equal a b ->
     Printf.printf "scaling: jobs=%d identical to jobs=1; speedup %.2fx\n%!"
@@ -266,6 +272,7 @@ let () =
   let bench_out = ref "BENCH.json" in
   let quick = ref false in
   let jobs = ref (Aging_util.Pool.default_jobs ()) in
+  let ledger = ref None in
   let rest = ref [] in
   let rec parse = function
     | [] -> ()
@@ -277,6 +284,12 @@ let () =
       parse tl
     | [ "--bench-out" ] ->
       prerr_endline "--bench-out requires a file argument";
+      exit 2
+    | "--ledger" :: dir :: tl ->
+      ledger := Some dir;
+      parse tl
+    | [ "--ledger" ] ->
+      prerr_endline "--ledger requires a directory argument";
       exit 2
     | ("--jobs" | "-j") :: n :: tl when int_of_string_opt n <> None ->
       jobs := max 1 (Option.get (int_of_string_opt n));
@@ -293,10 +306,31 @@ let () =
   if args = [ "micro" ] then micro ()
   else begin
     Span.set_recording true;
+    (* One ledger record per scenario: tool "bench", subcommand = scenario
+       name, spans restricted to that scenario's root, wall time from the
+       monotonic clock, scenario seconds as QoR. *)
     let scenario name f =
-      let t0 = Span.now () in
+      let started_at = Span.now () in
+      let t0 = Span.elapsed () in
       Span.with_ "bench.scenario" ~attrs:[ ("scenario", name) ] f;
-      Printf.printf "[%s done in %.1f s]\n\n%!" name (Span.now () -. t0)
+      let wall = Span.elapsed () -. t0 in
+      Printf.printf "[%s done in %.1f s]\n\n%!" name wall;
+      Option.iter
+        (fun dir ->
+          let spans =
+            List.filter
+              (fun (s : Span.t) ->
+                s.Span.name = "bench.scenario"
+                && List.assoc_opt "scenario" s.Span.attrs = Some name)
+              (Span.roots ())
+          in
+          Run_ledger.note_qor "seconds" wall;
+          let record =
+            Run_ledger.capture ~tool:"bench" ~subcommand:name ~spans
+              ~started_at ~wall_s:wall ()
+          in
+          ignore (Run_ledger.append ~dir record))
+        !ledger
     in
     let mode, selected =
       match args with

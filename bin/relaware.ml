@@ -6,6 +6,7 @@
      guardband     guardband estimation (full / vth-only / single-opc / cp-only)
      synth         traditional vs aging-aware synthesis comparison
      experiment    run one of the paper's figure reproductions
+     obs           inspect run-ledger records: report / trace / diff
 *)
 
 open Cmdliner
@@ -24,16 +25,22 @@ module Experiments = Aging_core.Experiments
 
 (* ------------------------- telemetry ------------------------- *)
 
-(* Every subcommand shares the observability surface: log verbosity and
+(* Every subcommand shares the observability surface: log verbosity,
    optional metrics/trace dumps written when the command finishes (or
    dies — the dump runs in a [finally], so a crashed characterization
-   still leaves its counters behind for a post-mortem). *)
+   still leaves its counters behind for a post-mortem), and an optional
+   run-ledger append — the persistent record [relaware obs] reads back. *)
+
+module Obs = Aging_obs
+module Run_ledger = Aging_obs.Run_ledger
+module Tablefmt = Aging_util.Tablefmt
 
 type telemetry = {
   verbose : bool;
   quiet : bool;
   metrics_out : string option;
   trace_out : string option;
+  ledger_dir : string option;
 }
 
 let telemetry_term =
@@ -51,41 +58,69 @@ let telemetry_term =
          & info [ "metrics" ] ~docv:"FILE"
              ~doc:"Write the metrics registry (solver counters, cache \
                    hit/miss, per-span timing histograms) as JSON to \
-                   $(docv) on exit.")
+                   $(docv) on exit; $(b,-) writes to stdout.")
   in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Record hierarchical timed spans and write the trace as \
-                   JSON to $(docv) on exit.")
+                   JSON to $(docv) on exit; $(b,-) writes to stdout.")
   in
-  Term.(const (fun verbose quiet metrics_out trace_out ->
-            { verbose; quiet; metrics_out; trace_out })
-        $ verbose $ quiet $ metrics $ trace)
+  let ledger =
+    Arg.(value & opt (some string) None
+         & info [ "ledger" ] ~docv:"DIR"
+             ~doc:"Append a run record (argv, git rev, wall time, outcome, \
+                   metrics snapshot, recorded spans, QoR numbers) to \
+                   $(docv)/ledger.jsonl on exit.  Inspect with \
+                   $(b,relaware obs).")
+  in
+  Term.(const (fun verbose quiet metrics_out trace_out ledger_dir ->
+            { verbose; quiet; metrics_out; trace_out; ledger_dir })
+        $ verbose $ quiet $ metrics $ trace $ ledger)
 
+(* "-" dumps to stdout so telemetry can be piped straight into jq. *)
 let write_file path text =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+  if path = "-" then (print_string text; flush stdout)
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text)
+  end
 
-let with_telemetry t f =
-  if t.quiet then Aging_obs.Log.set_level Aging_obs.Log.Quiet
-  else if t.verbose then Aging_obs.Log.set_level Aging_obs.Log.Debug;
-  if t.trace_out <> None then Aging_obs.Span.set_recording true;
-  let dump () =
+let with_telemetry ~cmd t f =
+  if t.quiet then Obs.Log.set_level Obs.Log.Quiet
+  else if t.verbose then Obs.Log.set_level Obs.Log.Debug;
+  if t.trace_out <> None || t.ledger_dir <> None then
+    Obs.Span.set_recording true;
+  let started_at = Unix.gettimeofday () in
+  let m0 = Obs.Span.elapsed () in
+  let dump outcome =
     Option.iter
       (fun path ->
         write_file path
-          (Aging_obs.Json.to_string ~pretty:true (Aging_obs.Metrics.to_json ())
-          ^ "\n"))
+          (Obs.Json.to_string ~pretty:true (Obs.Metrics.to_json ()) ^ "\n"))
       t.metrics_out;
     Option.iter
       (fun path ->
         write_file path
-          (Aging_obs.Json.to_string ~pretty:true (Aging_obs.Span.to_json ())
-          ^ "\n"))
-      t.trace_out
+          (Obs.Json.to_string ~pretty:true (Obs.Span.to_json ()) ^ "\n"))
+      t.trace_out;
+    Option.iter
+      (fun dir ->
+        let record =
+          Run_ledger.capture ~tool:"relaware" ~subcommand:cmd ~outcome
+            ~started_at ~wall_s:(Obs.Span.elapsed () -. m0) ()
+        in
+        let path = Run_ledger.append ~dir record in
+        Obs.Log.infof "ledger" "run %s appended to %s" record.Run_ledger.id
+          path)
+      t.ledger_dir
   in
-  Fun.protect ~finally:dump f
+  match f () with
+  | () -> dump Run_ledger.Finished
+  | exception e ->
+    dump (Run_ledger.Failed (Printexc.to_string e));
+    raise e
 
 (* ------------------------- shared arguments ------------------------- *)
 
@@ -147,6 +182,78 @@ let design_of name =
 
 (* --------------------------- characterize --------------------------- *)
 
+let cells_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cells" ] ~docv:"NAMES"
+           ~doc:"Restrict characterization to these comma-separated catalog \
+                 cells (default: the full catalog).")
+
+let cells_of = function
+  | None -> None
+  | Some s ->
+    Some
+      (String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun n -> n <> "")
+      |> List.map Aging_cells.Catalog.find_exn)
+
+(* QoR probe for ledgered characterize runs: library-wide delay statistics
+   plus a static timing pass of the 4-bit counter against the built aged
+   library vs a fresh characterization of the same cells.  This puts a
+   guardband number — a genuine quality axis, not just wall time and
+   counters — into every record, so [obs diff] can catch a physics or
+   characterization regression between two commits. *)
+let note_characterize_qor ~axes ~jobs lib =
+  let entries = Aging_liberty.Library.entries lib in
+  let n = List.length entries in
+  Run_ledger.note_qor "lib.cells" (float_of_int n);
+  Run_ledger.note_qor "lib.arcs"
+    (float_of_int
+       (List.fold_left
+          (fun a (e : Aging_liberty.Library.entry) ->
+            a + List.length e.Aging_liberty.Library.arcs)
+          0 entries));
+  (* Arc-less cells (tie cells) report [neg_infinity]; keep them out of
+     the statistics. *)
+  let worsts =
+    List.map Aging_liberty.Library.worst_delay entries
+    |> List.filter Float.is_finite
+  in
+  if worsts <> [] then begin
+    Run_ledger.note_qor "lib.worst_delay_ps"
+      (1e12 *. List.fold_left Float.max neg_infinity worsts);
+    Run_ledger.note_qor "lib.mean_worst_delay_ps"
+      (1e12
+      *. (List.fold_left ( +. ) 0. worsts
+         /. float_of_int (List.length worsts)))
+  end;
+  let counter = Designs.counter ~bits:4 in
+  let probe_cells =
+    Array.to_list counter.Aging_netlist.Netlist.instances
+    |> List.map (fun (i : Aging_netlist.Netlist.instance) ->
+           Aging_netlist.Netlist.base_cell_name i.Aging_netlist.Netlist.cell_name)
+    |> List.sort_uniq String.compare
+  in
+  let missing =
+    List.filter (fun c -> Aging_liberty.Library.find lib c = None) probe_cells
+  in
+  if missing <> [] then
+    Obs.Log.warnf "ledger" "guardband probe skipped: library lacks %s"
+      (String.concat ", " missing)
+  else begin
+    let cells = List.map Aging_cells.Catalog.find_exn probe_cells in
+    let fresh_lib = Characterize.fresh_library ~cells ~jobs ~axes () in
+    let aged = Timing.analyze ~library:lib counter in
+    let fresh = Timing.analyze ~library:fresh_lib counter in
+    let fresh_ps = Timing.min_period fresh *. 1e12 in
+    let aged_ps = Timing.min_period aged *. 1e12 in
+    Run_ledger.note_qor "probe.fresh_ps" fresh_ps;
+    Run_ledger.note_qor "probe.aged_ps" aged_ps;
+    Run_ledger.note_qor "probe.guardband_ps" (aged_ps -. fresh_ps);
+    Run_ledger.note_qor "probe.hold_slack_ps"
+      (Timing.worst_hold_slack aged *. 1e12)
+  end
+
 let characterize_cmd =
   let out_arg =
     Arg.(value & opt string "degradation_aware.alib"
@@ -170,8 +277,9 @@ let characterize_cmd =
          & info [ "fault-seed" ] ~docv:"SEED"
              ~doc:"Seed selecting which grid points the injected faults hit.")
   in
-  let run tele corner years axes cache jobs out report fault_rate fault_seed =
-    with_telemetry tele @@ fun () ->
+  let run tele corner years axes cache jobs cells out report fault_rate
+      fault_seed =
+    with_telemetry ~cmd:"characterize" tele @@ fun () ->
     let backend =
       if fault_rate > 0. then
         Characterize.Faulty
@@ -179,12 +287,19 @@ let characterize_cmd =
            Characterize.default_backend)
       else Characterize.default_backend
     in
-    let deglib = Deg.create ~backend ~axes ~years ~cache_dir:cache ~jobs () in
+    let cells = cells_of cells in
+    let deglib =
+      Deg.create ~backend ?cells ~axes ~years ~cache_dir:cache ~jobs ()
+    in
     let lib = Deg.corner deglib corner in
     Io.save out lib;
     Printf.printf "wrote %s: %d cells, corner %s, %g years\n" out
       (List.length (Aging_liberty.Library.entries lib))
       (Scenario.suffix corner) years;
+    if tele.ledger_dir <> None then begin
+      Run_ledger.note "jobs" (Obs.Json.Int jobs);
+      note_characterize_qor ~axes ~jobs lib
+    end;
     if report then begin
       match Deg.build_reports deglib with
       | [] ->
@@ -200,18 +315,26 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize" ~doc:"Build a degradation-aware cell library")
     Term.(const run $ telemetry_term $ corner_arg $ years_arg $ axes_arg
-          $ cache_arg $ jobs_arg $ out_arg $ report_arg $ fault_rate_arg
-          $ fault_seed_arg)
+          $ cache_arg $ jobs_arg $ cells_arg $ out_arg $ report_arg
+          $ fault_rate_arg $ fault_seed_arg)
 
 (* ------------------------------ report ------------------------------ *)
 
 let report_cmd =
   let run tele name corner years axes cache jobs =
-    with_telemetry tele @@ fun () ->
+    with_telemetry ~cmd:"report" tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let design = design_of name in
     let fresh = Timing.analyze ~library:(Deg.fresh deglib) design in
     let aged = Timing.analyze ~library:(Deg.corner deglib corner) design in
+    if tele.ledger_dir <> None then begin
+      let fresh_ps = Timing.min_period fresh *. 1e12 in
+      let aged_ps = Timing.min_period aged *. 1e12 in
+      Run_ledger.note "design" (Obs.Json.String name);
+      Run_ledger.note_qor "fresh_ps" fresh_ps;
+      Run_ledger.note_qor "aged_ps" aged_ps;
+      Run_ledger.note_qor "guardband_ps" (aged_ps -. fresh_ps)
+    end;
     print_string (Report.summary fresh);
     print_string (Report.guardband ~fresh ~aged)
   in
@@ -230,7 +353,7 @@ let guardband_cmd =
              ~doc:"full | vth-only | single-opc | cp-only (prior-work models).")
   in
   let run tele name corner years axes cache jobs meth =
-    with_telemetry tele @@ fun () ->
+    with_telemetry ~cmd:"guardband" tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let design = design_of name in
     let g =
@@ -240,6 +363,12 @@ let guardband_cmd =
       | `Sopc -> Guardband.single_opc ~deglib ~corner design
       | `Cp -> Guardband.initial_cp_only ~deglib ~corner design
     in
+    if tele.ledger_dir <> None then begin
+      Run_ledger.note "design" (Obs.Json.String name);
+      Run_ledger.note_qor "fresh_ps" (g.Guardband.fresh_period *. 1e12);
+      Run_ledger.note_qor "aged_ps" (g.Guardband.aged_period *. 1e12);
+      Run_ledger.note_qor "guardband_ps" (g.Guardband.guardband *. 1e12)
+    end;
     Printf.printf "%s: fresh %.1f ps, aged %.1f ps, guardband %.1f ps (%.1f%%)\n"
       name
       (g.Guardband.fresh_period *. 1e12)
@@ -256,11 +385,21 @@ let guardband_cmd =
 
 let synth_cmd =
   let run tele name corner years axes cache jobs =
-    with_telemetry tele @@ fun () ->
+    with_telemetry ~cmd:"synth" tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let design = design_of name in
     let c = Aging_core.Aging_synthesis.run ~corner ~deglib design in
     let module AS = Aging_core.Aging_synthesis in
+    if tele.ledger_dir <> None then begin
+      Run_ledger.note "design" (Obs.Json.String name);
+      Run_ledger.note_qor "trad_fresh_ps" (c.AS.trad_fresh_period *. 1e12);
+      Run_ledger.note_qor "trad_aged_ps" (c.AS.trad_aged_period *. 1e12);
+      Run_ledger.note_qor "aware_fresh_ps" (c.AS.aware_fresh_period *. 1e12);
+      Run_ledger.note_qor "aware_aged_ps" (c.AS.aware_aged_period *. 1e12);
+      Run_ledger.note_qor "guardband_reduction_pct"
+        (AS.guardband_reduction c *. 100.);
+      Run_ledger.note_qor "area_overhead_pct" (AS.area_overhead c *. 100.)
+    end;
     Printf.printf
       "traditional: fresh %.1f ps, aged %.1f ps\n\
        aging-aware: fresh %.1f ps, aged %.1f ps\n\
@@ -299,7 +438,7 @@ let export_cmd =
          & info [ "design" ] ~docv:"NAME" ~doc:"Design (verilog/sdf exports).")
   in
   let run tele what name corner years axes cache jobs out =
-    with_telemetry tele @@ fun () ->
+    with_telemetry ~cmd:"export" tele @@ fun () ->
     let deglib = deglib_of ~axes ~years ~cache ~jobs in
     let required_design () =
       match name with
@@ -338,7 +477,7 @@ let experiment_cmd =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced design set / image size.")
   in
   let run tele which quick cache jobs =
-    with_telemetry tele @@ fun () ->
+    with_telemetry ~cmd:("experiment-" ^ which) tele @@ fun () ->
     let t = Experiments.create ~quick ~cache_dir:cache ~jobs () in
     let report =
       match which with
@@ -365,6 +504,304 @@ let experiment_cmd =
     Term.(const run $ telemetry_term $ which_arg $ quick_arg $ cache_arg
           $ jobs_arg)
 
+(* ------------------------------- obs ------------------------------- *)
+
+(* Readers over the run ledger: [obs report] (one record as a profile),
+   [obs trace] (Chrome trace export) and [obs diff] (regression gate).
+   These take their own --ledger (a place to read, default "runs") and do
+   not go through [with_telemetry] — inspecting the ledger should never
+   append to it. *)
+
+let obs_ledger_arg =
+  Arg.(value & opt string "runs"
+       & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"Ledger directory (reads $(docv)/ledger.jsonl).")
+
+let load_ledger dir =
+  match Run_ledger.load ~dir with
+  | Ok [] -> failwith (Run_ledger.path ~dir ^ " holds no parseable records")
+  | Ok records -> records
+  | Error msg -> failwith msg
+
+let select_run records sel =
+  match Run_ledger.select records sel with
+  | Ok r -> r
+  | Error msg -> failwith msg
+
+let run_selector_arg ~at ~default ~doc =
+  Arg.(value & pos at string default & info [] ~docv:"RUN" ~doc)
+
+let outcome_string = function
+  | Run_ledger.Finished -> "finished"
+  | Run_ledger.Failed msg -> "failed: " ^ msg
+
+let utc_string epoch =
+  let tm = Unix.gmtime epoch in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d UTC" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* Non-zero counters of a stored Metrics.to_json snapshot. *)
+let counters_of_metrics = function
+  | Obs.Json.Obj fields ->
+    List.filter_map
+      (fun (name, v) ->
+        match
+          (Obs.Json.member "type" v, Obs.Json.member "value" v)
+        with
+        | Some (Obs.Json.String "counter"), Some (Obs.Json.Int n) ->
+          Some (name, n)
+        | _ -> None)
+      fields
+  | _ -> []
+
+let counter_value metrics name =
+  Option.value ~default:0 (List.assoc_opt name (counters_of_metrics metrics))
+
+let obs_report_cmd =
+  let top_arg =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Show the N hottest spans by self time (0 = all).")
+  in
+  let run dir sel top =
+    let r = select_run (load_ledger dir) sel in
+    print_string
+      (Tablefmt.kv
+         [ ("id", r.Run_ledger.id);
+           ("command", r.Run_ledger.tool ^ " " ^ r.Run_ledger.subcommand);
+           ("argv", String.concat " " r.Run_ledger.argv);
+           ("git", Option.value ~default:"-" r.Run_ledger.git_rev);
+           ("started", utc_string r.Run_ledger.started_at);
+           ("wall", Printf.sprintf "%.3f s" r.Run_ledger.wall_s);
+           ("outcome", outcome_string r.Run_ledger.outcome) ]);
+    if r.Run_ledger.qor <> [] then begin
+      print_string "\nqor:\n";
+      print_string
+        (Tablefmt.kv
+           (List.map
+              (fun (name, v) -> (name, Printf.sprintf "%.6g" v))
+              r.Run_ledger.qor))
+    end;
+    let counters =
+      List.filter (fun (_, n) -> n <> 0)
+        (counters_of_metrics r.Run_ledger.metrics)
+    in
+    if counters <> [] then begin
+      print_string "\ncounters:\n";
+      print_string
+        (Tablefmt.kv (List.map (fun (n, v) -> (n, string_of_int v)) counters))
+    end;
+    (match r.Run_ledger.spans with
+     | [] -> print_string "\nno spans recorded\n"
+     | spans ->
+       let percentile name q =
+         Option.bind
+           (Obs.Json.member ("span." ^ name) r.Run_ledger.metrics)
+           (fun entry ->
+             Option.map
+               (fun buckets -> Obs.Metrics.percentile_of_buckets buckets q)
+               (Obs.Metrics.buckets_of_json entry))
+       in
+       let rows = Obs.Profile.of_spans ~percentile spans in
+       print_newline ();
+       print_string (Obs.Profile.to_table ~top rows);
+       Printf.printf "self-time total %.6f s over %d root span(s) (%.6f s)\n"
+         (Obs.Profile.total_self rows)
+         (List.length spans)
+         (Obs.Profile.total_roots spans);
+       if r.Run_ledger.dropped_spans > 0 then
+         Printf.printf "(%d spans dropped at record time)\n"
+           r.Run_ledger.dropped_spans)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render one ledger record as a profile")
+    Term.(const run $ obs_ledger_arg
+          $ run_selector_arg ~at:0 ~default:"-1"
+              ~doc:"Record selector: integer index (negative counts from \
+                    the end, $(b,-1) = newest; place negative indices \
+                    after a $(b,--) separator) or a unique id prefix."
+          $ top_arg)
+
+let obs_trace_cmd =
+  let out_arg =
+    Arg.(value & opt string "-"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Output path for the Chrome trace JSON ($(b,-) = stdout). \
+                   Load it in Perfetto (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let run dir sel out =
+    let r = select_run (load_ledger dir) sel in
+    if r.Run_ledger.spans = [] then
+      failwith
+        (Printf.sprintf
+           "run %s recorded no spans (was it run with --trace or --ledger?)"
+           r.Run_ledger.id);
+    write_file out
+      (Obs.Trace_export.to_string r.Run_ledger.spans ^ "\n");
+    if out <> "-" then
+      Printf.printf "wrote %s: %d root span(s) from run %s\n" out
+        (List.length r.Run_ledger.spans)
+        r.Run_ledger.id
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Export one ledger record's spans as a Chrome trace")
+    Term.(const run $ obs_ledger_arg
+          $ run_selector_arg ~at:0 ~default:"-1"
+              ~doc:"Record selector (as in $(b,obs report))."
+          $ out_arg)
+
+(* Diff semantics: QoR rows gate at a relative tolerance (default 1%, per
+   row overridable); the health counters gate one-sidedly on any increase
+   (retries/repairs/corruption appearing where there were none is the
+   regression, their disappearance is not); wall time is informational
+   unless given an explicit tolerance — a cache-served rerun is legitimately
+   ~100x faster than a cold build and must not trip the gate. *)
+let health_counters =
+  [ "characterize.points.retried"; "characterize.points.repaired";
+    "characterize.points.failed"; "cache.corrupt" ]
+
+let obs_diff_cmd =
+  let tol_arg =
+    Arg.(value & opt_all string []
+         & info [ "tol" ] ~docv:"PCT|NAME=PCT"
+             ~doc:"Relative tolerance in percent: a bare number replaces \
+                   the 1% default for all QoR rows, $(i,NAME=PCT) sets one \
+                   row (e.g. $(b,--tol wall_s=50) gates wall time). \
+                   Repeatable.")
+  in
+  let parse_tols specs =
+    List.fold_left
+      (fun (dflt, named) spec ->
+        let pct_of s =
+          match float_of_string_opt (String.trim s) with
+          | Some p when p >= 0. -> p
+          | _ -> failwith ("--tol: bad percentage in " ^ spec)
+        in
+        match String.index_opt spec '=' with
+        | Some i ->
+          let name = String.trim (String.sub spec 0 i) in
+          let pct =
+            pct_of (String.sub spec (i + 1) (String.length spec - i - 1))
+          in
+          (dflt, (name, pct) :: named)
+        | None -> (pct_of spec, named))
+      (1., []) specs
+  in
+  let run dir sel_a sel_b tols =
+    let default_tol, named_tols = parse_tols tols in
+    let records = load_ledger dir in
+    let a = select_run records sel_a in
+    let b = select_run records sel_b in
+    Printf.printf "A %s  %s %s  %s\nB %s  %s %s  %s\n\n" a.Run_ledger.id
+      a.Run_ledger.tool a.Run_ledger.subcommand
+      (utc_string a.Run_ledger.started_at)
+      b.Run_ledger.id b.Run_ledger.tool b.Run_ledger.subcommand
+      (utc_string b.Run_ledger.started_at);
+    let tol_for name ~fallback =
+      match List.assoc_opt name named_tols with
+      | Some t -> t
+      | None -> fallback
+    in
+    (* One row per comparison; [gate] decides breach from the two values. *)
+    let breached = ref [] in
+    let fmt_v = function
+      | None -> "-"
+      | Some v -> Printf.sprintf "%.6g" v
+    in
+    let qor_names =
+      List.map fst a.Run_ledger.qor
+      @ List.filter
+          (fun n -> not (List.mem_assoc n a.Run_ledger.qor))
+          (List.map fst b.Run_ledger.qor)
+    in
+    let relative_row name va vb tol =
+      let delta, status =
+        match (va, vb) with
+        | Some va, Some vb
+          when Float.is_finite va && Float.is_finite vb ->
+          let delta =
+            if va <> 0. then Some ((vb -. va) /. Float.abs va *. 100.)
+            else None
+          in
+          let breach =
+            Float.is_finite tol
+            && (match delta with
+                | Some d -> Float.abs d > tol
+                | None -> vb <> 0.)  (* A = 0: any move off zero gates *)
+          in
+          (delta, if breach then `Breach else if Float.is_finite tol then `Ok else `Info)
+        | _ -> (None, `Info)  (* one-sided or non-finite: informational *)
+      in
+      (name, va, vb, delta, Printf.sprintf "%g%%" tol, status)
+    in
+    let counter_row name =
+      let va = counter_value a.Run_ledger.metrics name in
+      let vb = counter_value b.Run_ledger.metrics name in
+      let delta =
+        if va <> 0 then Some (float_of_int (vb - va) /. float_of_int va *. 100.)
+        else None
+      in
+      ( name, Some (float_of_int va), Some (float_of_int vb), delta,
+        "B<=A", if vb > va then `Breach else `Ok )
+    in
+    let rows =
+      relative_row "wall_s" (Some a.Run_ledger.wall_s)
+        (Some b.Run_ledger.wall_s)
+        (tol_for "wall_s" ~fallback:infinity)
+      :: List.map
+           (fun name ->
+             relative_row name
+               (List.assoc_opt name a.Run_ledger.qor)
+               (List.assoc_opt name b.Run_ledger.qor)
+               (tol_for name ~fallback:default_tol))
+           qor_names
+      @ List.map counter_row health_counters
+    in
+    let body =
+      List.map
+        (fun (name, va, vb, delta, tol, status) ->
+          (match status with
+           | `Breach -> breached := name :: !breached
+           | `Ok | `Info -> ());
+          [ name; fmt_v va; fmt_v vb;
+            (match delta with
+             | Some d -> Printf.sprintf "%+.2f%%" d
+             | None -> "-");
+            tol;
+            (match status with
+             | `Breach -> "BREACH"
+             | `Ok -> "ok"
+             | `Info -> "info") ])
+        rows
+    in
+    Tablefmt.print ~align:[ Tablefmt.Left ]
+      ~header:[ "metric"; "A"; "B"; "delta"; "tol"; "status" ]
+      body;
+    match List.rev !breached with
+    | [] -> print_string "\nno regressions\n"
+    | names ->
+      Printf.printf "\nregression: %s\n" (String.concat ", " names);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two ledger records and gate on regressions")
+    Term.(const run $ obs_ledger_arg
+          $ run_selector_arg ~at:0 ~default:"-2"
+              ~doc:"Baseline record (default $(b,-2), the second newest)."
+          $ run_selector_arg ~at:1 ~default:"-1"
+              ~doc:"Candidate record (default $(b,-1), the newest)."
+          $ tol_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Inspect run-ledger records: report, trace export, regression \
+             diff")
+    [ obs_report_cmd; obs_trace_cmd; obs_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "relaware" ~version:"1.0"
@@ -374,4 +811,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ characterize_cmd; report_cmd; guardband_cmd; synth_cmd; export_cmd;
-            experiment_cmd ]))
+            experiment_cmd; obs_cmd ]))

@@ -266,4 +266,13 @@ let member key = function
 let to_float = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
+  | String "NaN" -> Some Float.nan
+  | String "Infinity" -> Some Float.infinity
+  | String "-Infinity" -> Some Float.neg_infinity
   | _ -> None
+
+let of_float f =
+  if Float.is_finite f then Float f
+  else if Float.is_nan f then String "NaN"
+  else if f > 0. then String "Infinity"
+  else String "-Infinity"

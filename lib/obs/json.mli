@@ -31,4 +31,12 @@ val member : string -> t -> t option
     or when the value is not an object. *)
 
 val to_float : t -> float option
-(** Numeric coercion: [Int] and [Float] both yield a float. *)
+(** Numeric coercion: [Int] and [Float] both yield a float, and the
+    deterministic non-finite encodings of {!of_float} ([String "NaN"],
+    ["Infinity"], ["-Infinity"]) map back to their values. *)
+
+val of_float : float -> t
+(** Deterministic float encoding for telemetry artifacts: finite values
+    as [Float], non-finite values (which {!to_string} rejects, as they
+    are not JSON) as the strings ["NaN"] / ["Infinity"] / ["-Infinity"].
+    {!to_float} is the inverse. *)

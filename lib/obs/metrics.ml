@@ -117,6 +117,41 @@ let bucket_counts_locked h =
 
 let bucket_counts h = Mutex.protect h.lock (fun () -> bucket_counts_locked h)
 
+(* --------------------------- percentiles --------------------------- *)
+
+(* A log-bucket histogram only knows "k observations landed in (lo, hi]";
+   within the bucket containing the requested rank we interpolate
+   geometrically (linearly in log space), which is exact for values
+   log-uniform inside the bucket — the natural assumption for log-spaced
+   bounds.  Edge buckets cannot interpolate on both sides: the first
+   bucket falls back to linear interpolation from 0, the overflow bucket
+   reports its (finite) lower bound.  Non-positive bounds (custom linear
+   bucket layouts) also use linear interpolation. *)
+let percentile_of_buckets buckets q =
+  let q = Float.min 1. (Float.max 0. q) in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+  if total = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int total in
+    let rec find cum lo = function
+      | [] -> lo
+      | (hi, count) :: rest ->
+        let cum' = cum + count in
+        if count > 0 && rank <= float_of_int cum' then
+          if Float.is_finite hi then begin
+            let frac = (rank -. float_of_int cum) /. float_of_int count in
+            if lo > 0. && hi > 0. then
+              exp (log lo +. (frac *. (log hi -. log lo)))
+            else lo +. (frac *. (hi -. lo))
+          end
+          else lo (* overflow bucket: no upper edge to interpolate to *)
+        else find cum' (if Float.is_finite hi then hi else lo) rest
+    in
+    find 0 0. buckets
+  end
+
+let approx_percentile h q = percentile_of_buckets (bucket_counts h) q
+
 (* ------------------------- snapshot / export ----------------------- *)
 
 type value =
@@ -198,11 +233,40 @@ let to_text () =
       | Gauge_value g -> Buffer.add_string b (Printf.sprintf "%s %g\n" name g)
       | Histogram_value h ->
         let mean = if h.hs_count = 0 then 0. else h.hs_sum /. float_of_int h.hs_count in
-        Buffer.add_string b
-          (Printf.sprintf "%s count=%d sum=%.6g mean=%.6g\n" name h.hs_count
-             h.hs_sum mean))
+        if h.hs_count = 0 then
+          Buffer.add_string b
+            (Printf.sprintf "%s count=0 sum=%.6g mean=%.6g\n" name h.hs_sum mean)
+        else
+          Buffer.add_string b
+            (Printf.sprintf "%s count=%d sum=%.6g mean=%.6g p50=%.3g p95=%.3g\n"
+               name h.hs_count h.hs_sum mean
+               (percentile_of_buckets h.hs_buckets 0.5)
+               (percentile_of_buckets h.hs_buckets 0.95)))
     (snapshot ());
   Buffer.contents b
+
+(* Inverse of one histogram entry of [to_json]: recover the (bound, count)
+   bucket list so percentiles can be computed from an exported snapshot
+   (the run ledger stores snapshots, not live handles). *)
+let buckets_of_json entry =
+  match Json.member "buckets" entry with
+  | Some (Json.List items) ->
+    List.fold_right
+      (fun item acc ->
+        match acc with
+        | None -> None
+        | Some acc ->
+          let bound =
+            match Json.member "le" item with
+            | Some (Json.String "+Inf") -> Some infinity
+            | Some v -> Json.to_float v
+            | None -> None
+          in
+          (match (bound, Json.member "count" item) with
+          | Some b, Some (Json.Int c) -> Some ((b, c) :: acc)
+          | _ -> None))
+      items (Some [])
+  | _ -> None
 
 let reset () =
   Mutex.protect registry_lock (fun () ->

@@ -57,6 +57,20 @@ val bucket_counts : histogram -> (float * int) list
     [infinity] (the overflow bucket).  Counts are per-bucket, not
     cumulative. *)
 
+val percentile_of_buckets : (float * int) list -> float -> float
+(** [percentile_of_buckets buckets q] approximates the [q]-quantile
+    ([q] clamped to [0,1]) of the observations summarized by a
+    {!bucket_counts}-shaped list.  Within the bucket holding the requested
+    rank the value is interpolated geometrically (linear in log space —
+    exact for log-uniform values in a log-spaced bucket); the first bucket
+    interpolates linearly from 0 and the overflow bucket returns its
+    finite lower bound.  [nan] when the buckets are empty. *)
+
+val approx_percentile : histogram -> float -> float
+(** [approx_percentile h q] is {!percentile_of_buckets} over [h]'s live
+    buckets: an approximate quantile whose error is bounded by the bucket
+    width (a factor of sqrt(10) for the default half-decade bounds). *)
+
 (** {2 Snapshot and export} *)
 
 type value =
@@ -78,7 +92,15 @@ val to_json : unit -> Json.t
     data.  Histogram overflow bounds serialize as the string ["+Inf"]. *)
 
 val to_text : unit -> string
-(** One line per metric, for human eyes. *)
+(** One line per metric, for human eyes.  Histogram lines include
+    approximate p50/p95 (from {!approx_percentile}) when non-empty. *)
+
+val buckets_of_json : Json.t -> (float * int) list option
+(** Recovers the bucket list from one histogram entry of a {!to_json}
+    export (the value object keyed by the metric name), so percentiles can
+    be computed from stored snapshots.  [None] if the entry is not a
+    well-formed histogram encoding.  Note: empty buckets are elided by the
+    export, which does not change any quantile. *)
 
 val reset : unit -> unit
 (** Zeroes every registered metric in place.  Handles held by instrumented

@@ -1,0 +1,34 @@
+(** Inclusive/self-time profiles aggregated from recorded span trees.
+
+    One row per distinct span name: call count, total (inclusive) time,
+    self time (inclusive minus direct children — unclamped, so self times
+    telescope and their sum over a tree equals the root's duration
+    exactly), and optional p50/p95 supplied by a percentile source
+    (typically {!Metrics.approx_percentile} over the ["span.<name>"]
+    histogram, or {!Metrics.percentile_of_buckets} over a stored
+    snapshot). *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;  (** inclusive seconds *)
+  self_s : float;   (** exclusive seconds (can be marginally negative) *)
+  p50_s : float option;
+  p95_s : float option;
+}
+
+val of_spans :
+  ?percentile:(string -> float -> float option) -> Span.t list -> row list
+(** Aggregate the given trees; rows sorted by self time, largest first.
+    [percentile name q] supplies the quantile columns. *)
+
+val total_self : row list -> float
+(** Sum of self times — equals {!total_roots} of the profiled trees. *)
+
+val total_roots : Span.t list -> float
+(** Sum of the root durations. *)
+
+val to_table : ?top:int -> row list -> string
+(** Render via {!Aging_util.Tablefmt}; [top] truncates to the hottest N
+    rows (0 = all).  The [self%] column is relative to the whole profile,
+    not the shown subset. *)

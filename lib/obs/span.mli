@@ -32,8 +32,8 @@ type outcome = Completed | Raised of string
 type t = {
   name : string;
   attrs : (string * string) list;
-  t_start : float;  (** seconds, Unix epoch *)
-  duration : float; (** seconds *)
+  t_start : float;  (** seconds, Unix epoch (display timestamp) *)
+  duration : float; (** seconds, measured on the monotonic clock *)
   outcome : outcome;
   children : t list;  (** completed sub-spans, oldest first *)
 }
@@ -57,6 +57,21 @@ val reset : unit -> unit
 val to_json : unit -> Json.t
 (** [{"spans": [...], "dropped": n}] with children nested. *)
 
+val span_to_json : t -> Json.t
+(** The encoding of one span tree (an element of [to_json]'s ["spans"]
+    list); {!of_json} is its inverse. *)
+
 val now : unit -> float
-(** Wall clock, seconds since the Unix epoch (the span timebase), exposed
-    so callers can log durations without a second timing API. *)
+(** Wall clock, seconds since the Unix epoch — the timebase of [t_start]
+    and of displayed timestamps.  Not suitable for measuring durations:
+    an NTP step moves it. *)
+
+val elapsed : unit -> float
+(** Monotonic clock, seconds since an arbitrary process-local origin
+    (CLOCK_MONOTONIC).  This is the timebase span durations are measured
+    on; subtract two readings to time an interval that survives wall-clock
+    adjustments. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of the per-span encoding used by {!to_json} (one element of
+    its ["spans"] list).  [Error msg] names the first malformed field. *)

@@ -1,0 +1,109 @@
+(* Chrome trace_event export of recorded span trees.
+
+   Every span becomes one "complete" event (ph:"X", microsecond ts/dur).
+   Thread ids encode concurrency: root spans are packed onto lanes by
+   interval partitioning — a root overlapping an earlier root in time gets
+   a fresh lane — so the spans of worker domains (which surface as extra
+   roots, see Span) render as parallel tracks under one pid in
+   Perfetto/chrome://tracing, while sequential roots (bench scenarios)
+   share a track.  Children inherit their root's lane, giving the usual
+   nested flame rendering. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+let category name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let rec emit_span ~base ~tid acc (s : Span.t) =
+  let args =
+    s.Span.attrs
+    @
+    match s.Span.outcome with
+    | Span.Completed -> []
+    | Span.Raised msg -> [ ("raised", msg) ]
+  in
+  let ev =
+    {
+      ev_name = s.Span.name;
+      ev_cat = category s.Span.name;
+      ev_ts_us = (s.Span.t_start -. base) *. 1e6;
+      ev_dur_us = s.Span.duration *. 1e6;
+      ev_tid = tid;
+      ev_args = args;
+    }
+  in
+  List.fold_left (emit_span ~base ~tid) (ev :: acc) s.Span.children
+
+(* Greedy interval partitioning over (start, start + duration): roots
+   sorted by start time land on the first lane that is already idle.  The
+   small epsilon keeps back-to-back sequential spans (end time == next
+   start, up to clock granularity) on one lane. *)
+let assign_lanes roots =
+  let eps = 1e-9 in
+  let sorted =
+    List.stable_sort
+      (fun (a : Span.t) (b : Span.t) -> Float.compare a.Span.t_start b.Span.t_start)
+      roots
+  in
+  let lanes : float array ref = ref [||] in
+  List.map
+    (fun (s : Span.t) ->
+      let finish = s.Span.t_start +. Float.max 0. s.Span.duration in
+      let rec free i =
+        if i >= Array.length !lanes then begin
+          lanes := Array.append !lanes [| finish |];
+          i
+        end
+        else if !lanes.(i) <= s.Span.t_start +. eps then begin
+          !lanes.(i) <- finish;
+          i
+        end
+        else free (i + 1)
+      in
+      (s, 1 + free 0))
+    sorted
+
+let events roots =
+  let base =
+    List.fold_left
+      (fun acc (s : Span.t) -> Float.min acc s.Span.t_start)
+      infinity roots
+  in
+  let base = if Float.is_finite base then base else 0. in
+  assign_lanes roots
+  |> List.fold_left (fun acc (s, tid) -> emit_span ~base ~tid acc s) []
+  |> List.rev
+
+(* Chrome requires numeric ts/dur: a non-finite timing (possible only in
+   a rehydrated pathological record) clamps to 0 rather than producing a
+   file the viewer rejects. *)
+let finite f = if Float.is_finite f then f else 0.
+
+let event_to_json pid ev =
+  Json.Obj
+    [
+      ("name", Json.String ev.ev_name);
+      ("cat", Json.String ev.ev_cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float (finite ev.ev_ts_us));
+      ("dur", Json.Float (finite ev.ev_dur_us));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int ev.ev_tid);
+      ( "args",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ev.ev_args) );
+    ]
+
+let to_json ?(pid = 1) roots =
+  Json.List (List.map (event_to_json pid) (events roots))
+
+let to_string ?pid ?(pretty = false) roots =
+  Json.to_string ~pretty (to_json ?pid roots)

@@ -1,0 +1,20 @@
+(** Chrome [trace_event] export of recorded span trees.
+
+    [to_json roots] converts span trees (from {!Span.roots} or a ledger
+    record) into a JSON array of complete events — [ph:"X"], microsecond
+    [ts]/[dur], one [pid] — loadable directly in Perfetto or
+    chrome://tracing.  Span attributes (and a raised outcome) become the
+    event's [args].
+
+    Thread ids encode concurrency: root spans are packed onto lanes by
+    greedy interval partitioning, so roots that overlap in time — the
+    spans of pool worker domains surface as extra roots — get distinct
+    [tid]s and render as parallel tracks, while strictly sequential roots
+    (bench scenarios) share one track.  Children inherit their root's
+    [tid].  Timestamps are relative to the earliest root start. *)
+
+val to_json : ?pid:int -> Span.t list -> Json.t
+(** The event array ([pid] defaults to 1). *)
+
+val to_string : ?pid:int -> ?pretty:bool -> Span.t list -> string
+(** [Json.to_string] of {!to_json}. *)

@@ -51,3 +51,17 @@ let render ?align ~header rows =
   Buffer.contents buf
 
 let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let kv pairs =
+  let width =
+    List.fold_left (fun w (k, _) -> max w (String.length k)) 0 pairs
+  in
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (pad Left width k);
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\n')
+    pairs;
+  Buffer.contents buf

@@ -16,3 +16,7 @@ val print : ?align:align list -> header:string list -> string list list -> unit
 
 val fs : ('a, Format.formatter, unit, string) format4 -> 'a
 (** Shorthand for [Format.asprintf], used to format numeric cells. *)
+
+val kv : (string * string) list -> string
+(** A two-column key/value block (headerless, no rule): keys left-aligned
+    to the widest, values verbatim.  Used for run headers and summaries. *)

@@ -5,6 +5,9 @@ module Metrics = Aging_obs.Metrics
 module Span = Aging_obs.Span
 module Log = Aging_obs.Log
 module Json = Aging_obs.Json
+module Run_ledger = Aging_obs.Run_ledger
+module Trace_export = Aging_obs.Trace_export
+module Profile = Aging_obs.Profile
 module Scenario = Aging_physics.Scenario
 module Axes = Aging_liberty.Axes
 module Characterize = Aging_liberty.Characterize
@@ -273,6 +276,350 @@ let test_build_metrics_parallel () =
     (t.Characterize.clean + t.Characterize.recovered + t.Characterize.degraded
     + t.Characterize.lost)
 
+(* ---------------------------- percentiles ---------------------------- *)
+
+let test_percentiles () =
+  (* 100 observations spread as 50 / 30 / 20 across three buckets. *)
+  let buckets = [ (10., 50); (100., 30); (1000., 20); (infinity, 0) ] in
+  let p q = Metrics.percentile_of_buckets buckets q in
+  (* Geometric interpolation: p50 lands exactly on the first bucket's upper
+     bound; the p80 boundary lands on 100. *)
+  Alcotest.(check (float 1e-9)) "p50 at bucket edge" 10. (p 0.5);
+  Alcotest.(check (float 1e-9)) "p80 at bucket edge" 100. (p 0.8);
+  Alcotest.(check (float 1e-9)) "p100 = last finite bound" 1000. (p 1.0);
+  (* Within the second bucket (log-spaced 10..100), the 65th percentile is
+     halfway through in rank, i.e. sqrt(10*100) in log space. *)
+  Alcotest.(check (float 1e-6)) "geometric within bucket"
+    (sqrt (10. *. 100.)) (p 0.65);
+  (* First bucket interpolates linearly from 0. *)
+  Alcotest.(check (float 1e-9)) "first bucket linear" 5. (p 0.25);
+  Alcotest.(check bool) "q clamps" true (p (-1.) = p 0. && p 2. = p 1.);
+  (* Overflow observations report the last finite bound, not infinity. *)
+  Alcotest.(check (float 1e-9)) "overflow clamped"
+    10.
+    (Metrics.percentile_of_buckets [ (10., 1); (infinity, 9) ] 0.99);
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Metrics.percentile_of_buckets [ (10., 0) ] 0.5))
+
+let test_approx_percentile () =
+  let h = Metrics.histogram ~bounds:[| 1.; 10.; 100. |] "test.obs.pctl" in
+  List.iter (Metrics.observe h) [ 5.; 5.; 5.; 5. ];
+  let p50 = Metrics.approx_percentile h 0.5 in
+  (* All mass in (1,10]: any quantile interpolates inside that bucket. *)
+  Alcotest.(check bool) "p50 within the populated bucket" true
+    (p50 > 1. && p50 <= 10.);
+  Alcotest.(check bool) "monotone in q" true
+    (Metrics.approx_percentile h 0.95 >= p50)
+
+let test_buckets_of_json () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~bounds:[| 1.; 10. |] "test.obs.bjson" in
+  List.iter (Metrics.observe h) [ 0.5; 3.; 30. ];
+  let doc = Json.of_string (Json.to_string (Metrics.to_json ())) in
+  let entry = Option.get (Json.member "test.obs.bjson" doc) in
+  match Metrics.buckets_of_json entry with
+  | None -> Alcotest.fail "buckets_of_json rejected its own export"
+  | Some buckets ->
+    Alcotest.(check (list (pair (float 0.) int)))
+      "buckets survive the JSON round trip"
+      [ (1., 1); (10., 1); (infinity, 1) ]
+      buckets;
+    Alcotest.(check (float 1e-9)) "same percentile before and after"
+      (Metrics.approx_percentile h 0.5)
+      (Metrics.percentile_of_buckets buckets 0.5)
+
+(* ----------------------- non-finite float JSON ----------------------- *)
+
+let test_nonfinite_floats () =
+  Alcotest.(check bool) "finite is a number" true
+    (Json.of_float 2.5 = Json.Float 2.5);
+  Alcotest.(check bool) "nan is deterministic" true
+    (Json.of_float Float.nan = Json.String "NaN");
+  Alcotest.(check bool) "+inf" true
+    (Json.of_float infinity = Json.String "Infinity");
+  Alcotest.(check bool) "-inf" true
+    (Json.of_float neg_infinity = Json.String "-Infinity");
+  (* Round trip through the printer/parser: the encoded forms are plain
+     strings, so to_string must accept them where a bare Float nan would
+     raise. *)
+  let encoded =
+    Json.to_string
+      (Json.List (List.map Json.of_float [ 1.5; Float.nan; infinity ]))
+  in
+  (match Json.of_string encoded with
+  | Json.List [ a; b; c ] ->
+    Alcotest.(check (option (float 0.))) "finite back" (Some 1.5)
+      (Json.to_float a);
+    Alcotest.(check bool) "nan back" true
+      (match Json.to_float b with Some f -> Float.is_nan f | None -> false);
+    Alcotest.(check (option (float 0.))) "inf back" (Some infinity)
+      (Json.to_float c)
+  | _ -> Alcotest.fail "list shape lost");
+  (* Ints read back as floats too (JSON numbers are one class). *)
+  Alcotest.(check (option (float 0.))) "int promotes" (Some 3.)
+    (Json.to_float (Json.Int 3))
+
+(* --------------------------- span of_json --------------------------- *)
+
+let test_span_json_roundtrip () =
+  Span.reset ();
+  Span.set_recording true;
+  (try
+     Span.with_ "test.rt.outer" ~attrs:[ ("unicode", "é\n\"") ] (fun () ->
+         Span.with_ "test.rt.inner" (fun () -> ());
+         failwith "boom")
+   with Failure _ -> ());
+  Span.set_recording false;
+  let roots = Span.roots () in
+  let rec strip (s : Span.t) =
+    (* of_json can't reproduce float noise below the printer's precision,
+       but Json.to_string prints round-trippable doubles, so equality is
+       exact. *)
+    {
+      s with
+      Span.children = List.map strip s.Span.children;
+    }
+  in
+  List.iter
+    (fun (s : Span.t) ->
+      let json = Json.of_string (Json.to_string (Span.span_to_json s)) in
+      match Span.of_json json with
+      | Ok s' -> Alcotest.(check bool) "span round trip" true (strip s = s')
+      | Error e -> Alcotest.failf "span of_json failed: %s" e)
+    roots;
+  Alcotest.(check bool) "bad span json is an Error" true
+    (match Span.of_json (Json.Obj [ ("name", Json.Int 3) ]) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------ ledger ------------------------------ *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ledger-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f dir)
+
+let test_ledger_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  Metrics.reset ();
+  Span.reset ();
+  Span.set_recording true;
+  Span.with_ "test.ledger.work" (fun () -> ());
+  Span.set_recording false;
+  Run_ledger.note_qor "guardband_ps" 62.5;
+  Run_ledger.note_qor "nan_qor" Float.nan;
+  Run_ledger.note "jobs" (Json.Int 4);
+  let r =
+    Run_ledger.capture ~tool:"test" ~subcommand:"roundtrip"
+      ~argv:[ "test"; "É=\"quoted\"" ] ~outcome:(Run_ledger.Failed "why")
+      ~started_at:1754000000.25 ~wall_s:1.5 ()
+  in
+  Alcotest.(check int) "id length" 12 (String.length r.Run_ledger.id);
+  Alcotest.(check bool) "qor drained" true
+    (List.assoc_opt "guardband_ps" r.Run_ledger.qor = Some 62.5);
+  Alcotest.(check bool) "spans captured" true
+    (List.exists
+       (fun (s : Span.t) -> s.Span.name = "test.ledger.work")
+       r.Run_ledger.spans);
+  (* A second capture starts from drained accumulators. *)
+  let r2 =
+    Run_ledger.capture ~tool:"test" ~subcommand:"next" ~started_at:0.
+      ~wall_s:0. ()
+  in
+  Alcotest.(check (list (pair string (float 0.)))) "accumulators drain" []
+    r2.Run_ledger.qor;
+  Alcotest.(check bool) "fresh id per capture" true
+    (r.Run_ledger.id <> r2.Run_ledger.id);
+  ignore (Run_ledger.append ~dir r);
+  ignore (Run_ledger.append ~dir r2);
+  match Run_ledger.load ~dir with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok [ a; b ] ->
+    Alcotest.(check string) "order preserved" r.Run_ledger.id a.Run_ledger.id;
+    Alcotest.(check string) "second record" r2.Run_ledger.id b.Run_ledger.id;
+    Alcotest.(check bool) "outcome survives" true
+      (a.Run_ledger.outcome = Run_ledger.Failed "why");
+    Alcotest.(check bool) "argv survives escaping" true
+      (a.Run_ledger.argv = [ "test"; "É=\"quoted\"" ]);
+    Alcotest.(check bool) "NaN QoR survives deterministically" true
+      (match List.assoc_opt "nan_qor" a.Run_ledger.qor with
+      | Some f -> Float.is_nan f
+      | None -> false);
+    Alcotest.(check bool) "notes survive" true
+      (List.assoc_opt "jobs" a.Run_ledger.notes = Some (Json.Int 4));
+    Alcotest.(check bool) "spans survive" true
+      (List.length a.Run_ledger.spans = List.length r.Run_ledger.spans)
+  | Ok l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let test_ledger_select () =
+  with_tmp_dir @@ fun dir ->
+  let mk i =
+    Run_ledger.capture ~tool:"test" ~subcommand:(string_of_int i)
+      ~started_at:(float_of_int i) ~wall_s:0. ()
+  in
+  let records = List.map mk [ 0; 1; 2 ] in
+  List.iter (fun r -> ignore (Run_ledger.append ~dir r)) records;
+  let loaded = Result.get_ok (Run_ledger.load ~dir) in
+  let id_of sel =
+    match Run_ledger.select loaded sel with
+    | Ok r -> r.Run_ledger.id
+    | Error e -> Alcotest.failf "select %s failed: %s" sel e
+  in
+  let nth n = (List.nth records n).Run_ledger.id in
+  Alcotest.(check string) "index 0" (nth 0) (id_of "0");
+  Alcotest.(check string) "index -1" (nth 2) (id_of "-1");
+  Alcotest.(check string) "index -3" (nth 0) (id_of "-3");
+  Alcotest.(check string) "id prefix"
+    (nth 1)
+    (id_of (String.sub (nth 1) 0 6));
+  Alcotest.(check bool) "out of range is an error" true
+    (Result.is_error (Run_ledger.select loaded "7"));
+  Alcotest.(check bool) "unknown prefix is an error" true
+    (Result.is_error (Run_ledger.select loaded "zzzz"))
+
+let test_ledger_corrupt_lines () =
+  with_tmp_dir @@ fun dir ->
+  let r =
+    Run_ledger.capture ~tool:"test" ~subcommand:"keep" ~started_at:0.
+      ~wall_s:0. ()
+  in
+  ignore (Run_ledger.append ~dir r);
+  (* Simulate a torn concurrent append and unrelated garbage. *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Run_ledger.path ~dir)
+  in
+  output_string oc "this is not json\n{\"version\":";
+  close_out oc;
+  (match Run_ledger.load ~dir with
+  | Ok [ only ] ->
+    Alcotest.(check string) "good record kept" r.Run_ledger.id
+      only.Run_ledger.id
+  | Ok l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  (* A record from a newer schema is skipped, not fatal. *)
+  let newer =
+    Json.to_string
+      (Json.Obj [ ("version", Json.Int (Run_ledger.schema_version + 1)) ])
+  in
+  let oc = open_out_gen [ Open_append ] 0o644 (Run_ledger.path ~dir) in
+  output_string oc ("\n" ^ newer ^ "\n");
+  close_out oc;
+  match Run_ledger.load ~dir with
+  | Ok l -> Alcotest.(check int) "newer-schema line skipped" 1 (List.length l)
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_ledger_concurrent_appends () =
+  with_tmp_dir @@ fun dir ->
+  (* Four domains race 8 appends each; O_APPEND single-write atomicity must
+     keep every line parseable. *)
+  let worker d () =
+    for i = 0 to 7 do
+      let r =
+        Run_ledger.capture ~tool:"test"
+          ~subcommand:(Printf.sprintf "d%d-%d" d i)
+          ~argv:[ "x" ] ~started_at:(float_of_int i) ~wall_s:0. ()
+      in
+      ignore (Run_ledger.append ~dir r)
+    done
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  match Run_ledger.load ~dir with
+  | Ok records ->
+    Alcotest.(check int) "all 32 records parse" 32 (List.length records);
+    let ids = List.map (fun r -> r.Run_ledger.id) records in
+    Alcotest.(check int) "ids unique" 32
+      (List.length (List.sort_uniq String.compare ids))
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+(* ------------------------- trace and profile ------------------------- *)
+
+let spans_of_parallel_build () =
+  Span.reset ();
+  Metrics.reset ();
+  Span.set_recording true;
+  let _lib =
+    Characterize.library ~jobs:4
+      ~cells:(List.map Catalog.find_exn [ "INV_X1"; "NAND2_X1"; "NOR2_X1" ])
+      ~axes:Axes.coarse ~name:"trace"
+      ~scenario:(Scenario.scenario Scenario.worst_case) ()
+  in
+  Span.set_recording false;
+  Span.roots ()
+
+let test_trace_export_parallel () =
+  let roots = spans_of_parallel_build () in
+  Alcotest.(check bool) "worker spans surface as extra roots" true
+    (List.length roots > 1);
+  let events =
+    match Trace_export.to_json roots with
+    | Json.List evs -> evs
+    | _ -> Alcotest.fail "trace is not a JSON array"
+  in
+  Alcotest.(check bool) "one event per span" true
+    (List.length events
+    = List.fold_left
+        (fun n root ->
+          let rec count (s : Span.t) =
+            1 + List.fold_left (fun a c -> a + count c) 0 s.Span.children
+          in
+          n + count root)
+        0 roots);
+  let field name ev = Option.get (Json.member name ev) in
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "complete event" true
+        (field "ph" ev = Json.String "X");
+      let non_negative v =
+        match v with
+        | Json.Float f -> Float.is_finite f && f >= 0.
+        | Json.Int i -> i >= 0
+        | _ -> false
+      in
+      Alcotest.(check bool) "ts is a finite non-negative number" true
+        (non_negative (field "ts" ev));
+      Alcotest.(check bool) "dur is a finite non-negative number" true
+        (non_negative (field "dur" ev)))
+    events;
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun ev -> field "tid" ev) events)
+  in
+  (* The main domain's library-level root overlaps its worker-domain cell
+     roots in time, so lane assignment must use at least two tracks. *)
+  Alcotest.(check bool) "concurrent roots get distinct tids" true
+    (List.length tids >= 2);
+  (* The serialized trace parses back — i.e. it is valid JSON on disk. *)
+  Alcotest.(check bool) "serialized trace parses" true
+    (match Json.of_string (Trace_export.to_string roots) with
+    | Json.List _ -> true
+    | _ -> false)
+
+let test_profile_telescopes () =
+  let roots = spans_of_parallel_build () in
+  let rows = Profile.of_spans roots in
+  let total_roots = Profile.total_roots roots in
+  let total_self = Profile.total_self rows in
+  (* Self times telescope: summed over every tree they reproduce the root
+     durations exactly (the acceptance bound is 1%; the identity is
+     float-exact up to accumulation order). *)
+  Alcotest.(check bool) "self times sum to the root durations" true
+    (Float.abs (total_self -. total_roots)
+    <= 0.01 *. Float.max total_roots 1e-9);
+  let find name =
+    List.find (fun (r : Profile.row) -> r.Profile.name = name) rows
+  in
+  let point = find "characterize.point" in
+  Alcotest.(check bool) "leaf spans: self = total" true
+    (Float.abs (point.Profile.self_s -. point.Profile.total_s) < 1e-12);
+  let table = Profile.to_table ~top:3 rows in
+  Alcotest.(check bool) "table renders the hottest rows" true
+    (String.length table > 0)
+
 let suite =
   [
     Alcotest.test_case "counter get-or-create / reset" `Quick test_counter;
@@ -294,4 +641,21 @@ let suite =
       test_build_metrics_faulty;
     Alcotest.test_case "build counters match report (parallel)" `Slow
       test_build_metrics_parallel;
+    Alcotest.test_case "percentiles from buckets" `Quick test_percentiles;
+    Alcotest.test_case "approx percentile" `Quick test_approx_percentile;
+    Alcotest.test_case "buckets from JSON snapshot" `Quick
+      test_buckets_of_json;
+    Alcotest.test_case "non-finite float JSON" `Quick test_nonfinite_floats;
+    Alcotest.test_case "span JSON round trip" `Quick test_span_json_roundtrip;
+    Alcotest.test_case "ledger capture/append/load" `Quick
+      test_ledger_roundtrip;
+    Alcotest.test_case "ledger selectors" `Quick test_ledger_select;
+    Alcotest.test_case "ledger skips corrupt lines" `Quick
+      test_ledger_corrupt_lines;
+    Alcotest.test_case "ledger concurrent appends" `Slow
+      test_ledger_concurrent_appends;
+    Alcotest.test_case "chrome trace export (parallel build)" `Slow
+      test_trace_export_parallel;
+    Alcotest.test_case "profile self times telescope" `Slow
+      test_profile_telescopes;
   ]
