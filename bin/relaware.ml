@@ -504,6 +504,99 @@ let experiment_cmd =
     Term.(const run $ telemetry_term $ which_arg $ quick_arg $ cache_arg
           $ jobs_arg)
 
+(* ------------------------------ check ------------------------------ *)
+
+(* Property-based differential verification: run the [Aging_check] oracle
+   suite on random inputs with replayable seeds.  A failing case prints a
+   shrunk minimal counterexample plus the exact command that replays it. *)
+
+let check_cmd =
+  let module Runner = Aging_check.Runner in
+  let module Oracles = Aging_check.Oracles in
+  let seed_arg =
+    Arg.(value & opt int64 42L
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Base seed.  Case $(i,i) of a run derives its own seed \
+                   from (SEED, i); the run is deterministic for a fixed \
+                   seed, and a failure report names the derived case seed \
+                   so $(b,--seed <it> --cases 1) replays just that case.")
+  in
+  let cases_arg =
+    Arg.(value & opt int 200
+         & info [ "cases" ] ~docv:"N" ~doc:"Random cases per oracle.")
+  in
+  let only_arg =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"NAMES"
+             ~doc:"Run only these comma-separated oracles (see $(b,--list)).")
+  in
+  let list_arg =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List the oracles and exit.")
+  in
+  let run tele seed cases jobs only list_only =
+    if list_only then
+      List.iter
+        (fun (o : Oracles.t) -> Printf.printf "%-20s %s\n" o.Oracles.name o.Oracles.doc)
+        (Oracles.all ())
+    else begin
+      let failed = ref 0 in
+      with_telemetry ~cmd:"check" tele (fun () ->
+          (* Library builds inside the oracles narrate at info level;
+             keep the report readable unless the user asked for detail. *)
+          if (not tele.verbose) && not tele.quiet then
+            Obs.Log.set_level Obs.Log.Warn;
+          let oracles =
+            match only with
+            | None -> Oracles.all ()
+            | Some names ->
+              String.split_on_char ',' names
+              |> List.map String.trim
+              |> List.filter (fun n -> n <> "")
+              |> List.map (fun n ->
+                     match Oracles.find n with
+                     | Some o -> o
+                     | None -> failwith ("unknown oracle " ^ n ^ " (see --list)"))
+          in
+          if oracles = [] then failwith "no oracles selected";
+          let total_cases = ref 0 in
+          List.iter
+            (fun (o : Oracles.t) ->
+              let outcome = o.Oracles.run ~seed ~cases ~jobs in
+              print_endline (Runner.pp_outcome outcome);
+              total_cases := !total_cases + outcome.Runner.cases_run;
+              let nfail = List.length outcome.Runner.failures in
+              if nfail > 0 then incr failed;
+              if tele.ledger_dir <> None then begin
+                Run_ledger.note_qor
+                  ("check." ^ o.Oracles.name ^ ".cases")
+                  (float_of_int outcome.Runner.cases_run);
+                Run_ledger.note_qor
+                  ("check." ^ o.Oracles.name ^ ".failures")
+                  (float_of_int nfail)
+              end)
+            oracles;
+          if tele.ledger_dir <> None then begin
+            Run_ledger.note "seed" (Obs.Json.String (Int64.to_string seed));
+            Run_ledger.note_qor "check.oracles"
+              (float_of_int (List.length oracles));
+            Run_ledger.note_qor "check.cases" (float_of_int !total_cases);
+            Run_ledger.note_qor "check.failed_oracles" (float_of_int !failed)
+          end;
+          if !failed = 0 then
+            Printf.printf "all oracles passed (%d cases, seed %Ld)\n"
+              !total_cases seed
+          else
+            Printf.printf "%d oracle(s) FAILED (seed %Ld)\n" !failed seed);
+      if !failed > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Property-based differential verification with replayable seeds")
+    Term.(const run $ telemetry_term $ seed_arg $ cases_arg $ jobs_arg
+          $ only_arg $ list_arg)
+
 (* ------------------------------- obs ------------------------------- *)
 
 (* Readers over the run ledger: [obs report] (one record as a profile),
@@ -689,10 +782,33 @@ let obs_diff_cmd =
         | None -> (pct_of spec, named))
       (1., []) specs
   in
-  let run dir sel_a sel_b tols =
+  let allow_missing_arg =
+    Arg.(value & flag
+         & info [ "allow-missing-baseline" ]
+             ~doc:"Exit 0 with a note when the baseline record does not \
+                   exist yet (e.g. the very first run of a freshly created \
+                   ledger) instead of failing.  The candidate must still \
+                   resolve.")
+  in
+  let run dir sel_a sel_b tols allow_missing =
     let default_tol, named_tols = parse_tols tols in
-    let records = load_ledger dir in
-    let a = select_run records sel_a in
+    let baseline =
+      (* With --allow-missing-baseline, an unresolvable baseline — ledger
+         unreadable or the selector out of range — means "nothing to diff
+         against yet", not an error. *)
+      match Run_ledger.load ~dir with
+      | Ok (_ :: _ as records) -> (
+        match Run_ledger.select records sel_a with
+        | Ok a -> Ok (records, a)
+        | Error msg -> Error msg)
+      | Ok [] -> Error (Run_ledger.path ~dir ^ " holds no parseable records")
+      | Error msg -> Error msg
+    in
+    match baseline with
+    | Error msg when allow_missing ->
+      Printf.printf "no baseline record (%s); nothing to diff yet\n" msg
+    | Error msg -> failwith msg
+    | Ok (records, a) ->
     let b = select_run records sel_b in
     Printf.printf "A %s  %s %s  %s\nB %s  %s %s  %s\n\n" a.Run_ledger.id
       a.Run_ledger.tool a.Run_ledger.subcommand
@@ -793,7 +909,7 @@ let obs_diff_cmd =
               ~doc:"Baseline record (default $(b,-2), the second newest)."
           $ run_selector_arg ~at:1 ~default:"-1"
               ~doc:"Candidate record (default $(b,-1), the newest)."
-          $ tol_arg)
+          $ tol_arg $ allow_missing_arg)
 
 let obs_cmd =
   Cmd.group
@@ -811,4 +927,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ characterize_cmd; report_cmd; guardband_cmd; synth_cmd; export_cmd;
-            experiment_cmd; obs_cmd ]))
+            experiment_cmd; check_cmd; obs_cmd ]))

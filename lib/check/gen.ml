@@ -1,0 +1,142 @@
+module Rng = Aging_util.Rng
+
+type 'a tree = Tree of 'a * 'a tree Seq.t
+type 'a t = Rng.t -> 'a tree
+
+let root (Tree (x, _)) = x
+let return x _rng = Tree (x, Seq.empty)
+
+let rec map_tree f (Tree (x, s)) =
+  Tree (f x, fun () -> Seq.map (map_tree f) s ())
+
+let map f g rng = map_tree f (g rng)
+
+(* Shrink the left component first (it was generated first, so it is the
+   "outer" choice), then the right. *)
+let rec map2_tree f (Tree (a, sa) as ta) (Tree (b, sb) as tb) =
+  Tree
+    ( f a b,
+      fun () ->
+        Seq.append
+          (Seq.map (fun ta' -> map2_tree f ta' tb) sa)
+          (Seq.map (fun tb' -> map2_tree f ta tb') sb)
+          () )
+
+let map2 f ga gb rng =
+  let ta = ga rng in
+  let tb = gb rng in
+  map2_tree f ta tb
+
+let map3 f ga gb gc = map2 (fun (a, b) c -> f a b c) (map2 (fun a b -> (a, b)) ga gb) gc
+let pair ga gb = map2 (fun a b -> (a, b)) ga gb
+
+let bind (g : 'a t) (f : 'a -> 'b t) : 'b t =
+ fun rng ->
+  (* Fork so the randomness consumed by [g] or [f] never shifts sibling
+     generators, and snapshot the inner stream so re-running [f] on a
+     shrunk outer value replays the same inner randomness. *)
+  let r_outer = Rng.split rng in
+  let r_inner = Rng.split rng in
+  let rec go (Tree (a, sa)) =
+    let (Tree (b, sb)) = f a (Rng.copy r_inner) in
+    Tree (b, fun () -> Seq.append (Seq.map go sa) sb ())
+  in
+  go (g r_outer)
+
+let ( let* ) g f = bind g f
+let ( let+ ) g f = map f g
+let ( and+ ) ga gb = pair ga gb
+
+let bool rng =
+  let b = Rng.bool rng in
+  if b then Tree (true, Seq.return (Tree (false, Seq.empty)))
+  else Tree (false, Seq.empty)
+
+let int_range lo hi =
+  if hi < lo then invalid_arg "Gen.int_range: hi < lo";
+  let rec tree x =
+    (* candidates x - d for d = (x-lo), (x-lo)/2, ..., 1: first candidate
+       is [lo] itself, later ones creep back toward [x]. *)
+    let rec candidates d () =
+      if d <= 0 then Seq.Nil
+      else Seq.Cons (tree (x - d), candidates (d / 2))
+    in
+    Tree (x, candidates (x - lo))
+  in
+  fun rng -> tree (lo + Rng.int rng (hi - lo + 1))
+
+let float_range lo hi =
+  if not (hi >= lo) then invalid_arg "Gen.float_range: hi < lo";
+  let rec tree x =
+    let rec candidates d k () =
+      if k = 0 || d <= abs_float x *. 1e-12 +. 1e-300 then Seq.Nil
+      else Seq.Cons (tree (x -. d), candidates (d /. 2.) (k - 1))
+    in
+    Tree (x, candidates (x -. lo) 24)
+  in
+  fun rng -> tree (lo +. (Rng.float rng *. (hi -. lo)))
+
+let oneofl xs =
+  let arr = Array.of_list xs in
+  if Array.length arr = 0 then invalid_arg "Gen.oneofl: empty list";
+  map (Array.get arr) (int_range 0 (Array.length arr - 1))
+
+let oneof gs =
+  let arr = Array.of_list gs in
+  if Array.length arr = 0 then invalid_arg "Gen.oneof: empty list";
+  fun rng -> arr.(Rng.int rng (Array.length arr)) rng
+
+(* A list of element trees shrinks by dropping one element (front first,
+   respecting the minimum length) and by shrinking elements in place. *)
+let rec list_tree min_len (ts : 'a tree list) : 'a list tree =
+  let roots = List.map root ts in
+  let shrinks () =
+    let n = List.length ts in
+    let drops =
+      if n <= min_len then Seq.empty
+      else
+        Seq.map
+          (fun i ->
+            list_tree min_len (List.filteri (fun j _ -> j <> i) ts))
+          (Seq.init n Fun.id)
+    in
+    let elems =
+      Seq.concat_map
+        (fun i ->
+          let (Tree (_, s)) = List.nth ts i in
+          Seq.map
+            (fun t' ->
+              list_tree min_len (List.mapi (fun j t -> if j = i then t' else t) ts))
+            s)
+        (Seq.init n Fun.id)
+    in
+    Seq.append drops elems ()
+  in
+  Tree (roots, shrinks)
+
+let list_range lo hi elem =
+  if lo < 0 || hi < lo then invalid_arg "Gen.list_range";
+  fun rng ->
+    let n = lo + Rng.int rng (hi - lo + 1) in
+    let ts = List.init n (fun _ -> elem rng) in
+    list_tree lo ts
+
+let rec filter_tree pred (Tree (x, s)) =
+  Tree
+    ( x,
+      fun () ->
+        Seq.filter_map
+          (fun (Tree (y, _) as t) ->
+            if pred y then Some (filter_tree pred t) else None)
+          s () )
+
+let such_that ?(retries = 100) pred g rng =
+  let rec attempt k =
+    if k = 0 then failwith "Gen.such_that: retries exhausted";
+    let (Tree (x, _) as t) = g rng in
+    if pred x then filter_tree pred t else attempt (k - 1)
+  in
+  attempt retries
+
+let no_shrink g rng = Tree (root (g rng), Seq.empty)
+let generate ~seed g = root (g (Rng.create seed))

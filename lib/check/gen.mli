@@ -1,0 +1,73 @@
+(** Random-value generators with integrated shrinking.
+
+    The dependency-free core of the property-testing kernel: a generator
+    produces a {e lazy shrink tree} — the generated value at the root,
+    with progressively simpler variants as children — so every generated
+    value knows how to shrink itself and shrinking composes through [map],
+    [bind] and the collection combinators for free (the Hedgehog design,
+    reimplemented on {!Aging_util.Rng} so cases replay from a seed).
+
+    Determinism: a generator is a function of an {!Aging_util.Rng.t};
+    running it twice on generators created from the same seed yields
+    identical trees.  [bind] forks the generator state with
+    {!Aging_util.Rng.split}, so the amount of randomness a sub-generator
+    consumes never shifts the values produced by its siblings. *)
+
+type 'a tree = Tree of 'a * 'a tree Seq.t
+(** A value plus a lazy sequence of strictly-simpler candidate trees,
+    ordered most-aggressive shrink first. *)
+
+type 'a t = Aging_util.Rng.t -> 'a tree
+
+val root : 'a tree -> 'a
+
+(** {2 Primitives} *)
+
+val return : 'a -> 'a t
+val bool : bool t
+(** Shrinks [true] to [false]. *)
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] is uniform on [[lo, hi]]; shrinks toward [lo] by
+    halving the distance.  @raise Invalid_argument if [hi < lo]. *)
+
+val float_range : float -> float -> float t
+(** Uniform on [[lo, hi)]; shrinks toward [lo]. *)
+
+val oneofl : 'a list -> 'a t
+(** Uniform pick; shrinks toward earlier list elements. *)
+
+val oneof : 'a t list -> 'a t
+(** Picks one generator (no cross-generator shrinking beyond the chosen
+    generator's own tree). *)
+
+(** {2 Combinators} *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val map3 : ('a -> 'b -> 'c -> 'd) -> 'a t -> 'b t -> 'c t -> 'd t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Dependent generation.  When the outer value shrinks, the inner
+    generator re-runs from a snapshot of the generator state, so inner
+    values stay stable across outer shrink steps. *)
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+val ( and+ ) : 'a t -> 'b t -> ('a * 'b) t
+
+val list_range : int -> int -> 'a t -> 'a list t
+(** Length uniform on [[lo, hi]]; shrinks by dropping elements (never
+    below [lo] elements) and by shrinking elements in place. *)
+
+val such_that : ?retries:int -> ('a -> bool) -> 'a t -> 'a t
+(** Retry (default 100 draws) until the predicate holds; the shrink tree
+    is pruned to satisfying values.  @raise Failure when retries are
+    exhausted. *)
+
+val no_shrink : 'a t -> 'a t
+
+val generate : seed:int64 -> 'a t -> 'a
+(** Root of the tree the generator produces from a fresh [Rng.create
+    seed]; handy for tests and debugging. *)

@@ -94,9 +94,14 @@ let fingerprint t = t.fingerprint
 
 let mode_tag = function Degradation.Full -> "full" | Degradation.Vth_only -> "vth"
 
+(* The key must identify the corner {e exactly}: [Scenario.suffix] rounds
+   to one decimal, so using it here would alias every corner within the
+   same 0.1 bucket onto one cache entry — harmless for the snapped paper
+   grid, silently wrong for the arbitrary corners the API accepts (found
+   by the guardband-monotone differential oracle). *)
 let key t ~mode ~indexed corner =
-  Printf.sprintf "%s_y%g_%s%s_%s" (mode_tag mode) t.years
-    (Scenario.suffix corner)
+  Printf.sprintf "%s_y%g_%.17g_%.17g%s_%s" (mode_tag mode) t.years
+    corner.Scenario.lambda_p corner.Scenario.lambda_n
     (if indexed then "_idx" else "")
     t.fingerprint
 

@@ -1,18 +1,27 @@
 module Library = Aging_liberty.Library
 module Netlist = Aging_netlist.Netlist
 
+type triple = { d_min : float; d_typ : float; d_max : float }
+
+type iopath = {
+  from_pin : string;
+  to_pin : string;
+  rise : triple;
+  fall : triple;
+}
+
+type cell = { celltype : string; instance : string; iopaths : iopath list }
+type t = { version : string; design : string; cells : cell list }
+
 let ns t = t *. 1e9
 
-let triple d = Printf.sprintf "(%.4f:%.4f:%.4f)" (ns d) (ns d) (ns d)
+let triple_str { d_min; d_typ; d_max } =
+  Printf.sprintf "(%.4f:%.4f:%.4f)" (ns d_min) (ns d_typ) (ns d_max)
 
-let to_sdf analysis =
+let of_analysis analysis =
   let netlist = Timing.netlist analysis in
   let library = Timing.library analysis in
-  let buf = Buffer.create 65536 in
-  Printf.bprintf buf
-    "(DELAYFILE\n  (SDFVERSION \"3.0\")\n  (DESIGN \"%s\")\n  (DIVIDER /)\n\
-    \  (TIMESCALE 1ns)\n"
-    netlist.Netlist.design_name;
+  let cells = ref [] in
   Array.iter
     (fun (inst : Netlist.instance) ->
       let entry =
@@ -25,33 +34,204 @@ let to_sdf analysis =
       | None -> ()
       | Some entry when entry.Library.arcs = [] -> ()
       | Some entry ->
-        Printf.bprintf buf
-          "  (CELL (CELLTYPE \"%s\") (INSTANCE %s)\n    (DELAY (ABSOLUTE\n"
-          inst.Netlist.cell_name inst.Netlist.inst_name;
-        List.iter
-          (fun (arc : Library.arc) ->
-            match
-              ( List.assoc_opt arc.Library.from_pin inst.Netlist.inputs,
-                List.assoc_opt arc.Library.to_pin inst.Netlist.outputs )
-            with
-            | Some in_net, Some out_net ->
-              let slew =
-                Float.max
-                  (Timing.slew_at analysis in_net Library.Rise)
-                  (Timing.slew_at analysis in_net Library.Fall)
-              in
-              let load = Timing.load_on analysis out_net in
-              let rise = Library.delay_of arc ~dir:Library.Rise ~slew ~load in
-              let fall = Library.delay_of arc ~dir:Library.Fall ~slew ~load in
-              Printf.bprintf buf "      (IOPATH %s %s %s %s)\n"
-                arc.Library.from_pin arc.Library.to_pin (triple rise)
-                (triple fall)
-            | None, _ | _, None -> ())
-          entry.Library.arcs;
-        Printf.bprintf buf "    ))\n  )\n")
+        let iopaths =
+          List.filter_map
+            (fun (arc : Library.arc) ->
+              match
+                ( List.assoc_opt arc.Library.from_pin inst.Netlist.inputs,
+                  List.assoc_opt arc.Library.to_pin inst.Netlist.outputs )
+              with
+              | Some in_net, Some out_net ->
+                let slew =
+                  Float.max
+                    (Timing.slew_at analysis in_net Library.Rise)
+                    (Timing.slew_at analysis in_net Library.Fall)
+                in
+                let load = Timing.load_on analysis out_net in
+                let delay dir =
+                  let d = Library.delay_of arc ~dir ~slew ~load in
+                  { d_min = d; d_typ = d; d_max = d }
+                in
+                Some
+                  {
+                    from_pin = arc.Library.from_pin;
+                    to_pin = arc.Library.to_pin;
+                    rise = delay Library.Rise;
+                    fall = delay Library.Fall;
+                  }
+              | None, _ | _, None -> None)
+            entry.Library.arcs
+        in
+        cells :=
+          {
+            celltype = inst.Netlist.cell_name;
+            instance = inst.Netlist.inst_name;
+            iopaths;
+          }
+          :: !cells)
     netlist.Netlist.instances;
+  {
+    version = "3.0";
+    design = netlist.Netlist.design_name;
+    cells = List.rev !cells;
+  }
+
+let to_string t =
+  let buf = Buffer.create 65536 in
+  Printf.bprintf buf
+    "(DELAYFILE\n  (SDFVERSION \"%s\")\n  (DESIGN \"%s\")\n  (DIVIDER /)\n\
+    \  (TIMESCALE 1ns)\n"
+    t.version t.design;
+  List.iter
+    (fun c ->
+      Printf.bprintf buf
+        "  (CELL (CELLTYPE \"%s\") (INSTANCE %s)\n    (DELAY (ABSOLUTE\n"
+        c.celltype c.instance;
+      List.iter
+        (fun p ->
+          Printf.bprintf buf "      (IOPATH %s %s %s %s)\n" p.from_pin p.to_pin
+            (triple_str p.rise) (triple_str p.fall))
+        c.iopaths;
+      Buffer.add_string buf "    ))\n  )\n")
+    t.cells;
   Buffer.add_string buf ")\n";
   Buffer.contents buf
+
+(* {2 Parsing}
+
+   A tiny S-expression reader: atoms are quoted strings or runs of
+   non-space, non-paren characters, so delay triples [(a:b:c)] tokenize as
+   one-atom lists. *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse of string
+
+let parse_sexps s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let rec skip_ws () =
+    if !pos < n then
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+  in
+  let atom () =
+    let start = !pos in
+    if s.[!pos] = '"' then begin
+      incr pos;
+      while !pos < n && s.[!pos] <> '"' do
+        incr pos
+      done;
+      if !pos >= n then raise (Parse "unterminated string");
+      incr pos;
+      Atom (String.sub s (start + 1) (!pos - start - 2))
+    end
+    else begin
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | ' ' | '\t' | '\n' | '\r' | '(' | ')' -> false
+        | _ -> true
+      do
+        incr pos
+      done;
+      Atom (String.sub s start (!pos - start))
+    end
+  in
+  let rec sexp () =
+    skip_ws ();
+    if !pos >= n then raise (Parse "unexpected end of input");
+    if s.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then raise (Parse "unclosed paren");
+        if s.[!pos] = ')' then incr pos
+        else begin
+          items := sexp () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else atom ()
+  in
+  let top = ref [] in
+  skip_ws ();
+  while !pos < n do
+    top := sexp () :: !top;
+    skip_ws ()
+  done;
+  List.rev !top
+
+let parse_triple = function
+  | List [ Atom a ] -> (
+    match String.split_on_char ':' a with
+    | [ mn; ty; mx ] -> (
+      try
+        {
+          d_min = float_of_string mn *. 1e-9;
+          d_typ = float_of_string ty *. 1e-9;
+          d_max = float_of_string mx *. 1e-9;
+        }
+      with Failure _ -> raise (Parse ("bad delay triple " ^ a)))
+    | _ -> raise (Parse ("bad delay triple " ^ a)))
+  | _ -> raise (Parse "expected (min:typ:max) triple")
+
+let parse_iopath = function
+  | List [ Atom "IOPATH"; Atom from_pin; Atom to_pin; rise; fall ] ->
+    { from_pin; to_pin; rise = parse_triple rise; fall = parse_triple fall }
+  | _ -> raise (Parse "malformed IOPATH")
+
+let parse_cell items =
+  let celltype = ref None
+  and instance = ref None
+  and iopaths = ref [] in
+  List.iter
+    (function
+      | List [ Atom "CELLTYPE"; Atom ct ] -> celltype := Some ct
+      | List [ Atom "INSTANCE"; Atom inst ] -> instance := Some inst
+      | List (Atom "DELAY" :: delay_items) ->
+        List.iter
+          (function
+            | List (Atom "ABSOLUTE" :: paths) ->
+              iopaths := !iopaths @ List.map parse_iopath paths
+            | _ -> raise (Parse "expected ABSOLUTE delay block"))
+          delay_items
+      | _ -> raise (Parse "unexpected CELL item"))
+    items;
+  match (!celltype, !instance) with
+  | Some celltype, Some instance -> { celltype; instance; iopaths = !iopaths }
+  | _ -> raise (Parse "CELL missing CELLTYPE or INSTANCE")
+
+let of_string s =
+  try
+    match parse_sexps s with
+    | [ List (Atom "DELAYFILE" :: items) ] ->
+      let version = ref "3.0"
+      and design = ref ""
+      and cells = ref [] in
+      List.iter
+        (function
+          | List [ Atom "SDFVERSION"; Atom v ] -> version := v
+          | List [ Atom "DESIGN"; Atom d ] -> design := d
+          | List [ Atom "DIVIDER"; Atom _ ] | List [ Atom "TIMESCALE"; Atom _ ]
+            -> ()
+          | List (Atom "CELL" :: cell_items) ->
+            cells := parse_cell cell_items :: !cells
+          | _ -> raise (Parse "unexpected DELAYFILE item"))
+        items;
+      Ok { version = !version; design = !design; cells = List.rev !cells }
+    | _ -> Error "expected a single (DELAYFILE ...) form"
+  with Parse msg -> Error ("sdf parse error: " ^ msg)
+
+let to_sdf analysis = to_string (of_analysis analysis)
 
 let save path analysis =
   let oc = open_out path in

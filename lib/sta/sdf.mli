@@ -1,13 +1,42 @@
-(** Standard Delay Format (SDF 3.0) emission from a timing analysis.
+(** Standard Delay Format (SDF 3.0) emission — and re-parsing — of the
+    per-instance delays of a timing analysis.
 
-    Freezes the per-instance pin-to-pin delays of an analysis — evaluated
-    at each instance's measured input slews and output loads, exactly as
-    the event-driven simulator annotates itself — into IOPATH entries.
-    This is the "sdf files generated from the synthesis tool under the
-    targeted aging scenario" artifact of the paper's Sec. 5 setup. *)
+    Emission freezes the pin-to-pin delays of an analysis — evaluated at
+    each instance's measured input slews and output loads, exactly as the
+    event-driven simulator annotates itself — into IOPATH entries.  This is
+    the "sdf files generated from the synthesis tool under the targeted
+    aging scenario" artifact of the paper's Sec. 5 setup.
+
+    The parser reads the same dialect back into a structured value, so
+    written files can be round-tripped and checked:
+    [to_string (t) |> of_string = Ok t] for any [t] whose delays survive
+    the 4-decimal nanosecond formatting (writer output always does). *)
+
+type triple = { d_min : float; d_typ : float; d_max : float }
+(** Delay triple in seconds (written as [min:typ:max] in nanoseconds). *)
+
+type iopath = {
+  from_pin : string;
+  to_pin : string;
+  rise : triple;
+  fall : triple;
+}
+
+type cell = { celltype : string; instance : string; iopaths : iopath list }
+type t = { version : string; design : string; cells : cell list }
+
+val of_analysis : Timing.analysis -> t
+(** One CELL per netlist instance with timing arcs; delays from the
+    library surfaces at the analysis' slews and loads. *)
+
+val to_string : t -> string
+(** Canonical DELAYFILE text (nanosecond triples, 4 decimals). *)
+
+val of_string : string -> (t, string) result
+(** Parse a DELAYFILE produced by {!to_string} (or any file in the same
+    subset of SDF 3.0: CELL/DELAY/ABSOLUTE/IOPATH). *)
 
 val to_sdf : Timing.analysis -> string
-(** One DELAYFILE with a CELL per instance; delays in nanoseconds with
-    (rise:rise:rise) (fall:fall:fall) triples. *)
+(** [to_string (of_analysis a)]. *)
 
 val save : string -> Timing.analysis -> unit

@@ -45,6 +45,48 @@ let deglib =
        ~cells:(Lazy.force subset_cells)
        ~axes:Axes.coarse ())
 
+(* Bit-identity of the shared fixture across job counts.  The fixture
+   characterizes once per process (the [lazy] above) with
+   [Pool.default_jobs] worker domains — whatever AGING_JOBS says; a
+   sequential rebuild of the same cells must agree entry for entry, or
+   suites would see different fixtures depending on the environment.
+   [Cell.logic] is a closure, so compare the data projection of each
+   entry rather than the entry itself. *)
+let jobs_identity_error () =
+  let module Library = Aging_liberty.Library in
+  let project (e : Library.entry) =
+    (e.Library.indexed_name, e.Library.corner, e.Library.arcs,
+     e.Library.pin_caps, e.Library.setup_time)
+  in
+  let sequential =
+    Characterize.library ~jobs:1
+      ~cells:(Lazy.force subset_cells)
+      ~axes:Axes.coarse ~name:"test-fresh"
+      ~scenario:(Scenario.scenario Scenario.fresh)
+      ()
+  in
+  let shared = Lazy.force fresh_library in
+  let a = List.map project (Library.entries shared) in
+  let b = List.map project (Library.entries sequential) in
+  if List.length a <> List.length b then
+    Some
+      (Printf.sprintf "entry count differs: %d (jobs=%d) vs %d (sequential)"
+         (List.length a) jobs (List.length b))
+  else
+    List.fold_left2
+      (fun acc ea eb ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if ea = eb then None
+          else
+            let name, _, _, _, _ = ea in
+            Some
+              (Printf.sprintf
+                 "entry %s differs between jobs=%d and sequential builds"
+                 name jobs))
+      None a b
+
 (* Cycle-accurate equivalence of two netlists over random input vectors. *)
 let equivalent ?(cycles = 100) ?(seed = 11L) a b =
   let module N = Aging_netlist.Netlist in

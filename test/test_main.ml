@@ -30,4 +30,5 @@ let () =
       ("export", Test_export.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]
