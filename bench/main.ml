@@ -13,6 +13,7 @@
      bench/main.exe fig1 fig5a ...  run selected experiments
      bench/main.exe smoke           tiny-grid smoke scenario (seconds, no cache)
      bench/main.exe scaling         jobs=1 vs jobs=N characterization scaling
+     bench/main.exe serve           service round-trip throughput (queries/sec)
      bench/main.exe micro           Bechamel microbenchmarks only
      bench/main.exe --jobs N        worker domains for scaling (default: auto)
      bench/main.exe --bench-out F   write the report to F (default BENCH.json)
@@ -132,6 +133,52 @@ let scaling ~jobs ~scenario =
     prerr_endline "scaling: parallel library differs from sequential build";
     exit 1
   | _ -> assert false
+
+(* ------------------------- serve scenario ------------------------- *)
+
+(* Sustained service throughput: an in-process daemon (no chaos, no
+   corrupt frames — the robustness soak lives in @serve-smoke) hammered
+   by concurrent backoff clients for a fixed window.  The sustained
+   queries/sec lands in the scenario's ledger record as QoR. *)
+let serve_bench () =
+  let module Serve = Aging_serve in
+  let path = Printf.sprintf "bench-serve-%d.sock" (Unix.getpid ()) in
+  let queries =
+    Serve.Queries.create ~axes:Aging_liberty.Axes.coarse
+      ~cells:[ Aging_cells.Catalog.find_exn "INV_X1" ] ()
+  in
+  let cfg =
+    { Serve.Server.default_config with addr = `Unix path; workers = 2 }
+  in
+  let server =
+    Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Server.await server;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let report =
+        Serve.Soak.run
+          {
+            (Serve.Soak.default ~addr:(`Unix path)) with
+            clients = 4;
+            duration_s = 1.0;
+            deadline_s = 0.5;
+            corrupt_rate = 0.;
+            heavy_rate = 0.;
+            seed = 7;
+          }
+      in
+      if not report.Serve.Soak.server_alive then begin
+        prerr_endline "serve: daemon unresponsive after the bench window";
+        exit 1
+      end;
+      Run_ledger.note_qor "serve.qps" report.Serve.Soak.qps;
+      Printf.printf "serve: %d ok / %d attempts, %.0f q/s\n%!"
+        report.Serve.Soak.ok report.Serve.Soak.attempts
+        report.Serve.Soak.qps)
 
 (* ------------------------- BENCH.json ------------------------- *)
 
@@ -336,12 +383,14 @@ let () =
       match args with
       | [ "smoke" ] -> ("smoke", [ "smoke" ])
       | [ "scaling" ] -> ("scaling", [ "scaling-jobs1"; "scaling-jobsN" ])
+      | [ "serve" ] -> ("serve", [ "serve" ])
       | [] -> ((if !quick then "quick" else "full"), all_figures)
       | names -> ((if !quick then "quick" else "full"), names)
     in
     Printf.printf "reliability-aware design reproduction — %s mode\n\n%!" mode;
     if mode = "smoke" then scenario "smoke" smoke
     else if mode = "scaling" then scaling ~jobs:!jobs ~scenario
+    else if mode = "serve" then scenario "serve" serve_bench
     else begin
       let t = Experiments.create ~quick:!quick ~jobs:!jobs () in
       List.iter

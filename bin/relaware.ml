@@ -7,6 +7,9 @@
      synth         traditional vs aging-aware synthesis comparison
      experiment    run one of the paper's figure reproductions
      obs           inspect run-ledger records: report / trace / diff
+     serve         resident aging-analysis daemon (deadlines, backpressure)
+     query         client with capped, seeded exponential backoff
+     soak          chaos soak: concurrent clients vs an injected-fault daemon
 *)
 
 open Cmdliner
@@ -918,6 +921,388 @@ let obs_cmd =
              diff")
     [ obs_report_cmd; obs_trace_cmd; obs_diff_cmd ]
 
+(* ------------------------ serve / query / soak ------------------------ *)
+
+module Serve = Aging_serve
+
+let socket_arg =
+  Arg.(value & opt string "relaware.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket path (limit ~100 chars).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Use loopback TCP port $(docv) instead of the unix socket.")
+
+let addr_of socket port : Serve.Client.addr =
+  match port with Some p -> `Tcp p | None -> `Unix socket
+
+let chaos_term =
+  let kill =
+    Arg.(value & opt float 0.
+         & info [ "chaos-kill" ] ~docv:"RATE"
+             ~doc:"Fraction of requests that kill their worker domain \
+                   (supervisor restart test).")
+  in
+  let crash =
+    Arg.(value & opt float 0.
+         & info [ "chaos-crash" ] ~docv:"RATE"
+             ~doc:"Fraction of requests whose handler raises (typed \
+                   $(b,internal) isolation test).")
+  in
+  let slow =
+    Arg.(value & opt float 0.
+         & info [ "chaos-slow" ] ~docv:"RATE"
+             ~doc:"Fraction of requests stalled before execution \
+                   (deadline and backpressure test).")
+  in
+  let slow_s =
+    Arg.(value & opt float 0.1
+         & info [ "chaos-slow-s" ] ~docv:"S" ~doc:"Stall length in seconds.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "chaos-seed" ] ~docv:"N"
+             ~doc:"Chaos decision seed: a fixed seed sabotages the same \
+                   request ids.")
+  in
+  Term.(const (fun kill_rate crash_rate slow_rate slow_s seed ->
+            Serve.Chaos.validated
+              { Serve.Chaos.kill_rate; crash_rate; slow_rate; slow_s; seed })
+        $ kill $ crash $ slow $ slow_s $ seed)
+
+let workers_arg =
+  Arg.(value & opt int 2
+       & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (>= 1).")
+
+let queue_cap_arg =
+  Arg.(value & opt int 64
+       & info [ "queue-cap" ] ~docv:"N"
+           ~doc:"Bounded request queue; a full queue sheds with a typed \
+                 $(b,overloaded) refusal.")
+
+let deadline_opt_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"S"
+           ~doc:"Default per-request deadline in seconds (requests may \
+                 override); expired requests get a typed $(b,timeout).")
+
+let drain_arg =
+  Arg.(value & opt float 5.
+       & info [ "drain-timeout" ] ~docv:"S"
+           ~doc:"On SIGTERM/SIGINT: finish in-flight work for up to \
+                 $(docv) seconds before stopping.")
+
+let server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain ~chaos
+    =
+  {
+    Serve.Server.addr = (addr_of socket port :> [ `Unix of string | `Tcp of int ]);
+    workers;
+    queue_cap;
+    default_deadline_s = deadline;
+    drain_timeout_s = drain;
+    max_frame = Serve.Frame.default_max_frame;
+    chaos;
+  }
+
+let note_serve_qor () =
+  List.iter
+    (fun name ->
+      Option.iter (Run_ledger.note_qor name) (Obs.Metrics.value_by_name name))
+    [ "serve.requests"; "serve.replies_ok"; "serve.refused_overloaded";
+      "serve.refused_timeout"; "serve.worker_restarts"; "serve.bad_frames" ]
+
+let serve_cmd =
+  let run tele socket port workers queue_cap deadline drain chaos axes years
+      cache jobs cells =
+    with_telemetry ~cmd:"serve" tele @@ fun () ->
+    let queries =
+      Serve.Queries.create ~axes ~years ~cache_dir:cache ~jobs
+        ?cells:(cells_of cells) ()
+    in
+    let cfg =
+      server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain
+        ~chaos
+    in
+    let server = Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg in
+    Serve.Server.install_signal_handlers server;
+    Serve.Server.await server;
+    note_serve_qor ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident aging-analysis daemon (drains gracefully on \
+             SIGTERM/SIGINT)")
+    Term.(const run $ telemetry_term $ socket_arg $ port_arg $ workers_arg
+          $ queue_cap_arg $ deadline_opt_arg $ drain_arg $ chaos_term
+          $ axes_arg $ years_arg $ cache_arg $ jobs_arg $ cells_arg)
+
+let query_cmd =
+  let op_arg =
+    let ops =
+      [ ("ping", `Ping); ("stats", `Stats); ("shutdown", `Shutdown);
+        ("guardband", `Guardband); ("delay", `Delay); ("sleep", `Sleep) ]
+    in
+    Arg.(required & pos 0 (some (enum ops)) None
+         & info [] ~docv:"OP"
+             ~doc:"One of ping, stats, shutdown, guardband, delay, sleep.")
+  in
+  let design_opt =
+    let all = [ "DSP"; "FFT"; "RISC-6P"; "RISC-5P"; "VLIW"; "DCT"; "IDCT" ] in
+    Arg.(value & opt (some (enum (List.map (fun d -> (d, d)) all))) None
+         & info [ "design" ] ~docv:"NAME" ~doc:"Design for $(b,guardband).")
+  in
+  let cell_opt =
+    Arg.(value & opt (some string) None
+         & info [ "cell" ] ~docv:"NAME" ~doc:"Catalog cell for $(b,delay).")
+  in
+  let slew_opt =
+    Arg.(value & opt (some float) None
+         & info [ "slew" ] ~docv:"S" ~doc:"Input slew for $(b,delay).")
+  in
+  let load_opt =
+    Arg.(value & opt (some float) None
+         & info [ "load" ] ~docv:"F" ~doc:"Output load for $(b,delay).")
+  in
+  let seconds_arg =
+    Arg.(value & opt float 0.1
+         & info [ "seconds" ] ~docv:"S" ~doc:"Length of a $(b,sleep) request.")
+  in
+  let attempts_arg =
+    Arg.(value & opt int Aging_util.Retry.default_backoff.Aging_util.Retry.max_attempts
+         & info [ "attempts" ] ~docv:"N"
+             ~doc:"Retry budget: capped exponential backoff over at most \
+                   $(docv) attempts.")
+  in
+  let budget_arg =
+    Arg.(value & opt float Aging_util.Retry.default_backoff.Aging_util.Retry.budget
+         & info [ "budget" ] ~docv:"S"
+             ~doc:"Total retry deadline across all attempts and sleeps.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Backoff jitter seed; a fixed seed gives a bit-identical \
+                   retry schedule.")
+  in
+  let run tele socket port op design cell slew load seconds corner deadline
+      attempts budget seed =
+    with_telemetry ~cmd:"query" tele @@ fun () ->
+    let req =
+      match op with
+      | `Ping -> Serve.Protocol.Ping
+      | `Stats -> Serve.Protocol.Stats
+      | `Shutdown -> Serve.Protocol.Shutdown
+      | `Sleep -> Serve.Protocol.Sleep seconds
+      | `Guardband -> begin
+        match design with
+        | Some design -> Serve.Protocol.Guardband { design; corner }
+        | None -> failwith "query guardband: --design is required"
+      end
+      | `Delay -> begin
+        match cell with
+        | Some cell -> Serve.Protocol.Delay { cell; corner; slew; load }
+        | None -> failwith "query delay: --cell is required"
+      end
+    in
+    let backoff =
+      { Aging_util.Retry.default_backoff with max_attempts = attempts; budget }
+    in
+    let rng = Aging_util.Rng.create (Int64.of_int seed) in
+    let outcome =
+      Serve.Client.request ~backoff ~rng ?deadline_s:deadline
+        (addr_of socket port) req
+    in
+    (match Aging_util.Retry.errors outcome with
+    | [] -> ()
+    | errors ->
+      List.iter
+        (fun e ->
+          Obs.Log.warnf "query" "attempt failed: %s"
+            (Serve.Client.error_to_string e))
+        errors);
+    match Aging_util.Retry.succeeded outcome with
+    | Some data ->
+      print_endline (Obs.Json.to_string ~pretty:true data);
+      Run_ledger.note_qor "query.attempts"
+        (float_of_int (Aging_util.Retry.attempts outcome))
+    | None -> failwith "query failed: retry budget exhausted"
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query a running daemon (capped exponential backoff with \
+             seeded jitter)")
+    Term.(const run $ telemetry_term $ socket_arg $ port_arg $ op_arg
+          $ design_opt $ cell_opt $ slew_opt $ load_opt $ seconds_arg
+          $ corner_arg $ deadline_opt_arg $ attempts_arg $ budget_arg
+          $ seed_arg)
+
+(* The soak forks the daemon into a child process before this process
+   spawns any domain or thread, so the parent is a pure client fleet and
+   the child's SIGTERM drain is exercised across a real process
+   boundary. *)
+let soak_cmd =
+  let clients_arg =
+    Arg.(value & opt int 8
+         & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 2.
+         & info [ "duration" ] ~docv:"S" ~doc:"Soak length in seconds.")
+  in
+  let soak_deadline_arg =
+    Arg.(value & opt float 0.25
+         & info [ "request-deadline" ] ~docv:"S"
+             ~doc:"Per-request deadline during the soak.")
+  in
+  let soak_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Workload and jitter seed.")
+  in
+  let corrupt_arg =
+    Arg.(value & opt float 0.05
+         & info [ "corrupt-rate" ] ~docv:"RATE"
+             ~doc:"Fraction of iterations sending a deliberately corrupt \
+                   frame.")
+  in
+  let heavy_arg =
+    Arg.(value & opt float 0.15
+         & info [ "heavy-rate" ] ~docv:"RATE"
+             ~doc:"Fraction of iterations issuing a worker-occupying sleep.")
+  in
+  let attach_arg =
+    Arg.(value & flag
+         & info [ "attach" ]
+             ~doc:"Soak an already-running daemon at --socket/--port \
+                   instead of forking one.")
+  in
+  let run tele socket port attach clients duration deadline seed corrupt
+      heavy workers queue_cap drain chaos =
+    with_telemetry ~cmd:"soak" tele @@ fun () ->
+    let addr, child =
+      if attach then (addr_of socket port, None)
+      else begin
+        let path =
+          Printf.sprintf "%s/relaware-soak-%d.sock"
+            (Filename.get_temp_dir_name ()) (Unix.getpid ())
+        in
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+          (* Child: the daemon.  Exit without returning into cmdliner so
+             the parent's telemetry dump is not duplicated. *)
+          let code =
+            try
+              let queries =
+                Serve.Queries.create ~axes:Axes.coarse
+                  ~cells:[ Aging_cells.Catalog.find_exn "INV_X1" ] ()
+              in
+              let cfg =
+                server_config_of ~socket:path ~port:None ~workers ~queue_cap
+                  ~deadline:None ~drain ~chaos
+              in
+              let server =
+                Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg
+              in
+              Serve.Server.install_signal_handlers server;
+              Serve.Server.await server;
+              0
+            with e ->
+              Printf.eprintf "soak daemon died: %s\n%!" (Printexc.to_string e);
+              1
+          in
+          Stdlib.exit code
+        | pid -> ((`Unix path : Serve.Client.addr), Some pid)
+      end
+    in
+    (* Wait for the daemon to answer before unleashing the fleet. *)
+    let rec wait_ready tries =
+      if tries = 0 then failwith "soak: daemon did not come up"
+      else
+        match Serve.Client.connect addr with
+        | Ok conn ->
+          let alive =
+            Serve.Client.call ~deadline_s:1. conn Serve.Protocol.Ping
+          in
+          Serve.Client.close conn;
+          if Result.is_error alive then begin
+            Unix.sleepf 0.05;
+            wait_ready (tries - 1)
+          end
+        | Error _ ->
+          Unix.sleepf 0.05;
+          wait_ready (tries - 1)
+    in
+    wait_ready 100;
+    let cfg =
+      {
+        (Serve.Soak.default ~addr) with
+        clients;
+        duration_s = duration;
+        deadline_s = deadline;
+        seed;
+        corrupt_rate = corrupt;
+        heavy_rate = heavy;
+      }
+    in
+    let report = Serve.Soak.run cfg in
+    print_endline (Serve.Soak.report_to_string report);
+    Run_ledger.note_qor "soak.qps" report.Serve.Soak.qps;
+    Run_ledger.note_qor "soak.ok" (float_of_int report.Serve.Soak.ok);
+    Run_ledger.note_qor "soak.attempts"
+      (float_of_int report.Serve.Soak.attempts);
+    Run_ledger.note_qor "soak.exhausted"
+      (float_of_int report.Serve.Soak.exhausted);
+    Run_ledger.note "soak.server_alive"
+      (Obs.Json.Bool report.Serve.Soak.server_alive);
+    let child_clean =
+      match child with
+      | None -> true
+      | Some pid ->
+        (* SIGTERM must drain the child gracefully: exit 0, promptly. *)
+        Unix.kill pid Sys.sigterm;
+        let deadline = Unix.gettimeofday () +. 20. in
+        let rec reap () =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+            if Unix.gettimeofday () > deadline then begin
+              Obs.Log.warnf "soak" "daemon ignored SIGTERM; killing";
+              Unix.kill pid Sys.sigkill;
+              ignore (Unix.waitpid [] pid);
+              false
+            end
+            else begin
+              Unix.sleepf 0.02;
+              reap ()
+            end
+          | _, Unix.WEXITED 0 -> true
+          | _, Unix.WEXITED c ->
+            Obs.Log.warnf "soak" "daemon exited %d" c;
+            false
+          | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+            Obs.Log.warnf "soak" "daemon killed by signal";
+            false
+        in
+        reap ()
+    in
+    Run_ledger.note "soak.child_clean" (Obs.Json.Bool child_clean);
+    if not report.Serve.Soak.server_alive then
+      failwith "soak: server unresponsive after the storm";
+    if report.Serve.Soak.ok = 0 then
+      failwith "soak: no request ever succeeded";
+    if not child_clean then failwith "soak: daemon did not drain cleanly"
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Chaos soak: fork a daemon, hammer it with concurrent clients \
+             and injected faults, verify graceful degradation and drain")
+    Term.(const run $ telemetry_term $ socket_arg $ port_arg $ attach_arg
+          $ clients_arg $ duration_arg $ soak_deadline_arg $ soak_seed_arg
+          $ corrupt_arg $ heavy_arg $ workers_arg $ queue_cap_arg $ drain_arg
+          $ chaos_term)
+
 let () =
   let info =
     Cmd.info "relaware" ~version:"1.0"
@@ -927,4 +1312,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ characterize_cmd; report_cmd; guardband_cmd; synth_cmd; export_cmd;
-            experiment_cmd; check_cmd; obs_cmd ]))
+            experiment_cmd; check_cmd; obs_cmd; serve_cmd; query_cmd;
+            soak_cmd ]))

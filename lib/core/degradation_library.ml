@@ -10,11 +10,16 @@ module Metrics = Aging_obs.Metrics
 module Span = Aging_obs.Span
 module Log = Aging_obs.Log
 module Pool = Aging_util.Pool
+module Lru = Aging_util.Lru
 
 let m_memo_hit = Metrics.counter "cache.memo_hit"
+let m_memo_miss = Metrics.counter "cache.memo_miss"
+let m_evict = Metrics.counter "cache.memo_evict"
 let m_disk_hit = Metrics.counter "cache.disk_hit"
 let m_build = Metrics.counter "cache.build"
 let m_corrupt = Metrics.counter "cache.corrupt"
+
+let default_memo_cap = 256
 
 type t = {
   backend : Characterize.backend;
@@ -23,7 +28,13 @@ type t = {
   years : float;
   cache_dir : string option;
   jobs : int;
-  memo : (string, Library.t) Hashtbl.t;
+  memo : (string, Library.t) Lru.t;
+      (* Bounded: a resident process ([relaware serve]) answers arbitrary
+         corners for years, and each characterized library is megabytes of
+         NLDM tables — an unbounded memo is a slow memory leak.  Keys are
+         the exact-lambda cache keys of [key], so eviction never aliases
+         corners; an evicted library falls back to the disk cache (if
+         configured) or a rebuild. *)
   fingerprint : string;
   reports : (string * Characterize.report) list ref;
   lock : Mutex.t;
@@ -39,7 +50,9 @@ let rec backend_tag = function
       f.Characterize.depth (backend_tag inner)
 
 let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
-    ?(years = 10.) ?cache_dir ?(jobs = 1) () =
+    ?(years = 10.) ?cache_dir ?(jobs = 1) ?(memo_cap = default_memo_cap) () =
+  if memo_cap < 1 then
+    invalid_arg "Degradation_library.create: memo_cap must be >= 1";
   let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
   (* The fingerprint must change whenever anything that affects the tables
      changes: cell set, axes, backend, lifetime, and the physics model
@@ -85,12 +98,14 @@ let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
     Digest.to_hex (Digest.string (Buffer.contents b))
   in
   { backend; cells; axes; years; cache_dir; jobs = max 1 jobs;
-    memo = Hashtbl.create 16; fingerprint; reports = ref [];
+    memo = Lru.create ~cap:memo_cap; fingerprint; reports = ref [];
     lock = Mutex.create () }
 
 let axes t = t.axes
 let years t = t.years
 let fingerprint t = t.fingerprint
+let memo_length t = Mutex.protect t.lock (fun () -> Lru.length t.memo)
+let memo_cap t = Lru.cap t.memo
 
 let mode_tag = function Degradation.Full -> "full" | Degradation.Vth_only -> "vth"
 
@@ -155,11 +170,12 @@ let save_cache_file dir name lib =
    harmless (identical results), and [complete] never issues duplicate
    corners. *)
 let cached t name build =
-  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.memo name) with
+  match Mutex.protect t.lock (fun () -> Lru.find t.memo name) with
   | Some lib ->
     Metrics.incr m_memo_hit;
     lib
   | None ->
+    Metrics.incr m_memo_miss;
     let from_disk =
       match t.cache_dir with
       | None -> None
@@ -180,7 +196,13 @@ let cached t name build =
         Option.iter (fun dir -> save_cache_file dir name lib) t.cache_dir;
         lib
     in
-    Mutex.protect t.lock (fun () -> Hashtbl.replace t.memo name lib);
+    Mutex.protect t.lock (fun () ->
+        match Lru.put t.memo name lib with
+        | None -> ()
+        | Some (evicted, _) ->
+          Metrics.incr m_evict;
+          Log.debugf "core.cache" "memo full (cap %d): evicted %s"
+            (Lru.cap t.memo) evicted);
     lib
 
 let build_with_report t ?indexed ~name ~scenario () =

@@ -15,6 +15,7 @@ val create :
   ?years:float ->
   ?cache_dir:string ->
   ?jobs:int ->
+  ?memo_cap:int ->
   unit ->
   t
 (** Defaults: transient backend, full catalog, the paper's 7x7 axes,
@@ -22,10 +23,24 @@ val create :
     [jobs > 1] characterizes on that many domains — within one library
     build, and across corners in {!complete} — with results identical to a
     sequential build.  [cache_dir] may be nested ("a/b/c"); missing parent
-    directories are created on the first write. *)
+    directories are created on the first write.
+
+    [memo_cap] (default 256) bounds the in-memory library memo with an
+    LRU keyed by the exact-lambda cache keys — a resident process serving
+    arbitrary corners must not grow without limit.  Eviction is safe:
+    an evicted corner is re-served from the disk cache when [cache_dir]
+    is set, or re-characterized.  Hits, misses and evictions land in
+    the metrics registry as [cache.memo_hit] / [cache.memo_miss] /
+    [cache.memo_evict].
+    @raise Invalid_argument if [memo_cap < 1]. *)
 
 val axes : t -> Aging_liberty.Axes.t
 val years : t -> float
+
+val memo_length : t -> int
+(** Number of libraries currently memoized (always [<= memo_cap]). *)
+
+val memo_cap : t -> int
 
 val fingerprint : t -> string
 (** The configuration fingerprint embedded in every cache key: a digest of

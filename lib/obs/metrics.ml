@@ -165,6 +165,15 @@ and histogram_snapshot = {
   hs_buckets : (float * int) list;
 }
 
+let value_by_name name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> Some (float_of_int (Atomic.get c))
+      | Some (Gauge g) -> Some (Atomic.get g)
+      | Some (Histogram h) ->
+        Some (Mutex.protect h.lock (fun () -> float_of_int h.n))
+      | None -> None)
+
 let snapshot () =
   Mutex.protect registry_lock (fun () ->
       Hashtbl.fold

@@ -84,6 +84,13 @@ and histogram_snapshot = {
   hs_buckets : (float * int) list;  (** as {!bucket_counts} *)
 }
 
+val value_by_name : string -> float option
+(** Numeric read of one metric {e without} creating it: a counter's count,
+    a gauge's value, a histogram's observation count; [None] if the name
+    was never registered.  This is what QoR exporters (the service's
+    ledger rows) use so that probing a metric cannot pollute the
+    registry. *)
+
 val snapshot : unit -> (string * value) list
 (** All registered metrics, sorted by name. *)
 

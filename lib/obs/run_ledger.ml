@@ -370,20 +370,27 @@ let load ~dir =
 
 let select records sel =
   let n = List.length records in
-  match int_of_string_opt sel with
-  | Some i ->
-    let idx = if i < 0 then n + i else i in
-    if idx >= 0 && idx < n then Ok (List.nth records idx)
-    else
-      Error
-        (Printf.sprintf "run %s out of range (ledger has %d record%s)" sel n
-           (if n = 1 then "" else "s"))
-  | None -> (
+  let by_prefix ~fallback =
     let prefix_of r =
       String.length r.id >= String.length sel
       && String.sub r.id 0 (String.length sel) = sel
     in
     match List.filter prefix_of records with
     | [ r ] -> Ok r
-    | [] -> Error (Printf.sprintf "no run with id prefix %S" sel)
-    | _ :: _ -> Error (Printf.sprintf "run id prefix %S is ambiguous" sel))
+    | [] -> Error (fallback ())
+    | _ :: _ -> Error (Printf.sprintf "run id prefix %S is ambiguous" sel)
+  in
+  match int_of_string_opt sel with
+  | Some i ->
+    let idx = if i < 0 then n + i else i in
+    if idx >= 0 && idx < n then Ok (List.nth records idx)
+    else
+      (* Ids are random hex, so an all-digit selector ("914236") can also
+         be an id prefix; an index that cannot resolve falls back to
+         prefix matching rather than refusing outright. *)
+      by_prefix ~fallback:(fun () ->
+          Printf.sprintf "run %s out of range (ledger has %d record%s)" sel n
+            (if n = 1 then "" else "s"))
+  | None ->
+    by_prefix ~fallback:(fun () ->
+        Printf.sprintf "no run with id prefix %S" sel)

@@ -88,7 +88,9 @@ val load : dir:string -> (record list, string) result
 
 val select : record list -> string -> (record, string) result
 (** Resolve a RUN selector: an integer index ([0] oldest, [-1] newest) or
-    a unique [id] prefix. *)
+    a unique [id] prefix.  An in-range index wins; an all-digit selector
+    that is out of range as an index (ids are random hex, so a prefix can
+    be purely numeric) is retried as an id prefix. *)
 
 val to_json : record -> Json.t
 val of_json : Json.t -> (record, string) result

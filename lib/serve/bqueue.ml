@@ -1,0 +1,50 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Bqueue.create: cap must be >= 1";
+  {
+    capacity = cap;
+    q = Queue.create ();
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    is_closed = false;
+  }
+
+let try_push t x =
+  Mutex.protect t.lock (fun () ->
+      if t.is_closed then `Closed
+      else if Queue.length t.q >= t.capacity then `Full
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.not_empty;
+        `Ok
+      end)
+
+let pop t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.not_empty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      if not t.is_closed then begin
+        t.is_closed <- true;
+        Condition.broadcast t.not_empty
+      end)
+
+let closed t = Mutex.protect t.lock (fun () -> t.is_closed)
+let length t = Mutex.protect t.lock (fun () -> Queue.length t.q)
+let cap t = t.capacity

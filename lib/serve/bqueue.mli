@@ -1,0 +1,31 @@
+(** A bounded multi-producer multi-consumer queue that sheds instead of
+    blocking producers.
+
+    This is the server's admission control: connection threads
+    [try_push] — a full queue is an immediate, non-blocking [`Full]
+    (turned into a typed [overloaded] response), never an unbounded
+    buffer or a blocked reader.  Worker domains [pop], blocking until
+    work arrives or the queue is closed and drained.
+
+    Domain-safe: stdlib [Mutex]/[Condition] coordinate producers on
+    connection threads with consumers on worker domains. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** @raise Invalid_argument if [cap < 1]. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available ([Some]) or the queue is closed
+    {e and} empty ([None] — consumers drain queued work before exiting). *)
+
+val close : 'a t -> unit
+(** Idempotent.  Producers get [`Closed] from then on; blocked consumers
+    wake up and drain. *)
+
+val closed : 'a t -> bool
+val length : 'a t -> int
+val cap : 'a t -> int

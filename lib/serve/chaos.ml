@@ -1,0 +1,47 @@
+module Rng = Aging_util.Rng
+
+type action =
+  | Pass
+  | Kill_worker
+  | Crash_handler
+  | Slow of float
+
+type t = {
+  kill_rate : float;
+  crash_rate : float;
+  slow_rate : float;
+  slow_s : float;
+  seed : int;
+}
+
+let none = { kill_rate = 0.; crash_rate = 0.; slow_rate = 0.; slow_s = 0.; seed = 0 }
+
+let is_none t =
+  t.kill_rate = 0. && t.crash_rate = 0. && t.slow_rate = 0.
+
+let validated t =
+  let rate name r =
+    if r < 0. || r > 1. || Float.is_nan r then
+      invalid_arg (Printf.sprintf "Chaos: %s must be in [0, 1]" name)
+  in
+  rate "kill_rate" t.kill_rate;
+  rate "crash_rate" t.crash_rate;
+  rate "slow_rate" t.slow_rate;
+  if t.slow_s < 0. then invalid_arg "Chaos: slow_s must be >= 0";
+  t
+
+let decide t ~request_id =
+  if is_none t then Pass
+  else begin
+    (* One substream per request id: the verdict depends only on
+       (seed, request_id), never on which worker got the job or when. *)
+    let rng = Rng.create (Rng.derive (Int64.of_int t.seed) (request_id + 1)) in
+    let u = Rng.float rng in
+    if u < t.kill_rate then Kill_worker
+    else if u < t.kill_rate +. t.crash_rate then Crash_handler
+    else if u < t.kill_rate +. t.crash_rate +. t.slow_rate then Slow t.slow_s
+    else Pass
+  end
+
+exception Chaos_kill
+exception Chaos_crash

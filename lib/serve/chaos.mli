@@ -1,0 +1,39 @@
+(** Deterministic fault injection for the service layer.
+
+    The service-side sibling of the characterization pipeline's [Faulty]
+    backend: a chaos policy makes the server sabotage a seeded,
+    reproducible fraction of requests — kill the executing worker domain
+    (exercising the supervisor restart), raise inside the handler
+    (exercising per-request crash isolation), or stall before replying
+    (exercising deadlines and backpressure).  The decision is a pure
+    function of [(seed, request id)], so a chaos soak replays exactly
+    under a fixed seed no matter how requests interleave over workers. *)
+
+type action =
+  | Pass
+  | Kill_worker   (** the worker domain dies; the supervisor must restart *)
+  | Crash_handler (** the handler raises; isolated to a typed [internal] *)
+  | Slow of float (** stall that many seconds before executing *)
+
+type t = {
+  kill_rate : float;   (** fraction of requests that kill their worker *)
+  crash_rate : float;  (** fraction that raise inside the handler *)
+  slow_rate : float;   (** fraction stalled by [slow_s] *)
+  slow_s : float;
+  seed : int;
+}
+
+val none : t
+val is_none : t -> bool
+
+val validated : t -> t
+(** @raise Invalid_argument if a rate is outside [0, 1] or [slow_s < 0]. *)
+
+val decide : t -> request_id:int -> action
+(** Deterministic per [(seed, request_id)]. *)
+
+exception Chaos_kill
+(** Raised by the worker loop to simulate a worker-domain death. *)
+
+exception Chaos_crash
+(** Raised inside the request handler to simulate a handler bug. *)

@@ -1,0 +1,125 @@
+module Json = Aging_obs.Json
+module Retry = Aging_util.Retry
+
+type addr = [ `Unix of string | `Tcp of int ]
+
+type error =
+  | Transport of string
+  | Refused of Protocol.error_code * string
+  | Garbled of string
+
+let error_to_string = function
+  | Transport msg -> "transport: " ^ msg
+  | Refused (code, msg) ->
+    Printf.sprintf "refused (%s): %s" (Protocol.error_code_to_string code) msg
+  | Garbled msg -> "garbled reply: " ^ msg
+
+let retryable = function
+  | Transport _ -> true
+  | Refused ((Protocol.Overloaded | Protocol.Timeout | Protocol.Internal), _)
+    -> true
+  | Refused ((Protocol.Bad_request | Protocol.Shutting_down), _) -> false
+  | Garbled _ -> false
+
+type t = { fd : Unix.file_descr; mutable next_id : int }
+
+let connect (addr : addr) =
+  let sockaddr, domain =
+    match addr with
+    | `Unix path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | `Tcp port ->
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, port), Unix.PF_INET)
+  in
+  match
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | fd -> Ok { fd; next_id = 0 }
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Bound the local wait for a reply: a request with a deadline must fail
+   with a client-side transport timeout even if the server never answers
+   (e.g. every worker just died).  Slack covers the reaper's poll period
+   and the frame round-trip. *)
+let reply_slack = 1.0
+
+let wait_readable fd timeout_s =
+  let rec go deadline =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then false
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> go deadline
+      | _ :: _, _, _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go deadline
+  in
+  go (Unix.gettimeofday () +. timeout_s)
+
+let call ?id ?deadline_s t req =
+  let id =
+    match id with
+    | Some i -> i
+    | None ->
+      let i = t.next_id in
+      t.next_id <- i + 1;
+      i
+  in
+  let meta = { Protocol.id = Some id; deadline_s } in
+  match Frame.write t.fd (Protocol.request_to_json ~meta req) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport (Unix.error_message e))
+  | () ->
+    let ready =
+      match deadline_s with
+      | None -> true
+      | Some d -> wait_readable t.fd (d +. reply_slack)
+    in
+    if not ready then Error (Transport "no reply before deadline")
+    else begin
+      match Frame.read t.fd with
+      | Error e -> Error (Transport (Frame.error_to_string e))
+      | Ok json -> begin
+        match Protocol.response_of_json json with
+        | Error msg -> Error (Garbled msg)
+        | Ok (reply_id, _) when reply_id <> Some id ->
+          (* One request in flight per call: an id mismatch means the
+             stream is desynchronized (e.g. a stale reply). *)
+          Error (Garbled "response id mismatch")
+        | Ok (_, Protocol.Reply data) -> Ok data
+        | Ok (_, Protocol.Refused { code; message }) ->
+          Error (Refused (code, message))
+      end
+    end
+
+(* [with_backoff] has no fail-fast channel; a non-retryable error escapes
+   the retry loop as an exception and is repackaged as exhaustion below. *)
+exception Give_up of error
+
+let request ?(backoff = Retry.default_backoff) ?rng ?sleep ?deadline_s addr req
+    =
+  let seen = ref [] in
+  let attempt_once ~attempt =
+    match connect addr with
+    | Error e ->
+      seen := e :: !seen;
+      Error e
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> close conn)
+        (fun () ->
+          match call ~id:attempt ?deadline_s conn req with
+          | Ok data -> Ok data
+          | Error e when retryable e ->
+            seen := e :: !seen;
+            Error e
+          | Error e -> raise (Give_up e))
+  in
+  try Retry.with_backoff ?sleep ?rng backoff attempt_once
+  with Give_up e -> Retry.Exhausted (List.rev (e :: !seen))

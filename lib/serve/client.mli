@@ -1,0 +1,50 @@
+(** Client side of the aging-analysis service: [relaware query].
+
+    A {!t} is one connection; {!call} is one framed round-trip.
+    {!request} is the robust path: capped exponential backoff with
+    deterministic seeded jitter ({!Aging_util.Retry.with_backoff}),
+    reconnecting on transport failure and retrying the refusals that are
+    transient by contract ([overloaded], [timeout], [internal]) while
+    failing fast on the ones that are not ([bad_request],
+    [shutting_down]). *)
+
+type addr = [ `Unix of string | `Tcp of int ]
+
+type error =
+  | Transport of string
+      (** connect/read/write failure, or the server closed mid-exchange *)
+  | Refused of Protocol.error_code * string
+      (** typed refusal from the server *)
+  | Garbled of string
+      (** the reply frame did not parse as a protocol response *)
+
+val error_to_string : error -> string
+
+val retryable : error -> bool
+(** [Transport], [Refused Overloaded], [Refused Timeout] and
+    [Refused Internal] are worth retrying; [Bad_request], [Shutting_down]
+    and [Garbled] are not. *)
+
+type t
+
+val connect : addr -> (t, error) result
+val close : t -> unit
+
+val call :
+  ?id:int -> ?deadline_s:float -> t -> Protocol.request ->
+  (Aging_obs.Json.t, error) result
+(** One round-trip on an open connection.  [deadline_s] both travels in
+    the request (server-side deadline) and bounds the local wait for the
+    reply (plus slack), so a killed worker cannot hang the client. *)
+
+val request :
+  ?backoff:Aging_util.Retry.backoff ->
+  ?rng:Aging_util.Rng.t ->
+  ?sleep:(float -> unit) ->
+  ?deadline_s:float ->
+  addr ->
+  Protocol.request ->
+  (Aging_obs.Json.t, error) Aging_util.Retry.outcome
+(** Connect-call-close per attempt under the backoff policy (default
+    {!Aging_util.Retry.default_backoff}).  [rng] seeds the jitter:
+    a fixed seed yields a bit-identical retry schedule. *)

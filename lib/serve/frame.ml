@@ -1,0 +1,68 @@
+module Json = Aging_obs.Json
+
+type error =
+  | Closed
+  | Oversized of int
+  | Malformed of string
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Oversized n -> Printf.sprintf "frame length %d exceeds the limit" n
+  | Malformed msg -> "malformed payload: " ^ msg
+
+let default_max_frame = 4 * 1024 * 1024
+
+(* Reads exactly [len] bytes, restarting on EINTR; [false] on EOF.  Any
+   other transport error is also "the peer is gone" from the framing
+   layer's point of view. *)
+let rec read_exact fd buf off len =
+  if len = 0 then true
+  else
+    match Unix.read fd buf off len with
+    | 0 -> false
+    | n -> read_exact fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf off len
+
+let read ?(max_frame = default_max_frame) fd =
+  try
+    let hdr = Bytes.create 4 in
+    match read_exact fd hdr 0 4 with
+    | false -> Error Closed
+    | true ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len <= 0 || len > max_frame then Error (Oversized len)
+      else begin
+        let payload = Bytes.create len in
+        match read_exact fd payload 0 len with
+        | false -> Error Closed
+        | true -> begin
+          match Json.of_string (Bytes.unsafe_to_string payload) with
+          | json -> Ok json
+          | exception Json.Parse_error msg -> Error (Malformed msg)
+        end
+      end
+  with Unix.Unix_error (_, _, _) -> Error Closed
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_raw fd s =
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let write fd json =
+  let payload = Json.to_string json in
+  let len = String.length payload in
+  (* One contiguous buffer, one write path: interleaving header and payload
+     writes from concurrent repliers is prevented by the caller's
+     per-connection lock, but a single buffer also keeps a crash between
+     the two halves from ever emitting a headerless payload. *)
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  write_all fd buf 0 (4 + len)

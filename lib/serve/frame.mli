@@ -1,0 +1,39 @@
+(** Length-prefixed JSON frames over a file descriptor.
+
+    The wire format of the [relaware serve] protocol: a 4-byte big-endian
+    payload length followed by that many bytes of JSON ({!Aging_obs.Json}).
+    Framing is the service's first line of defense — a reader can always
+    tell a complete message from a truncated one, reject an absurd length
+    before allocating, and distinguish "payload is garbage" (connection
+    still usable: the stream is aligned on the next frame) from "stream is
+    garbage" (hang up). *)
+
+type error =
+  | Closed
+      (** EOF or a transport error before a complete frame arrived *)
+  | Oversized of int
+      (** declared payload length exceeds the limit; the stream can no
+          longer be trusted to be frame-aligned — close the connection *)
+  | Malformed of string
+      (** a complete frame arrived but its payload is not valid JSON; the
+          stream {e is} still frame-aligned — reply and keep reading *)
+
+val error_to_string : error -> string
+
+val default_max_frame : int
+(** 4 MiB: generous for query traffic, small enough that a corrupt length
+    prefix cannot make the server allocate gigabytes. *)
+
+val read :
+  ?max_frame:int -> Unix.file_descr -> (Aging_obs.Json.t, error) result
+(** Blocking read of one complete frame (restarting on [EINTR]). *)
+
+val write : Unix.file_descr -> Aging_obs.Json.t -> unit
+(** Blocking write of one complete frame.
+    @raise Unix.Unix_error when the peer is gone ([EPIPE] & co). *)
+
+val write_raw : Unix.file_descr -> string -> unit
+(** Writes bytes verbatim — {e no} framing.  This exists for the chaos
+    harness, which injects corrupt frames (bogus lengths, truncated
+    payloads, non-JSON bytes) to prove the server sheds them without
+    crashing.  Not used by well-behaved clients. *)

@@ -1,0 +1,184 @@
+module Json = Aging_obs.Json
+module Scenario = Aging_physics.Scenario
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Sleep of float
+  | Crash
+  | Guardband of { design : string; corner : Scenario.corner }
+  | Delay of {
+      cell : string;
+      corner : Scenario.corner;
+      slew : float option;
+      load : float option;
+    }
+
+type error_code =
+  | Overloaded
+  | Timeout
+  | Bad_request
+  | Internal
+  | Shutting_down
+
+type response =
+  | Reply of Json.t
+  | Refused of { code : error_code; message : string }
+
+type meta = { id : int option; deadline_s : float option }
+
+let no_meta = { id = None; deadline_s = None }
+
+let error_code_to_string = function
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Bad_request -> "bad_request"
+  | Internal -> "internal"
+  | Shutting_down -> "shutting_down"
+
+let error_code_of_string = function
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "bad_request" -> Some Bad_request
+  | "internal" -> Some Internal
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
+let request_op = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+  | Sleep _ -> "sleep"
+  | Crash -> "crash"
+  | Guardband _ -> "guardband"
+  | Delay _ -> "delay"
+
+(* Corners serialize as their two lambdas; [Json.of_float] keeps the exact
+   values (17 significant digits), matching the exact-lambda cache keys
+   downstream. *)
+let corner_fields (c : Scenario.corner) =
+  [ ("lambda_p", Json.of_float c.Scenario.lambda_p);
+    ("lambda_n", Json.of_float c.Scenario.lambda_n) ]
+
+let request_to_json ?(meta = no_meta) req =
+  let meta_fields =
+    (match meta.id with Some id -> [ ("id", Json.Int id) ] | None -> [])
+    @
+    match meta.deadline_s with
+    | Some d -> [ ("deadline_s", Json.of_float d) ]
+    | None -> []
+  in
+  let op name fields = Json.Obj (("op", Json.String name) :: meta_fields @ fields) in
+  match req with
+  | Ping -> op "ping" []
+  | Stats -> op "stats" []
+  | Shutdown -> op "shutdown" []
+  | Sleep s -> op "sleep" [ ("seconds", Json.of_float s) ]
+  | Crash -> op "crash" []
+  | Guardband { design; corner } ->
+    op "guardband" (("design", Json.String design) :: corner_fields corner)
+  | Delay { cell; corner; slew; load } ->
+    op "delay"
+      (("cell", Json.String cell)
+      :: corner_fields corner
+      @ (match slew with Some s -> [ ("slew", Json.of_float s) ] | None -> [])
+      @ match load with Some l -> [ ("load", Json.of_float l) ] | None -> [])
+
+let float_member name json = Option.bind (Json.member name json) Json.to_float
+
+let string_member name json =
+  match Json.member name json with Some (Json.String s) -> Some s | _ -> None
+
+let corner_of_json json =
+  match (float_member "lambda_p" json, float_member "lambda_n" json) with
+  | Some lambda_p, Some lambda_n -> begin
+    match Scenario.corner ~lambda_p ~lambda_n with
+    | c -> Ok c
+    | exception Invalid_argument msg -> Error msg
+  end
+  | None, _ -> Error "missing lambda_p"
+  | _, None -> Error "missing lambda_n"
+
+let request_of_json json =
+  let meta =
+    {
+      id = (match Json.member "id" json with Some (Json.Int i) -> Some i | _ -> None);
+      deadline_s = float_member "deadline_s" json;
+    }
+  in
+  let with_corner k =
+    match corner_of_json json with Ok c -> k c | Error msg -> Error msg
+  in
+  let req =
+    match string_member "op" json with
+    | None -> Error "missing op"
+    | Some "ping" -> Ok Ping
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some "crash" -> Ok Crash
+    | Some "sleep" -> begin
+      match float_member "seconds" json with
+      | Some s when s >= 0. && s < 3600. -> Ok (Sleep s)
+      | Some _ -> Error "sleep: seconds out of range"
+      | None -> Error "sleep: missing seconds"
+    end
+    | Some "guardband" -> begin
+      match string_member "design" json with
+      | Some design -> with_corner (fun corner -> Ok (Guardband { design; corner }))
+      | None -> Error "guardband: missing design"
+    end
+    | Some "delay" -> begin
+      match string_member "cell" json with
+      | Some cell ->
+        with_corner (fun corner ->
+            Ok
+              (Delay
+                 {
+                   cell;
+                   corner;
+                   slew = float_member "slew" json;
+                   load = float_member "load" json;
+                 }))
+      | None -> Error "delay: missing cell"
+    end
+    | Some other -> Error ("unknown op " ^ other)
+  in
+  Result.map (fun r -> (meta, r)) req
+
+let response_to_json ?id resp =
+  let id_field = match id with Some i -> [ ("id", Json.Int i) ] | None -> [] in
+  match resp with
+  | Reply data ->
+    Json.Obj ((("status", Json.String "ok") :: id_field) @ [ ("data", data) ])
+  | Refused { code; message } ->
+    Json.Obj
+      ((("status", Json.String "error") :: id_field)
+      @ [
+          ("code", Json.String (error_code_to_string code));
+          ("message", Json.String message);
+        ])
+
+let response_of_json json =
+  let id =
+    match Json.member "id" json with Some (Json.Int i) -> Some i | _ -> None
+  in
+  match string_member "status" json with
+  | Some "ok" -> begin
+    match Json.member "data" json with
+    | Some data -> Ok (id, Reply data)
+    | None -> Error "ok response without data"
+  end
+  | Some "error" -> begin
+    match string_member "code" json with
+    | Some code_s -> begin
+      match error_code_of_string code_s with
+      | Some code ->
+        let message = Option.value ~default:"" (string_member "message" json) in
+        Ok (id, Refused { code; message })
+      | None -> Error ("unknown error code " ^ code_s)
+    end
+    | None -> Error "error response without code"
+  end
+  | Some other -> Error ("unknown status " ^ other)
+  | None -> Error "missing status"

@@ -1,0 +1,66 @@
+(** Typed requests and responses of the aging-analysis service.
+
+    Every message is one JSON frame ({!Frame}).  Requests carry an ["op"]
+    tag plus operands; responses are either a ["status": "ok"] reply with a
+    data object or a ["status": "error"] refusal with a {e typed} code —
+    overload shedding, deadline expiry and drain are protocol-visible
+    outcomes a client can react to (back off, retry, go away), never hangs
+    or closed sockets.
+
+    An optional client-chosen [id] is echoed verbatim in the response, and
+    an optional per-request [deadline_s] overrides the server's default
+    deadline. *)
+
+type request =
+  | Ping  (** trivial round-trip; the canonical liveness/queue probe *)
+  | Stats
+      (** health endpoint: served out-of-band (never queued), so it
+          answers even when the request queue is saturated *)
+  | Shutdown  (** ask the server to drain gracefully and exit *)
+  | Sleep of float
+      (** diagnostics: hold a worker busy for that many seconds — how the
+          tests and the chaos soak create controlled backlog *)
+  | Crash
+      (** diagnostics: kill the executing worker domain, exercising the
+          supervisor's restart path *)
+  | Guardband of { design : string; corner : Aging_physics.Scenario.corner }
+      (** aging guardband of a named benchmark design at a corner *)
+  | Delay of {
+      cell : string;
+      corner : Aging_physics.Scenario.corner;
+      slew : float option;  (** default: the library axes' middle slew *)
+      load : float option;  (** default: the library axes' middle load *)
+    }
+      (** worst arc delay of one cell at a corner — the small repeated
+          lookup a resident service amortizes *)
+
+type error_code =
+  | Overloaded      (** request queue full; back off and retry *)
+  | Timeout         (** deadline expired before a worker finished it *)
+  | Bad_request     (** unparseable or invalid operands *)
+  | Internal        (** handler raised; the worker survived *)
+  | Shutting_down   (** draining: in-flight work finishes, new work refused *)
+
+type response =
+  | Reply of Aging_obs.Json.t
+  | Refused of { code : error_code; message : string }
+
+type meta = {
+  id : int option;          (** client correlation id, echoed back *)
+  deadline_s : float option;  (** per-request deadline override *)
+}
+
+val no_meta : meta
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val request_to_json : ?meta:meta -> request -> Aging_obs.Json.t
+val request_of_json : Aging_obs.Json.t -> (meta * request, string) result
+
+val response_to_json : ?id:int -> response -> Aging_obs.Json.t
+val response_of_json :
+  Aging_obs.Json.t -> (int option * response, string) result
+
+val request_op : request -> string
+(** The ["op"] tag, for logging and metrics labels. *)

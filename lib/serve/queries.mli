@@ -1,0 +1,32 @@
+(** The aging-analysis request handler behind {!Server}.
+
+    Wraps a {!Aging_core.Degradation_library.t} (bounded LRU memo, so a
+    resident daemon serving arbitrary corners stays bounded in memory)
+    plus the benchmark design catalog, and evaluates one
+    {!Protocol.request} to a JSON payload or a typed error.  Pure with
+    respect to the server: no sockets, no threads — directly unit-testable
+    and reusable by the CLI. *)
+
+type t
+
+val create :
+  ?backend:Aging_liberty.Characterize.backend ->
+  ?cells:Aging_cells.Cell.t list ->
+  ?axes:Aging_liberty.Axes.t ->
+  ?years:float ->
+  ?cache_dir:string ->
+  ?jobs:int ->
+  ?memo_cap:int ->
+  unit ->
+  t
+(** Same knobs (and defaults) as {!Aging_core.Degradation_library.create}. *)
+
+val deglib : t -> Aging_core.Degradation_library.t
+
+val handle :
+  t -> Protocol.request -> (Aging_obs.Json.t, Protocol.error_code * string) result
+(** Evaluate one request.  [Guardband] for an unknown design and [Delay]
+    for an unknown cell are [Bad_request].  [Crash] raises
+    {!Chaos.Chaos_kill}: the server's worker loop replies with a typed
+    [internal] error and then lets the exception take the worker domain
+    down, exercising the supervisor's restart path end to end. *)

@@ -1,0 +1,535 @@
+module Json = Aging_obs.Json
+module Metrics = Aging_obs.Metrics
+module Log = Aging_obs.Log
+
+type config = {
+  addr : [ `Unix of string | `Tcp of int ];
+  workers : int;
+  queue_cap : int;
+  default_deadline_s : float option;
+  drain_timeout_s : float;
+  max_frame : int;
+  chaos : Chaos.t;
+}
+
+let default_config =
+  {
+    addr = `Unix "relaware.sock";
+    workers = 2;
+    queue_cap = 64;
+    default_deadline_s = None;
+    drain_timeout_s = 5.;
+    max_frame = Frame.default_max_frame;
+    chaos = Chaos.none;
+  }
+
+type handler =
+  Protocol.request -> (Json.t, Protocol.error_code * string) result
+
+(* ---- metrics (registered once per process) ---- *)
+
+let m_accepted = Metrics.counter "serve.connections"
+let m_requests = Metrics.counter "serve.requests"
+let m_ok = Metrics.counter "serve.replies_ok"
+let m_overloaded = Metrics.counter "serve.refused_overloaded"
+let m_timeout = Metrics.counter "serve.refused_timeout"
+let m_bad_request = Metrics.counter "serve.refused_bad_request"
+let m_internal = Metrics.counter "serve.refused_internal"
+let m_shutting_down = Metrics.counter "serve.refused_shutting_down"
+let m_restarts = Metrics.counter "serve.worker_restarts"
+let m_bad_frames = Metrics.counter "serve.bad_frames"
+
+(* Queue-to-reply latency of queued (data-plane) requests. *)
+let m_latency = Metrics.histogram "serve.request_s"
+
+let count_refusal = function
+  | Protocol.Overloaded -> Metrics.incr m_overloaded
+  | Protocol.Timeout -> Metrics.incr m_timeout
+  | Protocol.Bad_request -> Metrics.incr m_bad_request
+  | Protocol.Internal -> Metrics.incr m_internal
+  | Protocol.Shutting_down -> Metrics.incr m_shutting_down
+
+(* ---- core records ---- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  write_lock : Mutex.t;  (* serializes frame writes: conn thread, workers, reaper *)
+  mutable thread : Thread.t option;
+  conn_id : int;
+}
+
+type job = {
+  job_id : int;              (* server-side sequence; keys chaos decisions *)
+  req : Protocol.request;
+  client_id : int option;    (* echoed correlation id *)
+  deadline : float option;   (* absolute Unix time *)
+  job_conn : conn;
+  enqueued_at : float;
+  replied : bool Atomic.t;   (* claimed by exactly one of worker / reaper *)
+}
+
+type state = Running | Draining | Stopped
+
+type t = {
+  cfg : config;
+  handler : handler;
+  listener : Unix.file_descr;
+  sock_path : string option;          (* unlink on teardown *)
+  queue : job Bqueue.t;
+  deaths : (int * exn option) Bqueue.t;
+  slots : unit Domain.t option array; (* touched only by spawn order:
+                                         start -> supervisor -> teardown *)
+  jobs_lock : Mutex.t;
+  inflight : (int, job) Hashtbl.t;    (* admitted, not yet replied *)
+  conns_lock : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  state : state Atomic.t;
+  stop_flag : bool Atomic.t;
+  stop_pipe_r : Unix.file_descr;
+  stop_pipe_w : Unix.file_descr;
+  reaper_stop : bool Atomic.t;
+  next_job : int Atomic.t;
+  next_conn : int Atomic.t;
+  started_at : float;
+  mutable accept_thread : Thread.t option;
+  mutable supervisor : Thread.t option;
+  mutable reaper : Thread.t option;
+}
+
+let running t = Atomic.get t.state = Running
+
+let worker_restarts _t = Metrics.value m_restarts
+
+(* ---- replies ---- *)
+
+(* Writing a response must never take a server lock other than the
+   connection's own write lock, and must never raise: a client that
+   vanished mid-reply is not an error the server cares about. *)
+let send_response conn ?id resp =
+  (match resp with
+  | Protocol.Reply _ -> Metrics.incr m_ok
+  | Protocol.Refused { code; _ } -> count_refusal code);
+  let json = Protocol.response_to_json ?id resp in
+  Mutex.protect conn.write_lock (fun () ->
+      try Frame.write conn.fd json
+      with Unix.Unix_error _ | Sys_error _ -> ())
+
+let refuse conn ?id code message =
+  send_response conn ?id (Protocol.Refused { code; message })
+
+(* Claim the right to answer [job]; at most one caller ever wins.  The
+   winner also owns the latency observation. *)
+let claim job =
+  let won = Atomic.compare_and_set job.replied false true in
+  if won then
+    Metrics.observe m_latency (Unix.gettimeofday () -. job.enqueued_at);
+  won
+
+let unregister t job =
+  Mutex.protect t.jobs_lock (fun () -> Hashtbl.remove t.inflight job.job_id)
+
+let inflight_count t =
+  Mutex.protect t.jobs_lock (fun () -> Hashtbl.length t.inflight)
+
+(* ---- stats ---- *)
+
+let state_name = function
+  | Running -> "running"
+  | Draining -> "draining"
+  | Stopped -> "stopped"
+
+let stats_json t =
+  Json.Obj
+    [
+      ("state", Json.String (state_name (Atomic.get t.state)));
+      ("uptime_s", Json.of_float (Unix.gettimeofday () -. t.started_at));
+      ("workers", Json.Int t.cfg.workers);
+      ("queue_length", Json.Int (Bqueue.length t.queue));
+      ("queue_cap", Json.Int t.cfg.queue_cap);
+      ("inflight", Json.Int (inflight_count t));
+      ("metrics", Metrics.to_json ());
+    ]
+
+(* ---- worker domains ---- *)
+
+let execute t job =
+  (* The reaper may already have claimed (and answered) this job while it
+     sat in the queue: cancelled work costs a hashtable probe, not a
+     handler run. *)
+  if Atomic.get job.replied then unregister t job
+  else begin
+    let chaos_action = Chaos.decide t.cfg.chaos ~request_id:job.job_id in
+    (match chaos_action with
+    | Chaos.Slow s -> Unix.sleepf s
+    | _ -> ());
+    let expired =
+      match job.deadline with
+      | Some d -> Unix.gettimeofday () > d
+      | None -> false
+    in
+    if expired then begin
+      if claim job then begin
+        unregister t job;
+        refuse job.job_conn ?id:job.client_id Protocol.Timeout
+          "deadline expired before execution"
+      end
+      else unregister t job
+    end
+    else begin
+      let finish resp =
+        if claim job then begin
+          unregister t job;
+          send_response job.job_conn ?id:job.client_id resp
+        end
+        else unregister t job
+      in
+      match
+        (match chaos_action with
+        | Chaos.Kill_worker -> raise Chaos.Chaos_kill
+        | Chaos.Crash_handler -> raise Chaos.Chaos_crash
+        | Chaos.Pass | Chaos.Slow _ -> t.handler job.req)
+      with
+      | Ok data -> finish (Protocol.Reply data)
+      | Error (code, message) -> finish (Protocol.Refused { code; message })
+      | exception Chaos.Chaos_kill ->
+        (* Answer first, then die: the client sees a typed error while the
+           supervisor replaces the worker. *)
+        finish
+          (Protocol.Refused
+             { code = Protocol.Internal; message = "worker killed" });
+        raise Chaos.Chaos_kill
+      | exception e ->
+        finish
+          (Protocol.Refused
+             { code = Protocol.Internal; message = Printexc.to_string e })
+    end
+  end
+
+let worker_body t wid () =
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> ()  (* queue closed and drained *)
+    | Some job ->
+      execute t job;
+      loop ()
+  in
+  match loop () with
+  | () -> ignore (Bqueue.try_push t.deaths (wid, None))
+  | exception e -> ignore (Bqueue.try_push t.deaths (wid, Some e))
+
+let spawn_worker t wid = Domain.spawn (worker_body t wid)
+
+(* The supervisor is the only mutator of [slots] after startup; teardown
+   reads them only after joining it, so no lock is needed. *)
+let supervisor_body t () =
+  let rec loop () =
+    match Bqueue.pop t.deaths with
+    | None -> ()
+    | Some (wid, reason) ->
+      (match t.slots.(wid) with
+      | Some d -> Domain.join d
+      | None -> ());
+      (match reason with
+      | Some e when not (Bqueue.closed t.queue) ->
+        Metrics.incr m_restarts;
+        Log.warnf "serve" "worker %d died (%s); respawning" wid
+          (Printexc.to_string e);
+        t.slots.(wid) <- Some (spawn_worker t wid)
+      | Some e ->
+        Log.warnf "serve" "worker %d died during drain (%s)" wid
+          (Printexc.to_string e);
+        t.slots.(wid) <- None
+      | None -> t.slots.(wid) <- None);
+      loop ()
+  in
+  loop ()
+
+(* ---- reaper ---- *)
+
+let reaper_body t () =
+  let period = 0.002 in
+  let rec loop () =
+    if Atomic.get t.reaper_stop then ()
+    else begin
+      let now = Unix.gettimeofday () in
+      let expired =
+        Mutex.protect t.jobs_lock (fun () ->
+            let acc = ref [] in
+            Hashtbl.iter
+              (fun _ job ->
+                match job.deadline with
+                | Some d when now > d ->
+                  if claim job then acc := job :: !acc
+                | _ -> ())
+              t.inflight;
+            List.iter
+              (fun job -> Hashtbl.remove t.inflight job.job_id)
+              !acc;
+            !acc)
+      in
+      (* Replies happen after jobs_lock is released: the write path only
+         ever holds the connection's write lock. *)
+      List.iter
+        (fun job ->
+          refuse job.job_conn ?id:job.client_id Protocol.Timeout
+            "deadline expired")
+        expired;
+      Unix.sleepf period;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---- connection threads ---- *)
+
+let admit t conn meta req =
+  let job_id = Atomic.fetch_and_add t.next_job 1 in
+  let deadline_s =
+    match meta.Protocol.deadline_s with
+    | Some _ as d -> d
+    | None -> t.cfg.default_deadline_s
+  in
+  let deadline =
+    Option.map (fun d -> Unix.gettimeofday () +. d) deadline_s
+  in
+  let job =
+    {
+      job_id;
+      req;
+      client_id = meta.Protocol.id;
+      deadline;
+      job_conn = conn;
+      enqueued_at = Unix.gettimeofday ();
+      replied = Atomic.make false;
+    }
+  in
+  Mutex.protect t.jobs_lock (fun () -> Hashtbl.replace t.inflight job_id job);
+  match Bqueue.try_push t.queue job with
+  | `Ok -> ()
+  | `Full ->
+    unregister t job;
+    refuse conn ?id:meta.Protocol.id Protocol.Overloaded
+      (Printf.sprintf "request queue full (cap %d)" t.cfg.queue_cap)
+  | `Closed ->
+    unregister t job;
+    refuse conn ?id:meta.Protocol.id Protocol.Shutting_down "server draining"
+
+let handle_frame t conn json stop_self =
+  match Protocol.request_of_json json with
+  | Error msg -> refuse conn Protocol.Bad_request msg
+  | Ok (meta, req) -> begin
+    Metrics.incr m_requests;
+    match req with
+    (* Control-plane requests never touch the queue: liveness and drain
+       must work precisely when the data plane is saturated. *)
+    | Protocol.Ping ->
+      send_response conn ?id:meta.Protocol.id
+        (Protocol.Reply (Json.Obj [ ("pong", Json.Bool true) ]))
+    | Protocol.Stats ->
+      send_response conn ?id:meta.Protocol.id (Protocol.Reply (stats_json t))
+    | Protocol.Shutdown ->
+      send_response conn ?id:meta.Protocol.id
+        (Protocol.Reply (Json.Obj [ ("draining", Json.Bool true) ]));
+      stop_self ()
+    | Protocol.Sleep _ | Protocol.Crash | Protocol.Guardband _
+    | Protocol.Delay _ ->
+      if Atomic.get t.state <> Running then
+        refuse conn ?id:meta.Protocol.id Protocol.Shutting_down
+          "server draining"
+      else admit t conn meta req
+  end
+
+let conn_body t conn stop_self () =
+  let rec loop () =
+    match Frame.read ~max_frame:t.cfg.max_frame conn.fd with
+    | Ok json ->
+      handle_frame t conn json stop_self;
+      loop ()
+    | Error (Frame.Malformed msg) ->
+      (* Payload garbage, but the stream is still frame-aligned. *)
+      Metrics.incr m_bad_frames;
+      refuse conn Protocol.Bad_request ("malformed payload: " ^ msg);
+      loop ()
+    | Error (Frame.Oversized n) ->
+      (* The length prefix itself is untrustworthy: answer and hang up. *)
+      Metrics.incr m_bad_frames;
+      refuse conn Protocol.Bad_request
+        (Printf.sprintf "frame of %d bytes exceeds limit %d" n
+           t.cfg.max_frame);
+      ()
+    | Error Frame.Closed -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect t.conns_lock (fun () ->
+          Hashtbl.remove t.conns conn.conn_id);
+      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    loop
+
+(* ---- lifecycle ---- *)
+
+let stop t =
+  (* Callable from a signal handler: no locks, no allocation-heavy work —
+     flip the flag and poke the self-pipe so the accept loop's select
+     returns. *)
+  if not (Atomic.exchange t.stop_flag true) then
+    try ignore (Unix.write t.stop_pipe_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let teardown t =
+  Atomic.set t.state Draining;
+  Log.infof "serve" "draining: refusing new work, finishing %d in flight"
+    (inflight_count t);
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  (match t.sock_path with
+  | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | None -> ());
+  (* Finish admitted work, bounded by the drain budget; the reaper keeps
+     expiring deadlines while we wait. *)
+  let drain_deadline = Unix.gettimeofday () +. t.cfg.drain_timeout_s in
+  let rec wait_drain () =
+    if inflight_count t > 0 && Unix.gettimeofday () < drain_deadline then begin
+      Unix.sleepf 0.005;
+      wait_drain ()
+    end
+  in
+  wait_drain ();
+  let abandoned = inflight_count t in
+  if abandoned > 0 then
+    Log.warnf "serve" "drain timeout: abandoning %d request(s)" abandoned;
+  (* Stop the data plane in dependency order: queue (workers run dry and
+     exit), deaths (supervisor drains pending notices and exits),
+     supervisor, then any worker slot the supervisor never processed. *)
+  Bqueue.close t.queue;
+  Bqueue.close t.deaths;
+  (match t.supervisor with Some th -> Thread.join th | None -> ());
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some d ->
+        Domain.join d;
+        t.slots.(i) <- None
+      | None -> ())
+    t.slots;
+  Atomic.set t.reaper_stop true;
+  (match t.reaper with Some th -> Thread.join th | None -> ());
+  (* Wake connection threads blocked in [Frame.read] and join them. *)
+  let live =
+    Mutex.protect t.conns_lock (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+  in
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    live;
+  List.iter
+    (fun c -> match c.thread with Some th -> Thread.join th | None -> ())
+    live;
+  (try Unix.close t.stop_pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_pipe_w with Unix.Unix_error _ -> ());
+  Atomic.set t.state Stopped;
+  Log.infof "serve" "stopped"
+
+let accept_body t () =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else begin
+      match Unix.select [ t.listener; t.stop_pipe_r ] [] [] 0.5 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        if Atomic.get t.stop_flag then ()
+        else if List.mem t.listener readable then begin
+          match Unix.accept t.listener with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error _ when Atomic.get t.stop_flag -> ()
+          | fd, _peer ->
+            Metrics.incr m_accepted;
+            let conn_id = Atomic.fetch_and_add t.next_conn 1 in
+            let conn =
+              { fd; write_lock = Mutex.create (); thread = None; conn_id }
+            in
+            Mutex.protect t.conns_lock (fun () ->
+                Hashtbl.replace t.conns conn_id conn);
+            let th = Thread.create (conn_body t conn (fun () -> stop t)) () in
+            conn.thread <- Some th;
+            loop ()
+        end
+        else loop ()
+    end
+  in
+  loop ();
+  teardown t
+
+let bind_listener addr =
+  match addr with
+  | `Unix path ->
+    if String.length path > 100 then
+      invalid_arg "Server.start: unix socket path too long (limit ~100)";
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Some path)
+  | `Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    (fd, None)
+
+let start ~handler cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.queue_cap < 1 then invalid_arg "Server.start: queue_cap must be >= 1";
+  if cfg.drain_timeout_s <= 0. then
+    invalid_arg "Server.start: drain_timeout_s must be > 0";
+  ignore (Chaos.validated cfg.chaos);
+  let listener, sock_path = bind_listener cfg.addr in
+  let stop_pipe_r, stop_pipe_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      handler;
+      listener;
+      sock_path;
+      queue = Bqueue.create ~cap:cfg.queue_cap;
+      (* Generous: must hold every death notice that can pile up while the
+         supervisor is busy joining. *)
+      deaths = Bqueue.create ~cap:(max 64 (cfg.workers * 16));
+      slots = Array.make cfg.workers None;
+      jobs_lock = Mutex.create ();
+      inflight = Hashtbl.create 64;
+      conns_lock = Mutex.create ();
+      conns = Hashtbl.create 16;
+      state = Atomic.make Running;
+      stop_flag = Atomic.make false;
+      stop_pipe_r;
+      stop_pipe_w;
+      reaper_stop = Atomic.make false;
+      next_job = Atomic.make 0;
+      next_conn = Atomic.make 0;
+      started_at = Unix.gettimeofday ();
+      accept_thread = None;
+      supervisor = None;
+      reaper = None;
+    }
+  in
+  for wid = 0 to cfg.workers - 1 do
+    t.slots.(wid) <- Some (spawn_worker t wid)
+  done;
+  t.supervisor <- Some (Thread.create (supervisor_body t) ());
+  t.reaper <- Some (Thread.create (reaper_body t) ());
+  t.accept_thread <- Some (Thread.create (accept_body t) ());
+  Log.infof "serve" "listening (%s), %d workers, queue %d"
+    (match cfg.addr with
+    | `Unix p -> "unix:" ^ p
+    | `Tcp p -> Printf.sprintf "tcp:%d" p)
+    cfg.workers cfg.queue_cap;
+  t
+
+let await t =
+  match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm handle;
+  Sys.set_signal Sys.sigint handle

@@ -1,0 +1,86 @@
+(** The resilient aging-analysis daemon.
+
+    Concurrency layout:
+
+    - one {e accept thread} (started by {!start}) owns the listening
+      socket and the shutdown state machine;
+    - one systhread per connection reads frames, answers [Ping] /
+      [Stats] / [Shutdown] inline (so health checks work even when the
+      request queue is saturated) and admits everything else to a
+      {e bounded} {!Bqueue} — a full queue is an immediate typed
+      [overloaded] refusal, never a blocked reader or an unbounded
+      buffer;
+    - a fixed pool of {e worker domains} pops jobs and runs the handler;
+      a worker that dies (a handler [Chaos_kill], or injected chaos) is
+      joined and respawned by a {e supervisor thread} without the accept
+      loop ever stalling;
+    - a {e reaper thread} polls in-flight jobs and writes typed
+      [timeout] refusals for expired deadlines — including jobs still
+      sitting in the queue, which are cancelled before a worker wastes
+      time on them (the worker sees the claimed flag and skips).
+
+    Exactly-one-response is enforced by an atomic per-job [replied]
+    flag: whoever claims it (worker or reaper) writes the response.
+
+    Graceful drain ({!stop}, a [Shutdown] request, or SIGTERM/SIGINT via
+    {!install_signal_handlers}): the listener closes, new work is
+    refused with [shutting_down], admitted work is finished (bounded by
+    [drain_timeout_s]; the reaper keeps expiring deadlines throughout),
+    then workers, supervisor and reaper are joined and remaining
+    connections shut down.  The state machine is
+    [Running -> Draining -> Stopped] and never skips the drain. *)
+
+type config = {
+  addr : [ `Unix of string | `Tcp of int ];
+      (** [`Unix path] (path limit ~100 chars) or [`Tcp port] on loopback *)
+  workers : int;              (** worker domains; >= 1 *)
+  queue_cap : int;            (** bounded request queue; >= 1 *)
+  default_deadline_s : float option;
+      (** applied when a request carries no [deadline_s] of its own *)
+  drain_timeout_s : float;    (** max wait for in-flight work on drain *)
+  max_frame : int;            (** per-frame payload cap in bytes *)
+  chaos : Chaos.t;            (** fault injection; {!Chaos.none} in production *)
+}
+
+val default_config : config
+(** Unix socket (caller must set [addr]), 2 workers, queue of 64, no
+    default deadline, 5 s drain, {!Frame.default_max_frame}, no chaos. *)
+
+type handler =
+  Protocol.request -> (Aging_obs.Json.t, Protocol.error_code * string) result
+(** Evaluates one queued request; exceptions become typed [internal]
+    refusals, except {!Chaos.Chaos_kill} which additionally takes the
+    worker domain down (and the supervisor restarts it). *)
+
+type t
+
+val start : handler:handler -> config -> t
+(** Binds and listens, spawns workers / supervisor / reaper and the
+    accept thread, and returns immediately.
+    @raise Invalid_argument on a bad config (workers or queue_cap < 1,
+    non-positive drain timeout).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val stop : t -> unit
+(** Request a graceful drain.  Idempotent, non-blocking, and safe to
+    call from a signal handler (lock-free: an atomic flag plus a
+    self-pipe byte). *)
+
+val await : t -> unit
+(** Block until the server reaches [Stopped] (all threads and domains
+    joined).  [start] + [install_signal_handlers] + [await] is the whole
+    daemon main loop. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT trigger {!stop}. *)
+
+val running : t -> bool
+(** True until drain begins. *)
+
+val stats_json : t -> Aging_obs.Json.t
+(** The [Stats] payload: live queue length / in-flight count / state /
+    uptime plus the process metrics registry (which includes the
+    [serve.*] counters and the degradation-library cache counters). *)
+
+val worker_restarts : t -> int
+(** Number of worker domains the supervisor has respawned. *)

@@ -1,0 +1,239 @@
+module Json = Aging_obs.Json
+module Rng = Aging_util.Rng
+module Retry = Aging_util.Retry
+
+type config = {
+  addr : Client.addr;
+  clients : int;
+  duration_s : float;
+  deadline_s : float;
+  seed : int;
+  corrupt_rate : float;
+  heavy_rate : float;
+  sleep_s : float;
+}
+
+let default ~addr =
+  {
+    addr;
+    clients = 8;
+    duration_s = 2.;
+    deadline_s = 0.25;
+    seed = 42;
+    corrupt_rate = 0.05;
+    heavy_rate = 0.15;
+    sleep_s = 0.05;
+  }
+
+type report = {
+  attempts : int;
+  ok : int;
+  refused_overloaded : int;
+  refused_timeout : int;
+  refused_internal : int;
+  refused_shutting_down : int;
+  refused_bad_request : int;
+  transport_errors : int;
+  garbled : int;
+  exhausted : int;
+  corrupt_sent : int;
+  elapsed_s : float;
+  qps : float;
+  server_alive : bool;
+}
+
+(* Per-thread tally; summed after join so the storm itself shares nothing. *)
+type tally = {
+  mutable t_attempts : int;
+  mutable t_ok : int;
+  mutable t_overloaded : int;
+  mutable t_timeout : int;
+  mutable t_internal : int;
+  mutable t_shutting_down : int;
+  mutable t_bad_request : int;
+  mutable t_transport : int;
+  mutable t_garbled : int;
+  mutable t_exhausted : int;
+  mutable t_corrupt : int;
+}
+
+let fresh_tally () =
+  {
+    t_attempts = 0;
+    t_ok = 0;
+    t_overloaded = 0;
+    t_timeout = 0;
+    t_internal = 0;
+    t_shutting_down = 0;
+    t_bad_request = 0;
+    t_transport = 0;
+    t_garbled = 0;
+    t_exhausted = 0;
+    t_corrupt = 0;
+  }
+
+let count_error tally = function
+  | Client.Transport _ -> tally.t_transport <- tally.t_transport + 1
+  | Client.Garbled _ -> tally.t_garbled <- tally.t_garbled + 1
+  | Client.Refused (code, _) -> (
+    match code with
+    | Protocol.Overloaded -> tally.t_overloaded <- tally.t_overloaded + 1
+    | Protocol.Timeout -> tally.t_timeout <- tally.t_timeout + 1
+    | Protocol.Internal -> tally.t_internal <- tally.t_internal + 1
+    | Protocol.Shutting_down ->
+      tally.t_shutting_down <- tally.t_shutting_down + 1
+    | Protocol.Bad_request -> tally.t_bad_request <- tally.t_bad_request + 1)
+
+(* A deliberately broken wire exchange: bogus length prefixes, truncated
+   frames, non-JSON payloads.  The server must shed these (bad_request or
+   hang-up), never crash. *)
+let send_corrupt rng addr =
+  let garbage =
+    match Rng.int rng 3 with
+    | 0 -> "\xff\xff\xff\xffBOOM"       (* absurd length prefix *)
+    | 1 -> "\x00\x00\x00\x10{\"op\":"   (* truncated payload *)
+    | _ -> "\x00\x00\x00\x05hello"      (* right length, not JSON *)
+  in
+  let sockaddr, domain =
+    match addr with
+    | `Unix path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | `Tcp port ->
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, port), Unix.PF_INET)
+  in
+  match Unix.socket domain Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd -> (
+    try
+      Unix.connect fd sockaddr;
+      Frame.write_raw fd garbage;
+      (* Give the server a beat to answer or hang up, then leave. *)
+      ignore (Unix.select [ fd ] [] [] 0.05);
+      Unix.close fd
+    with Unix.Unix_error _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+
+let client_loop cfg ci tally =
+  let rng = Rng.create (Rng.derive (Int64.of_int cfg.seed) (ci + 1)) in
+  (* Backoff sized to the soak: short base, budget bounded by the
+     deadline so a single request cannot outlive the storm by much. *)
+  let backoff =
+    {
+      Retry.base = 0.005;
+      factor = 2.;
+      cap = 0.1;
+      jitter = 0.5;
+      max_attempts = 4;
+      budget = cfg.deadline_s *. 4.;
+    }
+  in
+  let stop_at = Unix.gettimeofday () +. cfg.duration_s in
+  let rec loop iter =
+    if Unix.gettimeofday () >= stop_at then ()
+    else begin
+      let iter_rng = Rng.substream rng iter in
+      let u = Rng.float iter_rng in
+      if u < cfg.corrupt_rate then begin
+        tally.t_corrupt <- tally.t_corrupt + 1;
+        send_corrupt iter_rng cfg.addr
+      end
+      else begin
+        let req =
+          if u < cfg.corrupt_rate +. cfg.heavy_rate then
+            Protocol.Sleep cfg.sleep_s
+          else Protocol.Ping
+        in
+        let outcome =
+          Client.request ~backoff ~rng:iter_rng ~deadline_s:cfg.deadline_s
+            cfg.addr req
+        in
+        let failed_attempts = List.length (Retry.errors outcome) in
+        let succeeded = Option.is_some (Retry.succeeded outcome) in
+        tally.t_attempts <-
+          tally.t_attempts + failed_attempts + (if succeeded then 1 else 0);
+        List.iter (count_error tally) (Retry.errors outcome);
+        if succeeded then tally.t_ok <- tally.t_ok + 1
+        else tally.t_exhausted <- tally.t_exhausted + 1
+      end;
+      loop (iter + 1)
+    end
+  in
+  loop 0
+
+let probe_alive addr =
+  let ok req =
+    match Client.connect addr with
+    | Error _ -> false
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          match Client.call ~deadline_s:2. conn req with
+          | Ok _ -> true
+          | Error _ -> false)
+  in
+  ok Protocol.Ping && ok Protocol.Stats
+
+let run cfg =
+  if cfg.clients < 1 then invalid_arg "Soak.run: clients must be >= 1";
+  if cfg.duration_s <= 0. then invalid_arg "Soak.run: duration_s must be > 0";
+  if cfg.deadline_s <= 0. then invalid_arg "Soak.run: deadline_s must be > 0";
+  let rate name r =
+    if r < 0. || r > 1. then
+      invalid_arg (Printf.sprintf "Soak.run: %s must be in [0, 1]" name)
+  in
+  rate "corrupt_rate" cfg.corrupt_rate;
+  rate "heavy_rate" cfg.heavy_rate;
+  let tallies = Array.init cfg.clients (fun _ -> fresh_tally ()) in
+  let started = Unix.gettimeofday () in
+  let threads =
+    Array.init cfg.clients (fun ci ->
+        Thread.create (fun () -> client_loop cfg ci tallies.(ci)) ())
+  in
+  Array.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. started in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let ok = sum (fun t -> t.t_ok) in
+  {
+    attempts = sum (fun t -> t.t_attempts);
+    ok;
+    refused_overloaded = sum (fun t -> t.t_overloaded);
+    refused_timeout = sum (fun t -> t.t_timeout);
+    refused_internal = sum (fun t -> t.t_internal);
+    refused_shutting_down = sum (fun t -> t.t_shutting_down);
+    refused_bad_request = sum (fun t -> t.t_bad_request);
+    transport_errors = sum (fun t -> t.t_transport);
+    garbled = sum (fun t -> t.t_garbled);
+    exhausted = sum (fun t -> t.t_exhausted);
+    corrupt_sent = sum (fun t -> t.t_corrupt);
+    elapsed_s;
+    qps = (if elapsed_s > 0. then float_of_int ok /. elapsed_s else 0.);
+    server_alive = probe_alive cfg.addr;
+  }
+
+let report_json r =
+  Json.Obj
+    [
+      ("attempts", Json.Int r.attempts);
+      ("ok", Json.Int r.ok);
+      ("refused_overloaded", Json.Int r.refused_overloaded);
+      ("refused_timeout", Json.Int r.refused_timeout);
+      ("refused_internal", Json.Int r.refused_internal);
+      ("refused_shutting_down", Json.Int r.refused_shutting_down);
+      ("refused_bad_request", Json.Int r.refused_bad_request);
+      ("transport_errors", Json.Int r.transport_errors);
+      ("garbled", Json.Int r.garbled);
+      ("exhausted", Json.Int r.exhausted);
+      ("corrupt_sent", Json.Int r.corrupt_sent);
+      ("elapsed_s", Json.of_float r.elapsed_s);
+      ("qps", Json.of_float r.qps);
+      ("server_alive", Json.Bool r.server_alive);
+    ]
+
+let report_to_string r =
+  Printf.sprintf
+    "soak: %d ok / %d attempts in %.2fs (%.0f q/s); refused: %d overloaded, \
+     %d timeout, %d internal, %d bad_request, %d shutting_down; %d \
+     transport, %d garbled, %d exhausted, %d corrupt frames sent; server \
+     alive: %b"
+    r.ok r.attempts r.elapsed_s r.qps r.refused_overloaded r.refused_timeout
+    r.refused_internal r.refused_bad_request r.refused_shutting_down
+    r.transport_errors r.garbled r.exhausted r.corrupt_sent r.server_alive

@@ -1,0 +1,52 @@
+(** Concurrent chaos soak: prove the service degrades gracefully.
+
+    [run] hammers a (typically chaos-injected) server with [clients]
+    concurrent threads for [duration_s]: mostly [Ping], a fraction of
+    [Sleep] requests that build real backlog, and a seeded fraction of
+    deliberately corrupt frames straight onto the socket.  Every client
+    uses {!Client.request} — capped, seeded exponential backoff — so the
+    soak also exercises the retry path end to end.
+
+    The acceptance criterion the report encodes: the server never
+    crashes or deadlocks — every attempt ends in a reply or a typed
+    refusal within its deadline, and the server still answers [Ping] and
+    [Stats] after the storm ([server_alive]). *)
+
+type config = {
+  addr : Client.addr;
+  clients : int;        (** concurrent client threads; >= 1 *)
+  duration_s : float;   (** wall-clock soak length *)
+  deadline_s : float;   (** per-request deadline *)
+  seed : int;           (** workload + jitter + corrupt-frame seed *)
+  corrupt_rate : float; (** fraction of iterations sending a garbage frame *)
+  heavy_rate : float;   (** fraction issuing [Sleep sleep_s] instead of [Ping] *)
+  sleep_s : float;
+}
+
+val default : addr:Client.addr -> config
+(** 8 clients, 2 s, 0.25 s deadlines, 5% corrupt frames, 15% sleeps of
+    50 ms, seed 42. *)
+
+type report = {
+  attempts : int;          (** individual request attempts (incl. retries) *)
+  ok : int;
+  refused_overloaded : int;
+  refused_timeout : int;
+  refused_internal : int;
+  refused_shutting_down : int;
+  refused_bad_request : int;
+  transport_errors : int;
+  garbled : int;
+  exhausted : int;         (** requests whose whole retry budget failed *)
+  corrupt_sent : int;
+  elapsed_s : float;
+  qps : float;             (** successful requests per second *)
+  server_alive : bool;     (** [Ping] + [Stats] answered after the storm *)
+}
+
+val run : config -> report
+(** @raise Invalid_argument on a non-positive client count/duration or an
+    out-of-range rate. *)
+
+val report_json : report -> Aging_obs.Json.t
+val report_to_string : report -> string

@@ -1,0 +1,93 @@
+(* Hashtbl over an intrusive doubly-linked recency list: O(1) find / put /
+   remove, no allocation on promotion beyond pointer swaps. *)
+
+type ('k, 'v) node = {
+  nkey : 'k;
+  mutable nval : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards most-recent *)
+  mutable next : ('k, 'v) node option;  (* towards least-recent *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most-recently used *)
+  mutable tail : ('k, 'v) node option;  (* least-recently used *)
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Lru.create: cap must be >= 1";
+  { capacity = cap; tbl = Hashtbl.create (min cap 64); head = None; tail = None }
+
+let cap t = t.capacity
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    promote t n;
+    Some n.nval
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let put t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.nval <- v;
+    promote t n;
+    None
+  | None ->
+    let n = { nkey = k; nval = v; prev = None; next = None } in
+    Hashtbl.replace t.tbl k n;
+    push_front t n;
+    if Hashtbl.length t.tbl <= t.capacity then None
+    else begin
+      match t.tail with
+      | None -> assert false (* non-empty: we just inserted *)
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.tbl lru.nkey;
+        Some (lru.nkey, lru.nval)
+    end
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.nkey, n.nval) :: acc) n.next
+  in
+  go [] t.head

@@ -47,11 +47,44 @@ let map ?jobs f xs =
       Domain.DLS.set inside_pool true;
       run_chunk k
     in
-    let domains = List.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
-    Domain.DLS.set inside_pool true;
-    run_chunk 0;
-    Domain.DLS.set inside_pool false;
-    List.iter Domain.join domains;
+    (* Drain discipline: whatever goes wrong mid-map — a [Domain.spawn]
+       failing after some workers are already running (resource
+       exhaustion), the caller's chunk raising, or a join itself raising —
+       every domain that was actually spawned is joined before control
+       leaves this function, and the calling domain's nesting flag is
+       reset.  Leaking an unjoined domain would poison every later [map]
+       (and eventually the runtime); leaving [inside_pool] set would
+       silently sequentialize them. *)
+    let spawned = ref [] in
+    let join_all () =
+      (* Join every spawned domain even if an early join raises; the first
+         join exception (a worker dying outside [run_chunk]'s per-element
+         handler, e.g. an asynchronous exception) is re-raised only after
+         all of them are accounted for. *)
+      let first = ref None in
+      List.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception e ->
+            if !first = None then
+              first := Some (e, Printexc.get_raw_backtrace ()))
+        (List.rev !spawned);
+      spawned := [];
+      match !first with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set inside_pool false;
+        join_all ())
+      (fun () ->
+        for k = 1 to jobs - 1 do
+          spawned := Domain.spawn (worker k) :: !spawned
+        done;
+        Domain.DLS.set inside_pool true;
+        run_chunk 0);
     (match Atomic.get failure with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

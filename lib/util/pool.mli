@@ -17,7 +17,14 @@
     still runs to completion (no cancellation), and then the exception of
     the {e lowest-indexed} failing element is re-raised in the caller with
     its original backtrace — deterministic no matter which domain hit it
-    first. *)
+    first.
+
+    The pool drains fully no matter what: every domain actually spawned is
+    joined before [map] returns or raises — including when a late
+    [Domain.spawn] itself fails or a worker dies outside the per-element
+    handler — and the caller's nesting flag is always reset, so a [map]
+    that raised leaks nothing and the next [map] on the same domain
+    parallelizes again. *)
 
 val default_jobs : unit -> int
 (** The pool width used by the CLI and benches when none is given

@@ -1,10 +1,20 @@
-(** Retry with escalation: run an attempt at each rung of a ladder of
-    progressively more conservative configurations until one succeeds.
+(** Retry policies: escalation ladders and capped exponential backoff.
 
-    The characterization pipeline uses this to re-run failed transient
-    simulations with tighter solver settings before degrading to a fallback
-    model, but the policy itself is generic: a ladder is any list of
-    configurations, an attempt is any function returning a [result]. *)
+    {b Escalation} ([with_escalation]) runs an attempt at each rung of a
+    ladder of progressively more conservative configurations until one
+    succeeds.  The characterization pipeline uses this to re-run failed
+    transient simulations with tighter solver settings before degrading to
+    a fallback model, but the policy itself is generic: a ladder is any
+    list of configurations, an attempt is any function returning a
+    [result].
+
+    {b Backoff} ([with_backoff]) retries one operation with capped
+    exponential delays, deterministic seeded jitter, and a total deadline
+    budget — the client-side policy for talking to a loaded service
+    ([relaware query] retrying [overloaded] responses) and the pacing
+    between escalation rungs when failures look transient rather than
+    deterministic.  Timing is injectable ([sleep], [now]) so tests can
+    assert the exact schedule without sleeping. *)
 
 type ('a, 'e) outcome =
   | First_try of 'a            (** the first rung succeeded *)
@@ -14,9 +24,14 @@ type ('a, 'e) outcome =
   | Exhausted of 'e list
       (** every rung failed; all errors, in attempt order *)
 
-val with_escalation : ladder:'c list -> ('c -> ('a, 'e) result) -> ('a, 'e) outcome
+val with_escalation :
+  ?pause:(failures:int -> unit) ->
+  ladder:'c list -> ('c -> ('a, 'e) result) -> ('a, 'e) outcome
 (** [with_escalation ~ladder f] calls [f] on each rung of [ladder] in order
-    and stops at the first [Ok].
+    and stops at the first [Ok].  [pause ~failures] (default: none — retry
+    immediately) is called before every re-attempt with the number of
+    failures so far ([>= 1]); use {!pause_of_backoff} to wait out transient
+    faults between rungs.
     @raise Invalid_argument on an empty ladder. *)
 
 val succeeded : ('a, 'e) outcome -> 'a option
@@ -26,3 +41,57 @@ val attempts : ('a, 'e) outcome -> int
 
 val errors : ('a, 'e) outcome -> 'e list
 (** Errors of the failed attempts, in attempt order. *)
+
+(** {2 Capped exponential backoff} *)
+
+type backoff = {
+  base : float;
+      (** delay before the second attempt, in seconds (>= 0) *)
+  factor : float;
+      (** growth per failure (>= 1): the [k]-th delay is
+          [base *. factor ** (k - 1)] before capping *)
+  cap : float;
+      (** upper bound on any single delay, in seconds *)
+  jitter : float;
+      (** fraction of each delay randomized away, in [0, 1]: with a
+          generator, delay [d] becomes [d *. (1. -. jitter *. u)] for
+          [u ~ U[0,1)] — deterministic for a fixed {!Rng.t} seed.  Without
+          a generator the undithered delay is used. *)
+  max_attempts : int;
+      (** total attempts allowed (>= 1); [max_int] for budget-only *)
+  budget : float;
+      (** total deadline in seconds across all attempts and sleeps:
+          a retry whose delay would land past the budget is not made.
+          [infinity] disables the budget. *)
+}
+
+val default_backoff : backoff
+(** 25 ms base, factor 2, 1 s cap, 0.5 jitter, 8 attempts, 30 s budget. *)
+
+val backoff_delay : ?rng:Rng.t -> backoff -> failures:int -> float
+(** The delay scheduled after the [failures]-th consecutive failure
+    ([failures >= 1]): [min cap (base *. factor ** (failures - 1))],
+    dithered by [jitter] when [rng] is given (advancing it by one draw). *)
+
+val with_backoff :
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  ?rng:Rng.t ->
+  backoff ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) outcome
+(** [with_backoff policy f] calls [f ~attempt:0] immediately and, on
+    [Error], sleeps the next backoff delay and re-attempts with an
+    incremented [attempt] — until an attempt succeeds ([First_try] /
+    [Recovered]), [max_attempts] attempts have failed, or the next delay
+    would overrun [budget] (measured by [now], default
+    [Unix.gettimeofday]); both exhaustions return [Exhausted] with every
+    error in attempt order.  [sleep] defaults to [Unix.sleepf]; tests pass
+    a recording stub to assert the schedule.  The jitter sequence is
+    deterministic for a fixed [rng] seed. *)
+
+val pause_of_backoff :
+  ?sleep:(float -> unit) -> ?rng:Rng.t -> backoff -> failures:int -> unit
+(** Adapter for {!with_escalation}'s [pause]: sleeps
+    [backoff_delay ~failures] (ignoring [max_attempts] and [budget] — the
+    ladder length already bounds the attempts). *)

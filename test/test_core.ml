@@ -20,6 +20,46 @@ let test_deglib_memoization () =
   let w = Deg.worst_case t in
   Alcotest.(check bool) "distinct corners distinct" true (not (a == w))
 
+let metric name =
+  Option.value ~default:0. (Aging_obs.Metrics.value_by_name name)
+
+let test_deglib_memo_bounded () =
+  (* A resident service must not grow the in-memory memo without limit:
+     with cap 2, a third corner evicts the least-recently-used library,
+     the counters record it, and the evicted corner is transparently
+     re-characterized to an identical library on the next request. *)
+  let cells = [ Aging_cells.Catalog.find_exn "INV_X1" ] in
+  let t = Deg.create ~cells ~axes:Axes.coarse ~memo_cap:2 () in
+  Alcotest.(check int) "cap recorded" 2 (Deg.memo_cap t);
+  let c1 = Scenario.corner ~lambda_p:0.1 ~lambda_n:0.1 in
+  let c2 = Scenario.corner ~lambda_p:0.2 ~lambda_n:0.2 in
+  let c3 = Scenario.corner ~lambda_p:0.3 ~lambda_n:0.3 in
+  let d lib =
+    Library.delay_of
+      (List.hd (Library.find_exn lib "INV_X1").Library.arcs)
+      ~dir:Library.Rise ~slew:4e-11 ~load:2e-15
+  in
+  let lib1 = Deg.corner t c1 in
+  ignore (Deg.corner t c2);
+  Alcotest.(check bool) "memo within cap" true (Deg.memo_length t <= 2);
+  let hit0 = metric "cache.memo_hit" in
+  let lib2 = Deg.corner t c2 in
+  Alcotest.(check bool) "resident corner is a memo hit" true
+    (Deg.corner t c2 == lib2 && metric "cache.memo_hit" > hit0);
+  let evict0 = metric "cache.memo_evict" in
+  ignore (Deg.corner t c3);
+  Alcotest.(check bool) "third corner evicts" true
+    (metric "cache.memo_evict" > evict0);
+  Alcotest.(check int) "memo stays at cap" 2 (Deg.memo_length t);
+  (* The evicted corner rebuilds to an identical library (fresh object). *)
+  let lib1' = Deg.corner t c1 in
+  Alcotest.(check bool) "evicted library was dropped" true (not (lib1 == lib1'));
+  Alcotest.(check (float 0.)) "re-characterization is identical" (d lib1)
+    (d lib1');
+  Alcotest.check_raises "memo_cap validated"
+    (Invalid_argument "Degradation_library.create: memo_cap must be >= 1")
+    (fun () -> ignore (Deg.create ~cells ~axes:Axes.coarse ~memo_cap:0 ()))
+
 let test_deglib_disk_cache () =
   let dir = Filename.temp_file "alib" "" in
   Sys.remove dir;
@@ -270,6 +310,7 @@ let test_reference_image () =
 let suite =
   [
     ("deglib: memoization", `Quick, test_deglib_memoization);
+    ("deglib: memo is LRU-bounded", `Quick, test_deglib_memo_bounded);
     ("deglib: disk cache", `Quick, test_deglib_disk_cache);
     ("deglib: corrupt cache rebuilds", `Quick, test_deglib_corrupt_cache_rebuilds);
     ("deglib: fingerprint sensitivity", `Quick, test_fingerprint_sensitivity);

@@ -31,4 +31,5 @@ let () =
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -479,7 +479,15 @@ let test_ledger_select () =
   Alcotest.(check bool) "out of range is an error" true
     (Result.is_error (Run_ledger.select loaded "7"));
   Alcotest.(check bool) "unknown prefix is an error" true
-    (Result.is_error (Run_ledger.select loaded "zzzz"))
+    (Result.is_error (Run_ledger.select loaded "zzzz"));
+  (* Ids are random hex, so a prefix can be purely numeric; out of range
+     as an index, it must still resolve as an id prefix. *)
+  let numeric = { (List.nth loaded 1) with Run_ledger.id = "914236abcdef" } in
+  (match Run_ledger.select [ List.nth loaded 0; numeric ] "914236" with
+  | Ok r ->
+    Alcotest.(check string) "numeric prefix falls back" "914236abcdef"
+      r.Run_ledger.id
+  | Error e -> Alcotest.failf "numeric prefix failed: %s" e)
 
 let test_ledger_corrupt_lines () =
   with_tmp_dir @@ fun dir ->

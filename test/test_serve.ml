@@ -1,0 +1,490 @@
+(* The service layer: framing, protocol, bounded queue, chaos policy, and
+   the full daemon — deadlines, shedding, drain, supervisor restarts —
+   exercised in-process over real unix sockets. *)
+
+module Json = Aging_obs.Json
+module Frame = Aging_serve.Frame
+module Protocol = Aging_serve.Protocol
+module Bqueue = Aging_serve.Bqueue
+module Chaos = Aging_serve.Chaos
+module Server = Aging_serve.Server
+module Client = Aging_serve.Client
+module Soak = Aging_serve.Soak
+module Scenario = Aging_physics.Scenario
+module Rng = Aging_util.Rng
+module Retry = Aging_util.Retry
+
+let json_t =
+  Alcotest.testable
+    (fun fmt j -> Format.fprintf fmt "%s" (Json.to_string j))
+    ( = )
+
+let code_t =
+  Alcotest.testable
+    (fun fmt c ->
+      Format.fprintf fmt "%s" (Protocol.error_code_to_string c))
+    ( = )
+
+(* ------------------------------ frame ------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let msg =
+        Json.Obj [ ("op", Json.String "ping"); ("id", Json.Int 7) ]
+      in
+      Frame.write a msg;
+      (match Frame.read b with
+      | Ok got -> Alcotest.check json_t "roundtrip" msg got
+      | Error e -> Alcotest.fail (Frame.error_to_string e));
+      (* several frames back to back stay aligned *)
+      Frame.write a (Json.Int 1);
+      Frame.write a (Json.Int 2);
+      Alcotest.(check bool) "first" true (Frame.read b = Ok (Json.Int 1));
+      Alcotest.(check bool) "second" true (Frame.read b = Ok (Json.Int 2)))
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      Frame.write_raw a "\xff\xff\xff\xffBOOM";
+      match Frame.read b with
+      | Error (Frame.Oversized _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Oversized");
+  with_socketpair (fun a b ->
+      (* A length over the explicit cap is also rejected before allocating. *)
+      Frame.write a (Json.String (String.make 64 'x'));
+      match Frame.read ~max_frame:8 b with
+      | Error (Frame.Oversized _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Oversized")
+
+let test_frame_malformed_keeps_stream () =
+  with_socketpair (fun a b ->
+      Frame.write_raw a "\x00\x00\x00\x05hello";
+      (match Frame.read b with
+      | Error (Frame.Malformed _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Malformed");
+      (* the stream is still frame-aligned after the bad payload *)
+      Frame.write a (Json.String "ok");
+      Alcotest.(check bool) "aligned" true
+        (Frame.read b = Ok (Json.String "ok")))
+
+let test_frame_closed () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      (match Frame.read b with
+      | Error Frame.Closed -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Closed"));
+  with_socketpair (fun a b ->
+      (* truncated frame: header promises more bytes than ever arrive *)
+      Frame.write_raw a "\x00\x00\x00\x10{\"op\":";
+      Unix.close a;
+      match Frame.read b with
+      | Error Frame.Closed -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Closed")
+
+(* ----------------------------- protocol ----------------------------- *)
+
+let test_protocol_roundtrip () =
+  let corner = Scenario.corner ~lambda_p:0.37 ~lambda_n:0.61 in
+  let meta = { Protocol.id = Some 5; deadline_s = Some 0.25 } in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json ~meta req) with
+      | Ok (meta', req') ->
+        Alcotest.(check bool)
+          (Protocol.request_op req ^ " request") true (req' = req);
+        Alcotest.(check bool)
+          (Protocol.request_op req ^ " meta") true (meta' = meta)
+      | Error msg -> Alcotest.fail msg)
+    [
+      Protocol.Ping; Protocol.Stats; Protocol.Shutdown; Protocol.Sleep 0.5;
+      Protocol.Crash;
+      Protocol.Guardband { design = "DSP"; corner };
+      Protocol.Delay
+        { cell = "INV_X1"; corner; slew = Some 1e-11; load = None };
+    ];
+  List.iter
+    (fun resp ->
+      match Protocol.response_of_json (Protocol.response_to_json ~id:3 resp) with
+      | Ok (id, resp') ->
+        Alcotest.(check bool) "response" true (resp' = resp);
+        Alcotest.(check bool) "id" true (id = Some 3)
+      | Error msg -> Alcotest.fail msg)
+    [
+      Protocol.Reply (Json.Obj [ ("x", Json.Int 1) ]);
+      Protocol.Refused { code = Protocol.Overloaded; message = "full" };
+      Protocol.Refused { code = Protocol.Timeout; message = "late" };
+      Protocol.Refused { code = Protocol.Shutting_down; message = "bye" };
+    ]
+
+let test_protocol_rejects () =
+  let bad json =
+    match Protocol.request_of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected parse error"
+  in
+  bad (Json.Obj [ ("id", Json.Int 1) ]);
+  bad (Json.Obj [ ("op", Json.String "fry") ]);
+  bad (Json.Obj [ ("op", Json.String "sleep") ]);
+  bad (Json.Obj [ ("op", Json.String "sleep"); ("seconds", Json.Float (-1.)) ]);
+  bad (Json.Obj [ ("op", Json.String "guardband") ]);
+  bad
+    (Json.Obj
+       [ ("op", Json.String "delay"); ("cell", Json.String "INV_X1");
+         ("lambda_p", Json.Float 0.5) ])
+
+(* ------------------------------ bqueue ------------------------------ *)
+
+let test_bqueue_bounds () =
+  let q = Bqueue.create ~cap:2 in
+  Alcotest.(check bool) "push 1" true (Bqueue.try_push q 1 = `Ok);
+  Alcotest.(check bool) "push 2" true (Bqueue.try_push q 2 = `Ok);
+  Alcotest.(check bool) "full" true (Bqueue.try_push q 3 = `Full);
+  Alcotest.(check bool) "fifo" true (Bqueue.pop q = Some 1);
+  Alcotest.(check bool) "freed a slot" true (Bqueue.try_push q 4 = `Ok);
+  Bqueue.close q;
+  Alcotest.(check bool) "closed" true (Bqueue.try_push q 5 = `Closed);
+  Alcotest.(check bool) "drains" true (Bqueue.pop q = Some 2);
+  Alcotest.(check bool) "drains" true (Bqueue.pop q = Some 4);
+  Alcotest.(check bool) "empty+closed" true (Bqueue.pop q = None);
+  Alcotest.check_raises "cap >= 1"
+    (Invalid_argument "Bqueue.create: cap must be >= 1") (fun () ->
+      ignore (Bqueue.create ~cap:0))
+
+let test_bqueue_blocking_pop () =
+  let q = Bqueue.create ~cap:4 in
+  let got = ref None in
+  let consumer = Thread.create (fun () -> got := Bqueue.pop q) () in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "consumer still blocked" true (!got = None);
+  ignore (Bqueue.try_push q 42);
+  Thread.join consumer;
+  Alcotest.(check bool) "woken with the value" true (!got = Some 42)
+
+(* ------------------------------ chaos ------------------------------ *)
+
+let test_chaos_deterministic () =
+  let policy =
+    Chaos.validated
+      { Chaos.kill_rate = 0.1; crash_rate = 0.2; slow_rate = 0.3;
+        slow_s = 0.01; seed = 9 }
+  in
+  let decisions n = List.init n (fun i -> Chaos.decide policy ~request_id:i) in
+  Alcotest.(check bool) "replayable" true (decisions 200 = decisions 200);
+  let seen = decisions 200 in
+  Alcotest.(check bool) "all actions occur at these rates" true
+    (List.exists (fun a -> a = Chaos.Kill_worker) seen
+    && List.exists (fun a -> a = Chaos.Crash_handler) seen
+    && List.exists (fun a -> a = Chaos.Slow 0.01) seen
+    && List.exists (fun a -> a = Chaos.Pass) seen);
+  Alcotest.(check bool) "none passes everything" true
+    (List.for_all (fun i -> Chaos.decide Chaos.none ~request_id:i = Chaos.Pass)
+       (List.init 50 Fun.id));
+  Alcotest.check_raises "rates validated"
+    (Invalid_argument "Chaos: kill_rate must be in [0, 1]") (fun () ->
+      ignore (Chaos.validated { Chaos.none with kill_rate = 1.5 }))
+
+(* --------------------------- client backoff --------------------------- *)
+
+(* Satellite requirement: the client's retry schedule is a pure function
+   of the seed.  Run the same failing request twice with a recording
+   sleep; the slept delays must match to the bit. *)
+let test_client_backoff_deterministic () =
+  let backoff =
+    { Retry.base = 0.01; factor = 2.; cap = 0.05; jitter = 0.5;
+      max_attempts = 5; budget = infinity }
+  in
+  let schedule seed =
+    let slept = ref [] in
+    let outcome =
+      Client.request ~backoff ~rng:(Rng.create seed)
+        ~sleep:(fun d -> slept := d :: !slept)
+        (`Unix "no-such-socket.sock") Protocol.Ping
+    in
+    (List.rev !slept, outcome)
+  in
+  let s1, o1 = schedule 11L in
+  let s2, _ = schedule 11L in
+  let s3, _ = schedule 12L in
+  Alcotest.(check (list (float 0.))) "same seed, same schedule" s1 s2;
+  Alcotest.(check int) "slept between every attempt" 4 (List.length s1);
+  Alcotest.(check bool) "different seed, different schedule" true (s1 <> s3);
+  List.iteri
+    (fun i d ->
+      let undithered = Float.min 0.05 (0.01 *. (2. ** float_of_int i)) in
+      Alcotest.(check bool) "within jitter band" true
+        (d <= undithered && d >= undithered *. 0.5))
+    s1;
+  (match o1 with
+  | Retry.Exhausted errors ->
+    Alcotest.(check int) "all attempts failed" 5 (List.length errors);
+    Alcotest.(check bool) "transport errors" true
+      (List.for_all (function Client.Transport _ -> true | _ -> false) errors)
+  | _ -> Alcotest.fail "expected Exhausted");
+  (* non-retryable refusals must not consume the retry budget *)
+  Alcotest.(check bool) "bad_request not retryable" false
+    (Client.retryable (Client.Refused (Protocol.Bad_request, "")));
+  Alcotest.(check bool) "overloaded retryable" true
+    (Client.retryable (Client.Refused (Protocol.Overloaded, "")))
+
+(* ------------------------------ server ------------------------------ *)
+
+let sock_name =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "tserve-%d-%d.sock" (Unix.getpid ()) !n
+
+let default_handler req =
+  match req with
+  | Protocol.Sleep s ->
+    Unix.sleepf s;
+    Ok (Json.Obj [ ("slept_s", Json.of_float s) ])
+  | Protocol.Crash -> raise Chaos.Chaos_kill
+  | _ -> Ok (Json.Obj [ ("ok", Json.Bool true) ])
+
+let with_server ?(workers = 1) ?(queue_cap = 4) ?default_deadline
+    ?(chaos = Chaos.none) ?(handler = default_handler) f =
+  let path = sock_name () in
+  let cfg =
+    {
+      Server.default_config with
+      addr = `Unix path;
+      workers;
+      queue_cap;
+      default_deadline_s = default_deadline;
+      chaos;
+    }
+  in
+  let srv = Server.start ~handler cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Server.await srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f srv (`Unix path : Client.addr))
+
+let call_on addr ?deadline_s req =
+  match Client.connect addr with
+  | Error e -> Error e
+  | Ok conn ->
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () -> Client.call ?deadline_s conn req)
+
+let code_of = function
+  | Error (Client.Refused (code, _)) -> Some code
+  | Ok _ | Error _ -> None
+
+let test_server_ping_stats () =
+  with_server (fun _srv addr ->
+      (match call_on addr Protocol.Ping with
+      | Ok (Json.Obj fields) ->
+        Alcotest.(check bool) "pong" true
+          (List.assoc_opt "pong" fields = Some (Json.Bool true))
+      | Ok _ -> Alcotest.fail "unexpected ping payload"
+      | Error e -> Alcotest.fail (Client.error_to_string e));
+      match call_on addr Protocol.Stats with
+      | Ok stats ->
+        Alcotest.(check bool) "running" true
+          (Json.member "state" stats = Some (Json.String "running"));
+        Alcotest.(check bool) "queue cap reported" true
+          (Json.member "queue_cap" stats = Some (Json.Int 4));
+        Alcotest.(check bool) "metrics attached" true
+          (Json.member "metrics" stats <> None)
+      | Error e -> Alcotest.fail (Client.error_to_string e))
+
+let test_server_deadline_timeout () =
+  with_server (fun _srv addr ->
+      let t0 = Unix.gettimeofday () in
+      let r = call_on addr ~deadline_s:0.08 (Protocol.Sleep 0.5) in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (option code_t)) "typed timeout" (Some Protocol.Timeout)
+        (code_of r);
+      Alcotest.(check bool) "answered near the deadline, not the sleep" true
+        (elapsed < 0.4))
+
+let test_server_queued_job_cancelled () =
+  with_server (fun _srv addr ->
+      (* One worker is pinned by a long job; the queued job's deadline
+         expires while it waits and the reaper must answer it — the
+         client cannot be serialized behind the sleeper. *)
+      let blocker =
+        Thread.create (fun () -> call_on addr (Protocol.Sleep 0.3)) ()
+      in
+      Unix.sleepf 0.05;
+      let t0 = Unix.gettimeofday () in
+      let r = call_on addr ~deadline_s:0.05 (Protocol.Sleep 0.3) in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (option code_t)) "typed timeout" (Some Protocol.Timeout)
+        (code_of r);
+      Alcotest.(check bool) "cancelled while queued" true (elapsed < 0.2);
+      Thread.join blocker)
+
+let test_server_overload_sheds () =
+  with_server ~workers:1 ~queue_cap:1 (fun _srv addr ->
+      let slow () = Thread.create (fun () -> call_on addr (Protocol.Sleep 0.3)) () in
+      let t1 = slow () in
+      Unix.sleepf 0.05;
+      (* worker busy *)
+      let t2 = slow () in
+      Unix.sleepf 0.05;
+      (* queue now holds one job; the next must shed, not hang *)
+      let t0 = Unix.gettimeofday () in
+      let r = call_on addr (Protocol.Sleep 0.1) in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (option code_t)) "typed overloaded"
+        (Some Protocol.Overloaded) (code_of r);
+      Alcotest.(check bool) "immediate refusal" true (elapsed < 0.1);
+      Thread.join t1;
+      Thread.join t2)
+
+let test_server_drain_completes_inflight () =
+  let inflight_result = ref (Error (Client.Transport "never ran")) in
+  with_server (fun srv addr ->
+      let worker_th =
+        Thread.create
+          (fun () -> inflight_result := call_on addr (Protocol.Sleep 0.25))
+          ()
+      in
+      Unix.sleepf 0.08;
+      (* request drain while the job runs; an existing connection must be
+         refused with the typed drain code, not a hang or a reset *)
+      Server.stop srv;
+      Unix.sleepf 0.05;
+      let refused = call_on addr (Protocol.Sleep 0.01) in
+      Alcotest.(check bool) "new work refused during drain" true
+        (code_of refused = Some Protocol.Shutting_down
+        || (match refused with Error (Client.Transport _) -> true | _ -> false));
+      Server.await srv;
+      Thread.join worker_th;
+      (match !inflight_result with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.fail ("in-flight request dropped: " ^ Client.error_to_string e));
+      Alcotest.(check bool) "server stopped" true (not (Server.running srv)))
+
+let test_server_supervisor_restarts () =
+  with_server (fun srv addr ->
+      let restarts0 = Server.worker_restarts srv in
+      (match call_on addr Protocol.Crash with
+      | Error (Client.Refused (Protocol.Internal, _)) -> ()
+      | r ->
+        Alcotest.fail
+          (match r with
+          | Ok _ -> "crash replied ok"
+          | Error e -> Client.error_to_string e));
+      (* the replacement worker must pick up the next queued job *)
+      (match call_on addr (Protocol.Sleep 0.01) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Client.error_to_string e));
+      Alcotest.(check bool) "supervisor restarted the worker" true
+        (Server.worker_restarts srv > restarts0))
+
+let test_server_survives_corrupt_frames () =
+  with_server (fun _srv addr ->
+      let path = match addr with `Unix p -> p | `Tcp _ -> assert false in
+      (* bogus length prefix: typed bad_request, then hang-up *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Frame.write_raw fd "\xff\xff\xff\xffBOOM";
+      (match Frame.read fd with
+      | Ok reply -> begin
+        match Protocol.response_of_json reply with
+        | Ok (_, Protocol.Refused { code = Protocol.Bad_request; _ }) -> ()
+        | _ -> Alcotest.fail "expected bad_request refusal"
+      end
+      | Error e -> Alcotest.fail (Frame.error_to_string e));
+      Alcotest.(check bool) "connection closed after broken framing" true
+        (Frame.read fd = Error Frame.Closed);
+      Unix.close fd;
+      (* malformed payload: refused, but the connection stays usable *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Frame.write_raw fd "\x00\x00\x00\x05hello";
+      (match Frame.read fd with
+      | Ok reply -> begin
+        match Protocol.response_of_json reply with
+        | Ok (_, Protocol.Refused { code = Protocol.Bad_request; _ }) -> ()
+        | _ -> Alcotest.fail "expected bad_request refusal"
+      end
+      | Error e -> Alcotest.fail (Frame.error_to_string e));
+      Frame.write fd (Protocol.request_to_json Protocol.Ping);
+      (match Frame.read fd with
+      | Ok reply -> begin
+        match Protocol.response_of_json reply with
+        | Ok (_, Protocol.Reply _) -> ()
+        | _ -> Alcotest.fail "ping after malformed frame should succeed"
+      end
+      | Error e -> Alcotest.fail (Frame.error_to_string e));
+      Unix.close fd;
+      (* the server still serves normal clients *)
+      match call_on addr Protocol.Ping with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Client.error_to_string e))
+
+(* In-process chaos soak: saturating concurrent clients against an
+   injected-fault server must end with the server alive and clients
+   having succeeded through retries — graceful degradation, not a crash
+   or deadlock.  The forked multi-process version runs in @serve-smoke. *)
+let test_soak_degrades_gracefully () =
+  let chaos =
+    Chaos.validated
+      { Chaos.kill_rate = 0.02; crash_rate = 0.05; slow_rate = 0.1;
+        slow_s = 0.03; seed = 5 }
+  in
+  with_server ~workers:2 ~queue_cap:4 ~chaos (fun srv addr ->
+      let report =
+        Soak.run
+          {
+            (Soak.default ~addr) with
+            clients = 4;
+            duration_s = 0.5;
+            deadline_s = 0.1;
+            corrupt_rate = 0.1;
+            heavy_rate = 0.3;
+            sleep_s = 0.05;
+            seed = 17;
+          }
+      in
+      Alcotest.(check bool) "server alive after the storm" true
+        report.Soak.server_alive;
+      Alcotest.(check bool) "clients succeeded through retries" true
+        (report.Soak.ok > 0);
+      Alcotest.(check bool) "still accepting work" true (Server.running srv))
+
+let suite =
+  [
+    ("frame: roundtrip", `Quick, test_frame_roundtrip);
+    ("frame: oversized rejected", `Quick, test_frame_oversized);
+    ("frame: malformed keeps stream", `Quick, test_frame_malformed_keeps_stream);
+    ("frame: closed", `Quick, test_frame_closed);
+    ("protocol: roundtrip", `Quick, test_protocol_roundtrip);
+    ("protocol: rejects bad requests", `Quick, test_protocol_rejects);
+    ("bqueue: bounds and close", `Quick, test_bqueue_bounds);
+    ("bqueue: blocking pop", `Quick, test_bqueue_blocking_pop);
+    ("chaos: deterministic decisions", `Quick, test_chaos_deterministic);
+    ("client: backoff schedule deterministic", `Quick,
+     test_client_backoff_deterministic);
+    ("server: ping and stats inline", `Quick, test_server_ping_stats);
+    ("server: deadline expiry is a typed timeout", `Quick,
+     test_server_deadline_timeout);
+    ("server: queued job cancelled at deadline", `Quick,
+     test_server_queued_job_cancelled);
+    ("server: full queue sheds with overloaded", `Quick,
+     test_server_overload_sheds);
+    ("server: graceful drain completes in-flight", `Quick,
+     test_server_drain_completes_inflight);
+    ("server: supervisor restarts crashed workers", `Quick,
+     test_server_supervisor_restarts);
+    ("server: survives corrupt frames", `Quick,
+     test_server_survives_corrupt_frames);
+    ("soak: degrades gracefully under chaos", `Quick,
+     test_soak_degrades_gracefully);
+  ]

@@ -236,6 +236,162 @@ let test_pool_nested () =
 let test_pool_default_jobs () =
   Alcotest.(check bool) "default is at least 1" true (Pool.default_jobs () >= 1)
 
+let test_pool_reusable_after_failure () =
+  (* Regression: a worker raising mid-drain used to leave the pool's
+     nesting latch set and domains unjoined, so the next map on the same
+     domain ran sequentially (or tripped over dangling state).  After a
+     failed map the pool must be fully reusable — and actually parallel. *)
+  Alcotest.check_raises "failure still propagates" (Failure "boom") (fun () ->
+      ignore
+        (Pool.map ~jobs:4 (fun x -> if x = 3 then failwith "boom" else x)
+           (range 8)));
+  Alcotest.(check (list int)) "next map is correct"
+    (List.map succ (range 16))
+    (Pool.map ~jobs:4 succ (range 16));
+  let ids =
+    Pool.map ~jobs:4 (fun _ -> (Domain.self () :> int)) (range 16)
+  in
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check bool) "next map runs on several domains again" true
+    (List.length distinct > 1)
+
+(* ------------------------------ backoff ------------------------------ *)
+
+let test_backoff_delay () =
+  let b =
+    { Retry.default_backoff with base = 0.1; factor = 2.; cap = 0.5;
+      jitter = 0. }
+  in
+  check "1st failure" 0.1 (Retry.backoff_delay b ~failures:1);
+  check "2nd doubles" 0.2 (Retry.backoff_delay b ~failures:2);
+  check "3rd doubles again" 0.4 (Retry.backoff_delay b ~failures:3);
+  check "4th capped" 0.5 (Retry.backoff_delay b ~failures:4);
+  check "stays capped" 0.5 (Retry.backoff_delay b ~failures:20)
+
+let test_backoff_jitter_deterministic () =
+  let b =
+    { Retry.default_backoff with base = 0.1; factor = 2.; cap = 10.;
+      jitter = 0.5 }
+  in
+  let d1 = Retry.backoff_delay ~rng:(Rng.create 7L) b ~failures:3 in
+  let d2 = Retry.backoff_delay ~rng:(Rng.create 7L) b ~failures:3 in
+  check "same seed, same dithered delay" d1 d2;
+  Alcotest.(check bool) "within the jitter band" true
+    (d1 <= 0.4 && d1 >= 0.4 *. 0.5);
+  let d3 = Retry.backoff_delay ~rng:(Rng.create 8L) b ~failures:3 in
+  Alcotest.(check bool) "different seed dithers differently" true (d1 <> d3)
+
+(* A fake clock whose time only advances when the policy sleeps: the
+   schedule assertions are exact and the test itself never sleeps. *)
+let recording_clock () =
+  let t = ref 0. and slept = ref [] in
+  let sleep d =
+    slept := d :: !slept;
+    t := !t +. d
+  in
+  ((fun () -> !t), sleep, fun () -> List.rev !slept)
+
+let test_with_backoff_schedule () =
+  let policy =
+    { Retry.base = 0.1; factor = 2.; cap = 10.; jitter = 0.;
+      max_attempts = 4; budget = infinity }
+  in
+  let now, sleep, slept = recording_clock () in
+  let attempts = ref [] in
+  let outcome =
+    Retry.with_backoff ~sleep ~now policy (fun ~attempt ->
+        attempts := attempt :: !attempts;
+        Error attempt)
+  in
+  (match outcome with
+  | Retry.Exhausted errors ->
+    Alcotest.(check (list int)) "every attempt's error, in order"
+      [ 0; 1; 2; 3 ] errors
+  | _ -> Alcotest.fail "expected Exhausted");
+  Alcotest.(check (list int)) "attempt numbers" [ 0; 1; 2; 3 ]
+    (List.rev !attempts);
+  Alcotest.(check (list (float 1e-9))) "undithered exponential schedule"
+    [ 0.1; 0.2; 0.4 ] (slept ())
+
+let test_with_backoff_budget () =
+  (* base 0.4, factor 2: the second delay (0.8) would land at 1.2 > 0.5,
+     so the policy stops after two attempts and one sleep. *)
+  let policy =
+    { Retry.base = 0.4; factor = 2.; cap = 10.; jitter = 0.;
+      max_attempts = 100; budget = 0.5 }
+  in
+  let now, sleep, slept = recording_clock () in
+  let outcome =
+    Retry.with_backoff ~sleep ~now policy (fun ~attempt -> Error attempt)
+  in
+  Alcotest.(check int) "budget cut the attempts" 2 (Retry.attempts outcome);
+  Alcotest.(check (list (float 1e-9))) "only the affordable sleep taken"
+    [ 0.4 ] (slept ())
+
+let test_with_backoff_recovers_deterministically () =
+  let policy =
+    { Retry.base = 0.01; factor = 2.; cap = 1.; jitter = 0.5;
+      max_attempts = 8; budget = infinity }
+  in
+  let run seed =
+    let now, sleep, slept = recording_clock () in
+    let outcome =
+      Retry.with_backoff ~sleep ~now ~rng:(Rng.create seed) policy
+        (fun ~attempt -> if attempt = 3 then Ok "done" else Error attempt)
+    in
+    (outcome, slept ())
+  in
+  let o1, s1 = run 5L in
+  let _, s2 = run 5L in
+  (match o1 with
+  | Retry.Recovered ("done", errors) ->
+    Alcotest.(check (list int)) "failed attempts recorded" [ 0; 1; 2 ] errors
+  | _ -> Alcotest.fail "expected Recovered");
+  Alcotest.(check (list (float 0.))) "bit-identical jittered schedule" s1 s2;
+  Alcotest.(check int) "slept between every attempt" 3 (List.length s1)
+
+(* -------------------------------- lru -------------------------------- *)
+
+module Lru = Aging_util.Lru
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~cap:2 in
+  Alcotest.(check bool) "no eviction below cap" true (Lru.put c "a" 1 = None);
+  Alcotest.(check bool) "no eviction at cap" true (Lru.put c "b" 2 = None);
+  (* touch "a" so "b" becomes the eviction victim *)
+  Alcotest.(check bool) "find hits and promotes" true (Lru.find c "a" = Some 1);
+  Alcotest.(check bool) "lru binding handed back" true
+    (Lru.put c "c" 3 = Some ("b", 2));
+  Alcotest.(check bool) "victim gone" false (Lru.mem c "b");
+  Alcotest.(check bool) "promoted survivor present" true (Lru.mem c "a");
+  Alcotest.(check int) "length at cap" 2 (Lru.length c);
+  Alcotest.(check bool) "mru first" true
+    (Lru.to_list c = [ ("c", 3); ("a", 1) ]);
+  Alcotest.check_raises "cap validated"
+    (Invalid_argument "Lru.create: cap must be >= 1") (fun () ->
+      ignore (Lru.create ~cap:0))
+
+let test_lru_replace_promotes () =
+  let c = Lru.create ~cap:2 in
+  ignore (Lru.put c "a" 1);
+  ignore (Lru.put c "b" 2);
+  (* replacing "a" promotes it and never evicts *)
+  Alcotest.(check bool) "replace evicts nothing" true (Lru.put c "a" 9 = None);
+  Alcotest.(check bool) "replaced value" true (Lru.find c "a" = Some 9);
+  Alcotest.(check bool) "replacement made b the victim" true
+    (Lru.put c "c" 3 = Some ("b", 2))
+
+let test_lru_remove_clear () =
+  let c = Lru.create ~cap:4 in
+  ignore (Lru.put c 1 "one");
+  ignore (Lru.put c 2 "two");
+  Lru.remove c 1;
+  Alcotest.(check bool) "removed" false (Lru.mem c 1);
+  Alcotest.(check int) "length after remove" 1 (Lru.length c);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check bool) "cap unchanged" true (Lru.cap c = 4)
+
 let suite =
   [
     ("interp: grid points", `Quick, test_linear_grid_points);
@@ -264,6 +420,17 @@ let suite =
     ("pool: lowest-index exception", `Quick, test_pool_exception_lowest_index);
     ("pool: nested maps sequentialize", `Quick, test_pool_nested);
     ("pool: default jobs", `Quick, test_pool_default_jobs);
+    ("pool: reusable after a worker raises", `Quick,
+     test_pool_reusable_after_failure);
+    ("backoff: capped exponential delays", `Quick, test_backoff_delay);
+    ("backoff: deterministic jitter", `Quick, test_backoff_jitter_deterministic);
+    ("backoff: exact schedule", `Quick, test_with_backoff_schedule);
+    ("backoff: budget bounds total time", `Quick, test_with_backoff_budget);
+    ("backoff: recovery with seeded schedule", `Quick,
+     test_with_backoff_recovers_deterministically);
+    ("lru: eviction order", `Quick, test_lru_eviction_order);
+    ("lru: replace promotes", `Quick, test_lru_replace_promotes);
+    ("lru: remove and clear", `Quick, test_lru_remove_clear);
   ]
 
 let props = [ prop_linear_bounded; prop_bilinear_bounded; prop_rng_float_range; prop_rng_int_range ]
