@@ -176,9 +176,21 @@ let serve_bench () =
         exit 1
       end;
       Run_ledger.note_qor "serve.qps" report.Serve.Soak.qps;
-      Printf.printf "serve: %d ok / %d attempts, %.0f q/s\n%!"
+      (* Tail latency rides the same record, so a ledger diff gates both
+         throughput and responsiveness. *)
+      Option.iter
+        (Run_ledger.note_qor "serve.p50_ms")
+        report.Serve.Soak.lat_p50_ms;
+      Option.iter
+        (Run_ledger.note_qor "serve.p95_ms")
+        report.Serve.Soak.lat_p95_ms;
+      Printf.printf "serve: %d ok / %d attempts, %.0f q/s%s\n%!"
         report.Serve.Soak.ok report.Serve.Soak.attempts
-        report.Serve.Soak.qps)
+        report.Serve.Soak.qps
+        (match (report.Serve.Soak.lat_p50_ms, report.Serve.Soak.lat_p95_ms) with
+        | Some p50, Some p95 ->
+          Printf.sprintf ", total latency p50/p95 %.2f/%.2f ms" p50 p95
+        | _ -> ""))
 
 (* ------------------------- BENCH.json ------------------------- *)
 

@@ -660,8 +660,24 @@ let obs_report_cmd =
          & info [ "top" ] ~docv:"N"
              ~doc:"Show the N hottest spans by self time (0 = all).")
   in
-  let run dir sel top =
+  let require_arg =
+    Arg.(value & opt_all string []
+         & info [ "require" ] ~docv:"QOR"
+             ~doc:"Fail (exit 1) unless the record carries a QoR row named \
+                   $(docv).  Repeatable; used by smoke gates.")
+  in
+  let run dir sel top required =
     let r = select_run (load_ledger dir) sel in
+    List.iter
+      (fun name ->
+        if not (List.mem_assoc name r.Run_ledger.qor) then
+          failwith
+            (Printf.sprintf "run %s has no QoR row %S (rows: %s)"
+               r.Run_ledger.id name
+               (match r.Run_ledger.qor with
+               | [] -> "none"
+               | q -> String.concat ", " (List.map fst q))))
+      required;
     print_string
       (Tablefmt.kv
          [ ("id", r.Run_ledger.id);
@@ -717,7 +733,7 @@ let obs_report_cmd =
               ~doc:"Record selector: integer index (negative counts from \
                     the end, $(b,-1) = newest; place negative indices \
                     after a $(b,--) separator) or a unique id prefix."
-          $ top_arg)
+          $ top_arg $ require_arg)
 
 let obs_trace_cmd =
   let out_arg =
@@ -726,13 +742,38 @@ let obs_trace_cmd =
              ~doc:"Output path for the Chrome trace JSON ($(b,-) = stdout). \
                    Load it in Perfetto (ui.perfetto.dev) or chrome://tracing.")
   in
-  let run dir sel out =
+  let require_arg =
+    Arg.(value & opt_all string []
+         & info [ "require" ] ~docv:"NAME"
+             ~doc:"Fail (exit 1) unless some recorded span's name starts \
+                   with $(docv) (e.g. $(b,serve.req) asserts request-level \
+                   spans).  Repeatable; used by smoke gates.")
+  in
+  let run dir sel out required =
     let r = select_run (load_ledger dir) sel in
     if r.Run_ledger.spans = [] then
       failwith
         (Printf.sprintf
            "run %s recorded no spans (was it run with --trace or --ledger?)"
            r.Run_ledger.id);
+    let rec any_span pred spans =
+      List.exists
+        (fun s -> pred s || any_span pred s.Obs.Span.children)
+        spans
+    in
+    List.iter
+      (fun prefix ->
+        if
+          not
+            (any_span
+               (fun s ->
+                 String.starts_with ~prefix s.Obs.Span.name)
+               r.Run_ledger.spans)
+        then
+          failwith
+            (Printf.sprintf "run %s has no span named %s*" r.Run_ledger.id
+               prefix))
+      required;
     write_file out
       (Obs.Trace_export.to_string r.Run_ledger.spans ^ "\n");
     if out <> "-" then
@@ -746,7 +787,7 @@ let obs_trace_cmd =
     Term.(const run $ obs_ledger_arg
           $ run_selector_arg ~at:0 ~default:"-1"
               ~doc:"Record selector (as in $(b,obs report))."
-          $ out_arg)
+          $ out_arg $ require_arg)
 
 (* Diff semantics: QoR rows gate at a relative tolerance (default 1%, per
    row overridable); the health counters gate one-sidedly on any increase
@@ -914,12 +955,66 @@ let obs_diff_cmd =
               ~doc:"Candidate record (default $(b,-1), the newest)."
           $ tol_arg $ allow_missing_arg)
 
+(* Pretty-print a flight-recorder dump (JSONL from `relaware serve
+   --flight-dump` + SIGQUIT, or a dump_flight query).  Timestamps render
+   relative to the first surviving event — the absolute monotonic origin
+   is process-local and meaningless to a reader. *)
+let obs_flight_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Flight-recorder JSONL dump.")
+  in
+  let require_arg =
+    Arg.(value & opt_all string []
+         & info [ "require" ] ~docv:"KIND"
+             ~doc:"Fail (exit 1) unless an event of kind $(docv) (e.g. \
+                   $(b,worker.death)) is present.  Repeatable; used by \
+                   smoke gates.")
+  in
+  let run file required =
+    match Obs.Flightrec.load_jsonl file with
+    | Error msg -> failwith (file ^ ": " ^ msg)
+    | Ok [] -> failwith (file ^ ": empty flight dump")
+    | Ok events ->
+      let t0 =
+        match events with e :: _ -> e.Obs.Flightrec.t_mono | [] -> 0.
+      in
+      let field_str (k, v) = k ^ "=" ^ Obs.Json.to_string v in
+      Tablefmt.print
+        ~align:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Left; Tablefmt.Left ]
+        ~header:[ "seq"; "t+ms"; "kind"; "fields" ]
+        (List.map
+           (fun e ->
+             [ string_of_int e.Obs.Flightrec.seq;
+               Printf.sprintf "%.2f"
+                 ((e.Obs.Flightrec.t_mono -. t0) *. 1e3);
+               e.Obs.Flightrec.kind;
+               String.concat " "
+                 (List.map field_str e.Obs.Flightrec.fields) ])
+           events);
+      let kinds =
+        List.sort_uniq compare
+          (List.map (fun e -> e.Obs.Flightrec.kind) events)
+      in
+      Printf.printf "\n%d event(s), kinds: %s\n" (List.length events)
+        (String.concat ", " kinds);
+      List.iter
+        (fun kind ->
+          if not (List.mem kind kinds) then
+            failwith
+              (Printf.sprintf "%s: no event of kind %S" file kind))
+        required
+  in
+  Cmd.v
+    (Cmd.info "flight" ~doc:"Pretty-print a flight-recorder dump")
+    Term.(const run $ file_arg $ require_arg)
+
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
        ~doc:"Inspect run-ledger records: report, trace export, regression \
-             diff")
-    [ obs_report_cmd; obs_trace_cmd; obs_diff_cmd ]
+             diff, flight-recorder dumps")
+    [ obs_report_cmd; obs_trace_cmd; obs_diff_cmd; obs_flight_cmd ]
 
 (* ------------------------ serve / query / soak ------------------------ *)
 
@@ -994,8 +1089,21 @@ let drain_arg =
            ~doc:"On SIGTERM/SIGINT: finish in-flight work for up to \
                  $(docv) seconds before stopping.")
 
+let slow_ms_arg =
+  Arg.(value & opt (some float) None
+       & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"Warn-log requests slower than $(docv) ms end to end, with \
+                 trace id and queue/exec phase breakdown (default: off).")
+
+let flight_dump_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight-dump" ] ~docv:"FILE"
+           ~doc:"Dump the flight recorder (ring buffer of request/worker/\
+                 chaos events) to $(docv) as JSONL on SIGQUIT and on crash. \
+                 Inspect with $(b,relaware obs flight).")
+
 let server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain ~chaos
-    =
+    ~slow_ms =
   {
     Serve.Server.addr = (addr_of socket port :> [ `Unix of string | `Tcp of int ]);
     workers;
@@ -1004,6 +1112,7 @@ let server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain ~chaos
     drain_timeout_s = drain;
     max_frame = Serve.Frame.default_max_frame;
     chaos;
+    slow_ms;
   }
 
 let note_serve_qor () =
@@ -1014,39 +1123,52 @@ let note_serve_qor () =
       "serve.refused_timeout"; "serve.worker_restarts"; "serve.bad_frames" ]
 
 let serve_cmd =
-  let run tele socket port workers queue_cap deadline drain chaos axes years
-      cache jobs cells =
+  let run tele socket port workers queue_cap deadline drain chaos slow_ms
+      flight_dump axes years cache jobs cells =
     with_telemetry ~cmd:"serve" tele @@ fun () ->
-    let queries =
-      Serve.Queries.create ~axes ~years ~cache_dir:cache ~jobs
-        ?cells:(cells_of cells) ()
+    let go () =
+      let queries =
+        Serve.Queries.create ~axes ~years ~cache_dir:cache ~jobs
+          ?cells:(cells_of cells) ()
+      in
+      let cfg =
+        server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain
+          ~chaos ~slow_ms
+      in
+      let server =
+        Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg
+      in
+      Serve.Server.install_signal_handlers ?flight_dump server;
+      Serve.Server.await server;
+      note_serve_qor ()
     in
-    let cfg =
-      server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain
-        ~chaos
-    in
-    let server = Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg in
-    Serve.Server.install_signal_handlers server;
-    Serve.Server.await server;
-    note_serve_qor ()
+    match go () with
+    | () -> ()
+    | exception e ->
+      (* Post-mortem: the ring survives to the dump even when serve dies. *)
+      Option.iter Serve.Server.dump_flight_to flight_dump;
+      raise e
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the resident aging-analysis daemon (drains gracefully on \
-             SIGTERM/SIGINT)")
+             SIGTERM/SIGINT; SIGQUIT dumps the flight recorder)")
     Term.(const run $ telemetry_term $ socket_arg $ port_arg $ workers_arg
           $ queue_cap_arg $ deadline_opt_arg $ drain_arg $ chaos_term
+          $ slow_ms_arg $ flight_dump_arg
           $ axes_arg $ years_arg $ cache_arg $ jobs_arg $ cells_arg)
 
 let query_cmd =
   let op_arg =
     let ops =
       [ ("ping", `Ping); ("stats", `Stats); ("shutdown", `Shutdown);
-        ("guardband", `Guardband); ("delay", `Delay); ("sleep", `Sleep) ]
+        ("flight", `Flight); ("guardband", `Guardband); ("delay", `Delay);
+        ("sleep", `Sleep) ]
     in
     Arg.(required & pos 0 (some (enum ops)) None
          & info [] ~docv:"OP"
-             ~doc:"One of ping, stats, shutdown, guardband, delay, sleep.")
+             ~doc:"One of ping, stats, shutdown, flight (on-demand \
+                   flight-recorder dump), guardband, delay, sleep.")
   in
   let design_opt =
     let all = [ "DSP"; "FFT"; "RISC-6P"; "RISC-5P"; "VLIW"; "DCT"; "IDCT" ] in
@@ -1094,6 +1216,7 @@ let query_cmd =
       | `Ping -> Serve.Protocol.Ping
       | `Stats -> Serve.Protocol.Stats
       | `Shutdown -> Serve.Protocol.Shutdown
+      | `Flight -> Serve.Protocol.Dump_flight
       | `Sleep -> Serve.Protocol.Sleep seconds
       | `Guardband -> begin
         match design with
@@ -1177,8 +1300,16 @@ let soak_cmd =
              ~doc:"Soak an already-running daemon at --socket/--port \
                    instead of forking one.")
   in
+  let server_obs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "server-obs" ] ~docv:"DIR"
+             ~doc:"Record the forked daemon's own telemetry: span recording \
+                   on (per-request phase spans) and a $(b,serve) ledger \
+                   record appended to $(docv) when the daemon drains.  \
+                   Export with $(b,relaware obs trace).")
+  in
   let run tele socket port attach clients duration deadline seed corrupt
-      heavy workers queue_cap drain chaos =
+      heavy workers queue_cap drain chaos slow_ms flight_dump server_obs =
     with_telemetry ~cmd:"soak" tele @@ fun () ->
     let addr, child =
       if attach then (addr_of socket port, None)
@@ -1195,19 +1326,35 @@ let soak_cmd =
              the parent's telemetry dump is not duplicated. *)
           let code =
             try
+              if server_obs <> None then Obs.Span.set_recording true;
+              let started_at = Unix.gettimeofday () in
+              let m0 = Obs.Span.elapsed () in
               let queries =
                 Serve.Queries.create ~axes:Axes.coarse
                   ~cells:[ Aging_cells.Catalog.find_exn "INV_X1" ] ()
               in
               let cfg =
                 server_config_of ~socket:path ~port:None ~workers ~queue_cap
-                  ~deadline:None ~drain ~chaos
+                  ~deadline:None ~drain ~chaos ~slow_ms
               in
               let server =
                 Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg
               in
-              Serve.Server.install_signal_handlers server;
+              Serve.Server.install_signal_handlers ?flight_dump server;
               Serve.Server.await server;
+              (* The daemon's own run record: serve.* QoR counters plus the
+                 per-request spans, appended from inside the child so the
+                 storm's server-side story survives the process. *)
+              Option.iter
+                (fun dir ->
+                  note_serve_qor ();
+                  let record =
+                    Run_ledger.capture ~tool:"relaware" ~subcommand:"serve"
+                      ~outcome:Run_ledger.Finished ~started_at
+                      ~wall_s:(Obs.Span.elapsed () -. m0) ()
+                  in
+                  ignore (Run_ledger.append ~dir record))
+                server_obs;
               0
             with e ->
               Printf.eprintf "soak daemon died: %s\n%!" (Printexc.to_string e);
@@ -1255,8 +1402,30 @@ let soak_cmd =
       (float_of_int report.Serve.Soak.attempts);
     Run_ledger.note_qor "soak.exhausted"
       (float_of_int report.Serve.Soak.exhausted);
+    (* Latency QoR rides the same ledger record as qps, so `obs diff`
+       gates both throughput and tail latency. *)
+    Option.iter (Run_ledger.note_qor "soak.p50_ms") report.Serve.Soak.lat_p50_ms;
+    Option.iter (Run_ledger.note_qor "soak.p95_ms") report.Serve.Soak.lat_p95_ms;
     Run_ledger.note "soak.server_alive"
       (Obs.Json.Bool report.Serve.Soak.server_alive);
+    (* Post-storm forensics: SIGQUIT makes the (still running) child dump
+       its flight recorder; wait for the file so the drain below cannot
+       race the write. *)
+    (match (child, flight_dump) with
+    | Some pid, Some file ->
+      Unix.kill pid Sys.sigquit;
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec wait_dump () =
+        if Sys.file_exists file then ()
+        else if Unix.gettimeofday () > deadline then
+          Obs.Log.warnf "soak" "daemon never wrote flight dump %s" file
+        else begin
+          Unix.sleepf 0.02;
+          wait_dump ()
+        end
+      in
+      wait_dump ()
+    | _ -> ());
     let child_clean =
       match child with
       | None -> true
@@ -1301,7 +1470,70 @@ let soak_cmd =
     Term.(const run $ telemetry_term $ socket_arg $ port_arg $ attach_arg
           $ clients_arg $ duration_arg $ soak_deadline_arg $ soak_seed_arg
           $ corrupt_arg $ heavy_arg $ workers_arg $ queue_cap_arg $ drain_arg
-          $ chaos_term)
+          $ chaos_term $ slow_ms_arg $ flight_dump_arg $ server_obs_arg)
+
+(* A reader, not a run: no telemetry wrapper, no ledger record — watching
+   a daemon should leave no artifacts of its own. *)
+let top_cmd =
+  let interval_arg =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"S" ~doc:"Seconds between polls.")
+  in
+  let count_arg =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Render $(docv) snapshots then exit (0 = until \
+                   interrupted).  $(b,--count 1) is the scripting mode: one \
+                   plain snapshot, no screen clearing.")
+  in
+  let no_clear_arg =
+    Arg.(value & flag
+         & info [ "no-clear" ]
+             ~doc:"Do not clear the terminal between refreshes.")
+  in
+  let run socket port interval count no_clear =
+    let addr = addr_of socket port in
+    let fetch () =
+      match Serve.Client.connect addr with
+      | Error e -> Error (Serve.Client.error_to_string e)
+      | Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close conn)
+          (fun () ->
+            match
+              Serve.Client.call ~deadline_s:2. conn Serve.Protocol.Stats
+            with
+            | Error e -> Error (Serve.Client.error_to_string e)
+            | Ok stats -> Serve.Dash.of_stats_json stats)
+    in
+    let clear = not (no_clear || count = 1) in
+    let rec loop i prev =
+      match fetch () with
+      | Error msg -> failwith ("top: " ^ msg)
+      | Ok snap ->
+        let now = Obs.Span.elapsed () in
+        let qps =
+          Option.map
+            (fun (p, t0) -> Serve.Dash.qps ~prev:p ~dt:(now -. t0) snap)
+            prev
+        in
+        if clear then print_string "\027[H\027[2J";
+        print_string (Serve.Dash.render ?qps snap);
+        flush stdout;
+        if count = 0 || i + 1 < count then begin
+          Unix.sleepf interval;
+          loop (i + 1) (Some (snap, now))
+        end
+    in
+    loop 0 None
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard of a running daemon: qps, queue depth, \
+             in-flight, per-request-type latency percentiles, refusal and \
+             restart counters")
+    Term.(const run $ socket_arg $ port_arg $ interval_arg $ count_arg
+          $ no_clear_arg)
 
 let () =
   let info =
@@ -1313,4 +1545,4 @@ let () =
        (Cmd.group info
           [ characterize_cmd; report_cmd; guardband_cmd; synth_cmd; export_cmd;
             experiment_cmd; check_cmd; obs_cmd; serve_cmd; query_cmd;
-            soak_cmd ]))
+            soak_cmd; top_cmd ]))

@@ -1,0 +1,121 @@
+type event = {
+  seq : int;
+  t_wall : float;
+  t_mono : float;
+  kind : string;
+  fields : (string * Json.t) list;
+}
+
+type t = {
+  ring : event option array;
+  lock : Mutex.t;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Flightrec.create: capacity must be >= 1";
+  { ring = Array.make capacity None; lock = Mutex.create (); next_seq = 0 }
+
+let capacity t = Array.length t.ring
+
+let mono_s () = 1e-9 *. Int64.to_float (Monotonic_clock.now ())
+
+(* Timestamps are captured outside the lock, so wall/mono times of
+   concurrently recorded events may be microscopically out of [seq] order;
+   [seq] is the authoritative ordering. *)
+let record t ?(fields = []) kind =
+  let t_wall = Unix.gettimeofday () in
+  let t_mono = mono_s () in
+  Mutex.protect t.lock (fun () ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.ring.(seq mod Array.length t.ring) <-
+        Some { seq; t_wall; t_mono; kind; fields })
+
+let recorded t = Mutex.protect t.lock (fun () -> t.next_seq)
+let overwritten t = max 0 (recorded t - capacity t)
+
+let events t =
+  let surviving =
+    Mutex.protect t.lock (fun () ->
+        Array.fold_right
+          (fun slot acc -> match slot with Some e -> e :: acc | None -> acc)
+          t.ring [])
+  in
+  List.sort (fun a b -> compare a.seq b.seq) surviving
+
+let clear t =
+  Mutex.protect t.lock (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.next_seq <- 0)
+
+let global = create ()
+let note ?fields kind = record global ?fields kind
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Int e.seq);
+      ("t", Json.of_float e.t_wall);
+      ("mono", Json.of_float e.t_mono);
+      ("kind", Json.String e.kind);
+      ("fields", Json.Obj e.fields);
+    ]
+
+let event_of_json j =
+  let open Json in
+  match (member "seq" j, member "kind" j) with
+  | Some (Int seq), Some (String kind) ->
+      let flt name =
+        match member name j with
+        | Some v -> ( match to_float v with Some f -> f | None -> Float.nan)
+        | None -> Float.nan
+      in
+      let fields =
+        match member "fields" j with Some (Obj kvs) -> kvs | _ -> []
+      in
+      Ok { seq; t_wall = flt "t"; t_mono = flt "mono"; kind; fields }
+  | _ -> Error "flight event: missing seq or kind"
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let dump_to_file t path =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_jsonl t))
+  with
+  | () -> Ok ()
+  | exception exn -> Error (Printexc.to_string exn)
+
+let load_jsonl path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop acc lineno =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> loop acc (lineno + 1)
+          | line -> (
+              match Json.of_string line with
+              | exception Json.Parse_error msg ->
+                  Error (Printf.sprintf "line %d: bad JSON: %s" lineno msg)
+              | j -> (
+                  match event_of_json j with
+                  | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+                  | Ok e -> loop (e :: acc) (lineno + 1)))
+        in
+        loop [] 1)
+  with
+  | result -> result
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,71 @@
+(** Flight recorder: a fixed-capacity, domain-safe ring buffer of structured
+    events that is always on at negligible cost.
+
+    The service layer records one event per notable state transition (request
+    admitted / started / completed / refused, worker death / respawn, deadline
+    expiry, chaos injection).  The ring keeps the most recent [capacity]
+    events; older ones are overwritten.  After a crash — or on demand via
+    SIGQUIT or the [dump_flight] protocol request — the ring is dumped as
+    JSONL, giving a post-mortem trail of the last few thousand transitions.
+
+    Recording takes one mutex and one small allocation per event, so it is
+    cheap enough to leave enabled in production and under the benchmarks.
+    Events carry both a wall-clock and a monotonic timestamp: the wall time
+    correlates with external logs, the monotonic time orders events reliably
+    across clock adjustments.  Sequence numbers are assigned under the lock
+    and are therefore unique and dense even when many domains record
+    concurrently. *)
+
+type event = {
+  seq : int;  (** dense, unique, assigned in recording order *)
+  t_wall : float;  (** [Unix.gettimeofday] at recording *)
+  t_mono : float;  (** monotonic seconds ([Span.elapsed] clock) *)
+  kind : string;  (** dotted event name, e.g. ["req.completed"] *)
+  fields : (string * Json.t) list;  (** structured payload *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] makes an empty recorder.  [capacity] defaults to 4096 and
+    must be at least 1. *)
+
+val capacity : t -> int
+
+val record : t -> ?fields:(string * Json.t) list -> string -> unit
+(** [record t kind] appends an event, overwriting the oldest one when the
+    ring is full.  Safe to call from any domain or thread. *)
+
+val events : t -> event list
+(** Surviving events, oldest first (ascending [seq]). *)
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val overwritten : t -> int
+(** How many events have been lost to ring wrap ([recorded - capacity],
+    floored at 0). *)
+
+val clear : t -> unit
+
+val global : t
+(** The process-global recorder used by the service layer. *)
+
+val note : ?fields:(string * Json.t) list -> string -> unit
+(** [note kind] is [record global kind]. *)
+
+val event_to_json : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
+
+val to_jsonl : t -> string
+(** One [event_to_json] line per surviving event, oldest first. *)
+
+val dump_to_file : t -> string -> (unit, string) result
+(** Write [to_jsonl] atomically-ish (single [output_string]) to a fresh
+    file, truncating any previous dump.  Returns [Error msg] instead of
+    raising so it can run from crash handlers. *)
+
+val load_jsonl : string -> (event list, string) result
+(** Parse a dump produced by [dump_to_file].  Blank lines are skipped;
+    the first malformed line aborts with [Error]. *)

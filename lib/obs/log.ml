@@ -28,9 +28,20 @@ let label = function
 
 let warnings = Metrics.counter "log.warnings"
 
-let emit lvl sub fields msg =
+(* Process start on the monotonic clock; every line carries its offset so
+   daemon stderr can be correlated with trace and flight-recorder dumps,
+   which timestamp on the same clock. *)
+let t0_mono = 1e-9 *. Int64.to_float (Monotonic_clock.now ())
+let mono_offset () = (1e-9 *. Int64.to_float (Monotonic_clock.now ())) -. t0_mono
+
+let emit lvl sub fields trace msg =
   if lvl = Warn then Metrics.incr warnings;
   if enabled lvl then begin
+    let fields =
+      match trace with
+      | None -> fields
+      | Some id -> fields @ [ ("trace", id) ]
+    in
     let suffix =
       match fields with
       | [] -> ""
@@ -38,12 +49,13 @@ let emit lvl sub fields msg =
         " "
         ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
     in
-    Printf.eprintf "[%s][%s] %s%s\n%!" (label lvl) sub msg suffix
+    Printf.eprintf "[+%.3f][%s][%s] %s%s\n%!" (mono_offset ()) (label lvl) sub
+      msg suffix
   end
 
-let logf lvl ?(fields = []) sub fmt =
-  Printf.ksprintf (emit lvl sub fields) fmt
+let logf lvl ?(fields = []) ?trace sub fmt =
+  Printf.ksprintf (emit lvl sub fields trace) fmt
 
-let debugf ?fields sub fmt = logf Debug ?fields sub fmt
-let infof ?fields sub fmt = logf Info ?fields sub fmt
-let warnf ?fields sub fmt = logf Warn ?fields sub fmt
+let debugf ?fields ?trace sub fmt = logf Debug ?fields ?trace sub fmt
+let infof ?fields ?trace sub fmt = logf Info ?fields ?trace sub fmt
+let warnf ?fields ?trace sub fmt = logf Warn ?fields ?trace sub fmt

@@ -1,8 +1,12 @@
 (** Leveled structured logging.
 
-    Log lines go to stderr as [[level][subsystem] message key=value ...] so
-    a library build can narrate progress without polluting stdout reports,
-    and [-q] can silence it wholesale.  The level comes from the [AGING_LOG]
+    Log lines go to stderr as
+    [[+offset][level][subsystem] message key=value ...] — the leading
+    [+seconds.millis] is the monotonic offset since process start, on the
+    same clock as span durations and flight-recorder events, so daemon
+    stderr can be correlated with trace dumps.  A library build can narrate
+    progress without polluting stdout reports, and [-q] can silence it
+    wholesale.  The level comes from the [AGING_LOG]
     environment variable (["debug"], ["info"], ["warn"], ["quiet"]; default
     ["info"]) and can be overridden programmatically (the CLI maps
     [--verbose] to [Debug] and [-q] to [Quiet]).
@@ -24,20 +28,24 @@ val enabled : level -> bool
 
 val debugf :
   ?fields:(string * string) list ->
+  ?trace:string ->
   string ->
   ('a, unit, string, unit) format4 ->
   'a
 (** [debugf sub fmt ...] logs at debug level under subsystem tag [sub];
-    [fields] append structured [key=value] pairs. *)
+    [fields] append structured [key=value] pairs and [trace] appends a
+    final [trace=<id>] field tying the line to a request trace. *)
 
 val infof :
   ?fields:(string * string) list ->
+  ?trace:string ->
   string ->
   ('a, unit, string, unit) format4 ->
   'a
 
 val warnf :
   ?fields:(string * string) list ->
+  ?trace:string ->
   string ->
   ('a, unit, string, unit) format4 ->
   'a

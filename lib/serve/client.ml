@@ -23,6 +23,14 @@ let retryable = function
 
 type t = { fd : Unix.file_descr; mutable next_id : int }
 
+(* Trace ids are client-stamped and only need to be unique enough to grep
+   a soak's artifacts: pid + process-wide sequence.  [Atomic] so concurrent
+   soak threads never share an id. *)
+let trace_seq = Atomic.make 0
+
+let fresh_trace_id () =
+  Printf.sprintf "c%x-%x" (Unix.getpid ()) (Atomic.fetch_and_add trace_seq 1)
+
 let connect (addr : addr) =
   let sockaddr, domain =
     match addr with
@@ -62,7 +70,7 @@ let wait_readable fd timeout_s =
   in
   go (Unix.gettimeofday () +. timeout_s)
 
-let call ?id ?deadline_s t req =
+let call ?id ?trace_id ?deadline_s t req =
   let id =
     match id with
     | Some i -> i
@@ -71,7 +79,7 @@ let call ?id ?deadline_s t req =
       t.next_id <- i + 1;
       i
   in
-  let meta = { Protocol.id = Some id; deadline_s } in
+  let meta = { Protocol.id = Some id; deadline_s; trace_id } in
   match Frame.write t.fd (Protocol.request_to_json ~meta req) with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Transport (Unix.error_message e))
@@ -102,8 +110,13 @@ let call ?id ?deadline_s t req =
    the retry loop as an exception and is repackaged as exhaustion below. *)
 exception Give_up of error
 
-let request ?(backoff = Retry.default_backoff) ?rng ?sleep ?deadline_s addr req
-    =
+let request ?(backoff = Retry.default_backoff) ?rng ?sleep ?trace_id
+    ?deadline_s addr req =
+  (* One trace id per logical request, shared by every retry attempt, so
+     the server-side artifacts show the retries as one story. *)
+  let trace_id =
+    match trace_id with Some _ as t -> t | None -> Some (fresh_trace_id ())
+  in
   let seen = ref [] in
   let attempt_once ~attempt =
     match connect addr with
@@ -114,7 +127,7 @@ let request ?(backoff = Retry.default_backoff) ?rng ?sleep ?deadline_s addr req
       Fun.protect
         ~finally:(fun () -> close conn)
         (fun () ->
-          match call ~id:attempt ?deadline_s conn req with
+          match call ~id:attempt ?trace_id ?deadline_s conn req with
           | Ok data -> Ok data
           | Error e when retryable e ->
             seen := e :: !seen;

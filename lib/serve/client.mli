@@ -31,20 +31,29 @@ val connect : addr -> (t, error) result
 val close : t -> unit
 
 val call :
-  ?id:int -> ?deadline_s:float -> t -> Protocol.request ->
-  (Aging_obs.Json.t, error) result
+  ?id:int -> ?trace_id:string -> ?deadline_s:float -> t ->
+  Protocol.request -> (Aging_obs.Json.t, error) result
 (** One round-trip on an open connection.  [deadline_s] both travels in
     the request (server-side deadline) and bounds the local wait for the
-    reply (plus slack), so a killed worker cannot hang the client. *)
+    reply (plus slack), so a killed worker cannot hang the client.
+    [trace_id] travels in the envelope's [trace] field and tags the
+    request's server-side spans, flight events and slow-request log
+    lines; absent by default on a bare [call]. *)
 
 val request :
   ?backoff:Aging_util.Retry.backoff ->
   ?rng:Aging_util.Rng.t ->
   ?sleep:(float -> unit) ->
+  ?trace_id:string ->
   ?deadline_s:float ->
   addr ->
   Protocol.request ->
   (Aging_obs.Json.t, error) Aging_util.Retry.outcome
 (** Connect-call-close per attempt under the backoff policy (default
     {!Aging_util.Retry.default_backoff}).  [rng] seeds the jitter:
-    a fixed seed yields a bit-identical retry schedule. *)
+    a fixed seed yields a bit-identical retry schedule.  Every logical
+    request is stamped with a trace id — [trace_id] if given, otherwise a
+    fresh [c<pid>-<seq>] — shared across its retry attempts. *)
+
+val fresh_trace_id : unit -> string
+(** A new process-unique trace id ([c<pid>-<seq>]). *)

@@ -1,0 +1,173 @@
+module Json = Aging_obs.Json
+module Tablefmt = Aging_util.Tablefmt
+
+type pct = { count : int; p50 : float; p95 : float; p99 : float }
+
+type op_latency = {
+  op : string;
+  queue : pct option;
+  exec : pct option;
+  total : pct;
+}
+
+type snapshot = {
+  state : string;
+  uptime_s : float;
+  workers : int;
+  queue_length : int;
+  queue_cap : int;
+  inflight : int;
+  requests : int;
+  replies_ok : int;
+  refused : (string * int) list;
+  worker_restarts : int;
+  bad_frames : int;
+  connections : int;
+  latency : op_latency list;
+}
+
+let ( >>= ) o f = Option.bind o f
+
+let pct_of_json j =
+  match
+    ( Json.member "count" j,
+      Json.member "p50" j >>= Json.to_float,
+      Json.member "p95" j >>= Json.to_float,
+      Json.member "p99" j >>= Json.to_float )
+  with
+  | Some (Json.Int count), Some p50, Some p95, Some p99 ->
+    Some { count; p50; p95; p99 }
+  | _ -> None
+
+let latency_of_json j =
+  match j with
+  | Json.Obj ops ->
+    let entry (op, phases) =
+      match Json.member "total_ms" phases >>= pct_of_json with
+      | None -> None
+      | Some total ->
+        Some
+          {
+            op;
+            queue = Json.member "queue_ms" phases >>= pct_of_json;
+            exec = Json.member "exec_ms" phases >>= pct_of_json;
+            total;
+          }
+    in
+    List.filter_map entry ops
+    (* Empty phase histograms (count 0) are noise in a dashboard. *)
+    |> List.filter (fun l -> l.total.count > 0)
+    |> List.sort (fun a b ->
+           (* "all" first, then alphabetical. *)
+           match (a.op, b.op) with
+           | "all", "all" -> 0
+           | "all", _ -> -1
+           | _, "all" -> 1
+           | x, y -> compare x y)
+  | _ -> []
+
+(* Counters live in the metrics sub-object as {"type":"counter","value":n}
+   entries ({!Metrics.to_json}); a missing counter (not yet registered in
+   that process) reads as 0. *)
+let counter metrics name =
+  match Json.member name metrics >>= Json.member "value" with
+  | Some (Json.Int n) -> n
+  | _ -> 0
+
+let of_stats_json json =
+  let str name =
+    match Json.member name json with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "stats: missing %s" name)
+  in
+  let int name =
+    match Json.member name json with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "stats: missing %s" name)
+  in
+  let ( let* ) = Result.bind in
+  let* state = str "state" in
+  let* uptime_s =
+    match Json.member "uptime_s" json >>= Json.to_float with
+    | Some f -> Ok f
+    | None -> Error "stats: missing uptime_s"
+  in
+  let* workers = int "workers" in
+  let* queue_length = int "queue_length" in
+  let* queue_cap = int "queue_cap" in
+  let* inflight = int "inflight" in
+  let metrics =
+    Option.value ~default:(Json.Obj []) (Json.member "metrics" json)
+  in
+  let refused =
+    [ "overloaded"; "timeout"; "bad_request"; "internal"; "shutting_down" ]
+    |> List.filter_map (fun code ->
+           match counter metrics ("serve.refused_" ^ code) with
+           | 0 -> None
+           | n -> Some (code, n))
+  in
+  Ok
+    {
+      state;
+      uptime_s;
+      workers;
+      queue_length;
+      queue_cap;
+      inflight;
+      requests = counter metrics "serve.requests";
+      replies_ok = counter metrics "serve.replies_ok";
+      refused;
+      worker_restarts = counter metrics "serve.worker_restarts";
+      bad_frames = counter metrics "serve.bad_frames";
+      connections = counter metrics "serve.connections";
+      latency =
+        (match Json.member "latency" json with
+        | Some l -> latency_of_json l
+        | None -> []);
+    }
+
+let qps ~prev ~dt snap =
+  if dt <= 0. then 0.
+  else max 0. (float_of_int (snap.replies_ok - prev.replies_ok) /. dt)
+
+let ms f = if Float.is_nan f then "-" else Printf.sprintf "%.2f" f
+
+let render ?qps snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "relaware top — %s, up %.1f s, %d workers%s" snap.state snap.uptime_s
+    snap.workers
+    (match qps with Some q -> Printf.sprintf ", %.0f q/s" q | None -> "");
+  line "queue %d/%d   in-flight %d   connections %d" snap.queue_length
+    snap.queue_cap snap.inflight snap.connections;
+  line "requests %d   ok %d   restarts %d   bad frames %d" snap.requests
+    snap.replies_ok snap.worker_restarts snap.bad_frames;
+  (match snap.refused with
+  | [] -> ()
+  | codes ->
+    line "refused: %s"
+      (String.concat ", "
+         (List.map (fun (c, n) -> Printf.sprintf "%s %d" c n) codes)));
+  if snap.latency <> [] then begin
+    Buffer.add_char buf '\n';
+    let rows =
+      List.map
+        (fun l ->
+          [
+            l.op;
+            string_of_int l.total.count;
+            ms l.total.p50;
+            ms l.total.p95;
+            ms l.total.p99;
+            (match l.queue with Some p -> ms p.p95 | None -> "-");
+            (match l.exec with Some p -> ms p.p95 | None -> "-");
+          ])
+        snap.latency
+    in
+    Buffer.add_string buf
+      (Tablefmt.render
+         ~header:
+           [ "op"; "count"; "p50ms"; "p95ms"; "p99ms"; "queue p95"; "exec p95" ]
+         rows)
+  end;
+  Buffer.contents buf

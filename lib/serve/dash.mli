@@ -1,0 +1,49 @@
+(** Typed view of a [Stats] snapshot and the [relaware top] dashboard.
+
+    Parsing lives here — not in the CLI — so [top]'s reading of the stats
+    payload is unit-testable against a captured snapshot, and so any other
+    consumer (the soak harness, scripts) can reuse it. *)
+
+type pct = {
+  count : int;
+  p50 : float;  (** ms; NaN while the histogram is empty *)
+  p95 : float;
+  p99 : float;
+}
+
+type op_latency = {
+  op : string;
+  queue : pct option;  (** [None] for inline ops, which never queue *)
+  exec : pct option;
+  total : pct;
+}
+
+type snapshot = {
+  state : string;
+  uptime_s : float;
+  workers : int;
+  queue_length : int;
+  queue_cap : int;
+  inflight : int;
+  requests : int;      (** serve.requests counter *)
+  replies_ok : int;    (** serve.replies_ok counter *)
+  refused : (string * int) list;
+      (** refusal code -> count, only codes seen so far, sorted *)
+  worker_restarts : int;
+  bad_frames : int;
+  connections : int;
+  latency : op_latency list;  (** sorted by op; ["all"] first *)
+}
+
+val of_stats_json : Aging_obs.Json.t -> (snapshot, string) result
+(** Parse a [Stats] reply payload ({!Server.stats_json}).  [Error]
+    names the missing/malformed field. *)
+
+val qps : prev:snapshot -> dt:float -> snapshot -> float
+(** Successful replies per second between two snapshots [dt] seconds
+    apart (non-negative; 0 when [dt <= 0]). *)
+
+val render : ?qps:float -> snapshot -> string
+(** Multi-line dashboard: header (state, uptime, workers, qps), queue and
+    in-flight occupancy, counters, and a per-op latency table
+    (count, total p50/p95/p99, queue p95, exec p95). *)

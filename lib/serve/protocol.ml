@@ -5,6 +5,7 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Dump_flight
   | Sleep of float
   | Crash
   | Guardband of { design : string; corner : Scenario.corner }
@@ -26,9 +27,13 @@ type response =
   | Reply of Json.t
   | Refused of { code : error_code; message : string }
 
-type meta = { id : int option; deadline_s : float option }
+type meta = {
+  id : int option;
+  deadline_s : float option;
+  trace_id : string option;
+}
 
-let no_meta = { id = None; deadline_s = None }
+let no_meta = { id = None; deadline_s = None; trace_id = None }
 
 let error_code_to_string = function
   | Overloaded -> "overloaded"
@@ -49,6 +54,7 @@ let request_op = function
   | Ping -> "ping"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | Dump_flight -> "dump_flight"
   | Sleep _ -> "sleep"
   | Crash -> "crash"
   | Guardband _ -> "guardband"
@@ -64,9 +70,12 @@ let corner_fields (c : Scenario.corner) =
 let request_to_json ?(meta = no_meta) req =
   let meta_fields =
     (match meta.id with Some id -> [ ("id", Json.Int id) ] | None -> [])
+    @ (match meta.deadline_s with
+      | Some d -> [ ("deadline_s", Json.of_float d) ]
+      | None -> [])
     @
-    match meta.deadline_s with
-    | Some d -> [ ("deadline_s", Json.of_float d) ]
+    match meta.trace_id with
+    | Some tr -> [ ("trace", Json.String tr) ]
     | None -> []
   in
   let op name fields = Json.Obj (("op", Json.String name) :: meta_fields @ fields) in
@@ -74,6 +83,7 @@ let request_to_json ?(meta = no_meta) req =
   | Ping -> op "ping" []
   | Stats -> op "stats" []
   | Shutdown -> op "shutdown" []
+  | Dump_flight -> op "dump_flight" []
   | Sleep s -> op "sleep" [ ("seconds", Json.of_float s) ]
   | Crash -> op "crash" []
   | Guardband { design; corner } ->
@@ -105,6 +115,7 @@ let request_of_json json =
     {
       id = (match Json.member "id" json with Some (Json.Int i) -> Some i | _ -> None);
       deadline_s = float_member "deadline_s" json;
+      trace_id = string_member "trace" json;
     }
   in
   let with_corner k =
@@ -116,6 +127,7 @@ let request_of_json json =
     | Some "ping" -> Ok Ping
     | Some "stats" -> Ok Stats
     | Some "shutdown" -> Ok Shutdown
+    | Some "dump_flight" -> Ok Dump_flight
     | Some "crash" -> Ok Crash
     | Some "sleep" -> begin
       match float_member "seconds" json with

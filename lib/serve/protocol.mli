@@ -7,9 +7,12 @@
     outcomes a client can react to (back off, retry, go away), never hangs
     or closed sockets.
 
-    An optional client-chosen [id] is echoed verbatim in the response, and
-    an optional per-request [deadline_s] overrides the server's default
-    deadline. *)
+    An optional client-chosen [id] is echoed verbatim in the response, an
+    optional per-request [deadline_s] overrides the server's default
+    deadline, and an optional [trace] id (stamped by the client, opaque to
+    the server) tags the request's spans, slow-request log lines, and
+    flight-recorder events so one logical request can be followed across
+    retries and across artifacts. *)
 
 type request =
   | Ping  (** trivial round-trip; the canonical liveness/queue probe *)
@@ -17,6 +20,10 @@ type request =
       (** health endpoint: served out-of-band (never queued), so it
           answers even when the request queue is saturated *)
   | Shutdown  (** ask the server to drain gracefully and exit *)
+  | Dump_flight
+      (** flight-recorder dump: the surviving ring-buffer events as a JSON
+          reply; served out-of-band like [Stats], so forensics are
+          reachable even from a wedged server *)
   | Sleep of float
       (** diagnostics: hold a worker busy for that many seconds — how the
           tests and the chaos soak create controlled backlog *)
@@ -48,6 +55,9 @@ type response =
 type meta = {
   id : int option;          (** client correlation id, echoed back *)
   deadline_s : float option;  (** per-request deadline override *)
+  trace_id : string option;
+      (** client-stamped trace id (wire field ["trace"]); carried through
+          spans, logs, and flight events, never interpreted *)
 }
 
 val no_meta : meta

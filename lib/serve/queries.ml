@@ -51,6 +51,10 @@ let handle t (req : Protocol.request) =
     (* Admission control: the server answers shutdown inline and drains;
        reaching the handler means a client sent it to a non-draining path. *)
     Ok (Json.Obj [ ("draining", Json.Bool true) ])
+  | Protocol.Dump_flight ->
+    (* Also served inline by the server; answered here too so the handler
+       stays total (and usable without a server, e.g. in tests). *)
+    Ok (Server.flight_json ())
   | Protocol.Sleep s ->
     Unix.sleepf s;
     Ok (Json.Obj [ ("slept_s", Json.of_float s) ])

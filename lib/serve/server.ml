@@ -1,6 +1,8 @@
 module Json = Aging_obs.Json
 module Metrics = Aging_obs.Metrics
 module Log = Aging_obs.Log
+module Span = Aging_obs.Span
+module Flightrec = Aging_obs.Flightrec
 
 type config = {
   addr : [ `Unix of string | `Tcp of int ];
@@ -10,6 +12,7 @@ type config = {
   drain_timeout_s : float;
   max_frame : int;
   chaos : Chaos.t;
+  slow_ms : float option;
 }
 
 let default_config =
@@ -21,6 +24,7 @@ let default_config =
     drain_timeout_s = 5.;
     max_frame = Frame.default_max_frame;
     chaos = Chaos.none;
+    slow_ms = None;
   }
 
 type handler =
@@ -42,6 +46,91 @@ let m_bad_frames = Metrics.counter "serve.bad_frames"
 (* Queue-to-reply latency of queued (data-plane) requests. *)
 let m_latency = Metrics.histogram "serve.request_s"
 
+(* Sampled by the reaper thread so a stats snapshot carries recent values
+   even when nobody else reads them. *)
+let m_queue_depth = Metrics.gauge "serve.queue_depth"
+let m_inflight = Metrics.gauge "serve.inflight"
+
+(* ---- per-request-type phase latency ----
+
+   Three histograms per op ([serve.latency.<op>.queue_ms] / [exec_ms] /
+   [total_ms]) plus the aggregate pseudo-op ["all"].  Handles are memoized
+   here: [Metrics.histogram] itself takes the registry lock, which would be
+   contended on every request. *)
+
+type lat = {
+  l_queue : Metrics.histogram;
+  l_exec : Metrics.histogram;
+  l_total : Metrics.histogram;
+}
+
+let lat_lock = Mutex.create ()
+let lat_table : (string, lat) Hashtbl.t = Hashtbl.create 16
+
+let lat_for op =
+  Mutex.protect lat_lock (fun () ->
+      match Hashtbl.find_opt lat_table op with
+      | Some l -> l
+      | None ->
+        let h phase =
+          Metrics.histogram (Printf.sprintf "serve.latency.%s.%s_ms" op phase)
+        in
+        let l = { l_queue = h "queue"; l_exec = h "exec"; l_total = h "total" } in
+        Hashtbl.replace lat_table op l;
+        l)
+
+let observe_latency ~op ~queue_ms ~exec_ms ~total_ms =
+  let obs l =
+    (match queue_ms with Some q -> Metrics.observe l.l_queue q | None -> ());
+    (match exec_ms with Some e -> Metrics.observe l.l_exec e | None -> ());
+    Metrics.observe l.l_total total_ms
+  in
+  obs (lat_for op);
+  obs (lat_for "all")
+
+(* One span tree per request (root [serve.req.<op>], children
+   [serve.phase.queue] / [serve.phase.exec]) — assembled after the fact
+   from the job's phase timestamps, since the request's lifetime crosses
+   the connection thread and a worker domain.  Only when span recording is
+   on; a plain serve pays nothing here. *)
+let emit_request_span ~op ~trace ~t0_wall ~queue_s ~exec_s ~total_s ~result =
+  if Span.recording () then begin
+    let attrs =
+      ("op", op)
+      :: (match trace with Some tr -> [ ("trace", tr) ] | None -> [])
+    in
+    let child name t_start duration =
+      {
+        Span.name;
+        attrs = [];
+        t_start;
+        duration;
+        outcome = Span.Completed;
+        children = [];
+      }
+    in
+    let children =
+      (match queue_s with
+      | Some q -> [ child "serve.phase.queue" t0_wall q ]
+      | None -> [])
+      @
+      match exec_s with
+      | Some e ->
+        let off = Option.value ~default:0. queue_s in
+        [ child "serve.phase.exec" (t0_wall +. off) e ]
+      | None -> []
+    in
+    Span.emit
+      {
+        Span.name = "serve.req." ^ op;
+        attrs = attrs @ [ ("result", result) ];
+        t_start = t0_wall;
+        duration = total_s;
+        outcome = Span.Completed;
+        children;
+      }
+  end
+
 let count_refusal = function
   | Protocol.Overloaded -> Metrics.incr m_overloaded
   | Protocol.Timeout -> Metrics.incr m_timeout
@@ -61,12 +150,29 @@ type conn = {
 type job = {
   job_id : int;              (* server-side sequence; keys chaos decisions *)
   req : Protocol.request;
+  op : string;               (* request_op, the latency/trace label *)
+  trace : string option;     (* client-stamped trace id *)
   client_id : int option;    (* echoed correlation id *)
   deadline : float option;   (* absolute Unix time *)
   job_conn : conn;
   enqueued_at : float;
+  enqueued_m : float;        (* monotonic twin of enqueued_at *)
+  exec_started_m : float Atomic.t;  (* monotonic; nan until a worker starts *)
   replied : bool Atomic.t;   (* claimed by exactly one of worker / reaper *)
 }
+
+(* Flight-recorder event for one job; every event carries enough context
+   (job id, op, trace) to be read on its own in a post-mortem dump. *)
+let flight_job kind job fields =
+  Flightrec.note
+    ~fields:
+      (("job", Json.Int job.job_id)
+      :: ("op", Json.String job.op)
+      :: ((match job.trace with
+          | Some tr -> [ ("trace", Json.String tr) ]
+          | None -> [])
+         @ fields))
+    kind
 
 type state = Running | Draining | Stopped
 
@@ -131,12 +237,83 @@ let unregister t job =
 let inflight_count t =
   Mutex.protect t.jobs_lock (fun () -> Hashtbl.length t.inflight)
 
+let ms_str s = Printf.sprintf "%.1f" (s *. 1e3)
+
+(* Phase accounting at reply time, called by whoever won the claim (worker
+   or reaper).  When the job never reached a worker ([exec_started_m] still
+   nan — cancelled while queued) the whole latency is queue wait. *)
+let note_done t job ~result =
+  let now_m = Span.elapsed () in
+  let started_m = Atomic.get job.exec_started_m in
+  let total_s = now_m -. job.enqueued_m in
+  let queue_s, exec_s =
+    if Float.is_nan started_m then (total_s, None)
+    else (started_m -. job.enqueued_m, Some (now_m -. started_m))
+  in
+  observe_latency ~op:job.op
+    ~queue_ms:(Some (queue_s *. 1e3))
+    ~exec_ms:(Option.map (fun e -> e *. 1e3) exec_s)
+    ~total_ms:(total_s *. 1e3);
+  emit_request_span ~op:job.op ~trace:job.trace ~t0_wall:job.enqueued_at
+    ~queue_s:(Some queue_s) ~exec_s ~total_s ~result;
+  flight_job "req.completed" job
+    [ ("status", Json.String result); ("total_ms", Json.of_float (total_s *. 1e3)) ];
+  match t.cfg.slow_ms with
+  | Some thresh when total_s *. 1e3 >= thresh ->
+    Log.warnf "serve" ?trace:job.trace
+      ~fields:
+        [
+          ("job", string_of_int job.job_id);
+          ("op", job.op);
+          ("queue_ms", ms_str queue_s);
+          ( "exec_ms",
+            match exec_s with Some e -> ms_str e | None -> "-" );
+          ("total_ms", ms_str total_s);
+          ("result", result);
+        ]
+      "slow request"
+  | _ -> ()
+
+let result_of_response = function
+  | Protocol.Reply _ -> "ok"
+  | Protocol.Refused { code; _ } -> Protocol.error_code_to_string code
+
 (* ---- stats ---- *)
 
 let state_name = function
   | Running -> "running"
   | Draining -> "draining"
   | Stopped -> "stopped"
+
+(* Percentile summary of every [serve.latency.*] histogram seen so far, as
+   a nested object: op -> phase -> {count,p50,p95,p99} (values in ms).
+   Computed from the live bucket counts on each stats request — a handful
+   of ops, so this costs microseconds. *)
+let latency_json () =
+  let ops =
+    Mutex.protect lat_lock (fun () ->
+        Hashtbl.fold (fun op l acc -> (op, l) :: acc) lat_table [])
+  in
+  let pct h =
+    let buckets = Metrics.bucket_counts h in
+    Json.Obj
+      [
+        ("count", Json.Int (Metrics.histogram_count h));
+        ("p50", Json.of_float (Metrics.percentile_of_buckets buckets 0.50));
+        ("p95", Json.of_float (Metrics.percentile_of_buckets buckets 0.95));
+        ("p99", Json.of_float (Metrics.percentile_of_buckets buckets 0.99));
+      ]
+  in
+  Json.Obj
+    (List.sort compare ops
+    |> List.map (fun (op, l) ->
+           ( op,
+             Json.Obj
+               [
+                 ("queue_ms", pct l.l_queue);
+                 ("exec_ms", pct l.l_exec);
+                 ("total_ms", pct l.l_total);
+               ] )))
 
 let stats_json t =
   Json.Obj
@@ -147,18 +324,41 @@ let stats_json t =
       ("queue_length", Json.Int (Bqueue.length t.queue));
       ("queue_cap", Json.Int t.cfg.queue_cap);
       ("inflight", Json.Int (inflight_count t));
+      ("latency", latency_json ());
       ("metrics", Metrics.to_json ());
+    ]
+
+let flight_json () =
+  let events = Flightrec.events Flightrec.global in
+  Json.Obj
+    [
+      ("recorded", Json.Int (Flightrec.recorded Flightrec.global));
+      ("overwritten", Json.Int (Flightrec.overwritten Flightrec.global));
+      ("capacity", Json.Int (Flightrec.capacity Flightrec.global));
+      ("events", Json.List (List.map Flightrec.event_to_json events));
     ]
 
 (* ---- worker domains ---- *)
 
-let execute t job =
+let execute t wid job =
   (* The reaper may already have claimed (and answered) this job while it
      sat in the queue: cancelled work costs a hashtable probe, not a
      handler run. *)
   if Atomic.get job.replied then unregister t job
   else begin
+    Atomic.set job.exec_started_m (Span.elapsed ());
+    flight_job "req.started" job [ ("worker", Json.Int wid) ];
     let chaos_action = Chaos.decide t.cfg.chaos ~request_id:job.job_id in
+    (match chaos_action with
+    | Chaos.Pass -> ()
+    | Chaos.Slow s ->
+      flight_job "chaos.injected" job
+        [ ("action", Json.String "slow"); ("seconds", Json.of_float s) ]
+    | Chaos.Kill_worker ->
+      flight_job "chaos.injected" job [ ("action", Json.String "kill_worker") ]
+    | Chaos.Crash_handler ->
+      flight_job "chaos.injected" job
+        [ ("action", Json.String "crash_handler") ]);
     (match chaos_action with
     | Chaos.Slow s -> Unix.sleepf s
     | _ -> ());
@@ -167,22 +367,24 @@ let execute t job =
       | Some d -> Unix.gettimeofday () > d
       | None -> false
     in
-    if expired then begin
+    let finish resp =
       if claim job then begin
         unregister t job;
-        refuse job.job_conn ?id:job.client_id Protocol.Timeout
-          "deadline expired before execution"
+        send_response job.job_conn ?id:job.client_id resp;
+        note_done t job ~result:(result_of_response resp)
       end
       else unregister t job
+    in
+    if expired then begin
+      flight_job "deadline.expired" job [ ("where", Json.String "worker") ];
+      finish
+        (Protocol.Refused
+           {
+             code = Protocol.Timeout;
+             message = "deadline expired before execution";
+           })
     end
     else begin
-      let finish resp =
-        if claim job then begin
-          unregister t job;
-          send_response job.job_conn ?id:job.client_id resp
-        end
-        else unregister t job
-      in
       match
         (match chaos_action with
         | Chaos.Kill_worker -> raise Chaos.Chaos_kill
@@ -210,7 +412,7 @@ let worker_body t wid () =
     match Bqueue.pop t.queue with
     | None -> ()  (* queue closed and drained *)
     | Some job ->
-      execute t job;
+      execute t wid job;
       loop ()
   in
   match loop () with
@@ -232,10 +434,26 @@ let supervisor_body t () =
       (match reason with
       | Some e when not (Bqueue.closed t.queue) ->
         Metrics.incr m_restarts;
+        Flightrec.note
+          ~fields:
+            [
+              ("worker", Json.Int wid);
+              ("reason", Json.String (Printexc.to_string e));
+            ]
+          "worker.death";
         Log.warnf "serve" "worker %d died (%s); respawning" wid
           (Printexc.to_string e);
-        t.slots.(wid) <- Some (spawn_worker t wid)
+        t.slots.(wid) <- Some (spawn_worker t wid);
+        Flightrec.note ~fields:[ ("worker", Json.Int wid) ] "worker.respawn"
       | Some e ->
+        Flightrec.note
+          ~fields:
+            [
+              ("worker", Json.Int wid);
+              ("reason", Json.String (Printexc.to_string e));
+              ("draining", Json.Bool true);
+            ]
+          "worker.death";
         Log.warnf "serve" "worker %d died during drain (%s)" wid
           (Printexc.to_string e);
         t.slots.(wid) <- None
@@ -252,6 +470,10 @@ let reaper_body t () =
     if Atomic.get t.reaper_stop then ()
     else begin
       let now = Unix.gettimeofday () in
+      (* Queue-depth / in-flight gauges ride the reaper's tick: ~500 Hz
+         sampling, no extra thread. *)
+      Metrics.set m_queue_depth (float_of_int (Bqueue.length t.queue));
+      Metrics.set m_inflight (float_of_int (inflight_count t));
       let expired =
         Mutex.protect t.jobs_lock (fun () ->
             let acc = ref [] in
@@ -271,8 +493,10 @@ let reaper_body t () =
          ever holds the connection's write lock. *)
       List.iter
         (fun job ->
+          flight_job "deadline.expired" job [ ("where", Json.String "reaper") ];
           refuse job.job_conn ?id:job.client_id Protocol.Timeout
-            "deadline expired")
+            "deadline expired";
+          note_done t job ~result:"timeout")
         expired;
       Unix.sleepf period;
       loop ()
@@ -296,37 +520,64 @@ let admit t conn meta req =
     {
       job_id;
       req;
+      op = Protocol.request_op req;
+      trace = meta.Protocol.trace_id;
       client_id = meta.Protocol.id;
       deadline;
       job_conn = conn;
       enqueued_at = Unix.gettimeofday ();
+      enqueued_m = Span.elapsed ();
+      exec_started_m = Atomic.make Float.nan;
       replied = Atomic.make false;
     }
   in
   Mutex.protect t.jobs_lock (fun () -> Hashtbl.replace t.inflight job_id job);
   match Bqueue.try_push t.queue job with
-  | `Ok -> ()
+  | `Ok -> flight_job "req.admitted" job []
   | `Full ->
     unregister t job;
+    flight_job "req.refused" job [ ("code", Json.String "overloaded") ];
     refuse conn ?id:meta.Protocol.id Protocol.Overloaded
       (Printf.sprintf "request queue full (cap %d)" t.cfg.queue_cap)
   | `Closed ->
     unregister t job;
+    flight_job "req.refused" job [ ("code", Json.String "shutting_down") ];
     refuse conn ?id:meta.Protocol.id Protocol.Shutting_down "server draining"
+
+(* Control-plane requests are answered on the connection thread, so their
+   latency has no queue phase: exec covers handling, total adds the reply
+   write. *)
+let inline_timed ~op ~trace f =
+  let t0_wall = Unix.gettimeofday () in
+  let t0_m = Span.elapsed () in
+  f ();
+  let total_s = Span.elapsed () -. t0_m in
+  observe_latency ~op ~queue_ms:None ~exec_ms:(Some (total_s *. 1e3))
+    ~total_ms:(total_s *. 1e3);
+  emit_request_span ~op ~trace ~t0_wall ~queue_s:None ~exec_s:(Some total_s)
+    ~total_s ~result:"ok"
 
 let handle_frame t conn json stop_self =
   match Protocol.request_of_json json with
   | Error msg -> refuse conn Protocol.Bad_request msg
   | Ok (meta, req) -> begin
     Metrics.incr m_requests;
+    let trace = meta.Protocol.trace_id in
     match req with
-    (* Control-plane requests never touch the queue: liveness and drain
-       must work precisely when the data plane is saturated. *)
+    (* Control-plane requests never touch the queue: liveness, forensics
+       and drain must work precisely when the data plane is saturated. *)
     | Protocol.Ping ->
-      send_response conn ?id:meta.Protocol.id
-        (Protocol.Reply (Json.Obj [ ("pong", Json.Bool true) ]))
+      inline_timed ~op:"ping" ~trace (fun () ->
+          send_response conn ?id:meta.Protocol.id
+            (Protocol.Reply (Json.Obj [ ("pong", Json.Bool true) ])))
     | Protocol.Stats ->
-      send_response conn ?id:meta.Protocol.id (Protocol.Reply (stats_json t))
+      inline_timed ~op:"stats" ~trace (fun () ->
+          send_response conn ?id:meta.Protocol.id
+            (Protocol.Reply (stats_json t)))
+    | Protocol.Dump_flight ->
+      inline_timed ~op:"dump_flight" ~trace (fun () ->
+          send_response conn ?id:meta.Protocol.id
+            (Protocol.Reply (flight_json ())))
     | Protocol.Shutdown ->
       send_response conn ?id:meta.Protocol.id
         (Protocol.Reply (Json.Obj [ ("draining", Json.Bool true) ]));
@@ -378,6 +629,8 @@ let stop t =
 
 let teardown t =
   Atomic.set t.state Draining;
+  Flightrec.note ~fields:[ ("inflight", Json.Int (inflight_count t)) ]
+    "serve.draining";
   Log.infof "serve" "draining: refusing new work, finishing %d in flight"
     (inflight_count t);
   (try Unix.close t.listener with Unix.Unix_error _ -> ());
@@ -428,6 +681,7 @@ let teardown t =
   (try Unix.close t.stop_pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_pipe_w with Unix.Unix_error _ -> ());
   Atomic.set t.state Stopped;
+  Flightrec.note "serve.stopped";
   Log.infof "serve" "stopped"
 
 let accept_body t () =
@@ -519,6 +773,13 @@ let start ~handler cfg =
   t.supervisor <- Some (Thread.create (supervisor_body t) ());
   t.reaper <- Some (Thread.create (reaper_body t) ());
   t.accept_thread <- Some (Thread.create (accept_body t) ());
+  Flightrec.note
+    ~fields:
+      [
+        ("workers", Json.Int cfg.workers);
+        ("queue_cap", Json.Int cfg.queue_cap);
+      ]
+    "serve.started";
   Log.infof "serve" "listening (%s), %d workers, queue %d"
     (match cfg.addr with
     | `Unix p -> "unix:" ^ p
@@ -529,7 +790,25 @@ let start ~handler cfg =
 let await t =
   match t.accept_thread with Some th -> Thread.join th | None -> ()
 
-let install_signal_handlers t =
+let dump_flight_to path =
+  Flightrec.note ~fields:[ ("path", Json.String path) ] "flight.dump";
+  match Flightrec.dump_to_file Flightrec.global path with
+  | Ok () ->
+    Log.infof ~fields:[ ("path", path) ] "serve" "flight recorder dumped"
+  | Error msg ->
+    Log.warnf
+      ~fields:[ ("path", path); ("error", msg) ]
+      "serve" "flight dump failed"
+
+let install_signal_handlers ?flight_dump t =
   let handle = Sys.Signal_handle (fun _ -> stop t) in
   Sys.set_signal Sys.sigterm handle;
-  Sys.set_signal Sys.sigint handle
+  Sys.set_signal Sys.sigint handle;
+  match flight_dump with
+  | None -> ()
+  | Some path ->
+    (* SIGQUIT = dump-and-keep-running: OCaml signal handlers run at
+       safepoints on the main execution path, not in async context, so
+       file IO here is ordinary code. *)
+    Sys.set_signal Sys.sigquit
+      (Sys.Signal_handle (fun _ -> dump_flight_to path))

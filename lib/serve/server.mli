@@ -5,8 +5,9 @@
     - one {e accept thread} (started by {!start}) owns the listening
       socket and the shutdown state machine;
     - one systhread per connection reads frames, answers [Ping] /
-      [Stats] / [Shutdown] inline (so health checks work even when the
-      request queue is saturated) and admits everything else to a
+      [Stats] / [Dump_flight] / [Shutdown] inline (so health checks and
+      forensics work even when the request queue is saturated) and
+      admits everything else to a
       {e bounded} {!Bqueue} — a full queue is an immediate typed
       [overloaded] refusal, never a blocked reader or an unbounded
       buffer;
@@ -40,11 +41,16 @@ type config = {
   drain_timeout_s : float;    (** max wait for in-flight work on drain *)
   max_frame : int;            (** per-frame payload cap in bytes *)
   chaos : Chaos.t;            (** fault injection; {!Chaos.none} in production *)
+  slow_ms : float option;
+      (** warn-log any request whose total latency (admission to reply)
+          meets this threshold, with trace id and queue/exec phase
+          breakdown; [None] (the default) disables the log *)
 }
 
 val default_config : config
 (** Unix socket (caller must set [addr]), 2 workers, queue of 64, no
-    default deadline, 5 s drain, {!Frame.default_max_frame}, no chaos. *)
+    default deadline, 5 s drain, {!Frame.default_max_frame}, no chaos,
+    no slow-request log. *)
 
 type handler =
   Protocol.request -> (Aging_obs.Json.t, Protocol.error_code * string) result
@@ -71,16 +77,31 @@ val await : t -> unit
     joined).  [start] + [install_signal_handlers] + [await] is the whole
     daemon main loop. *)
 
-val install_signal_handlers : t -> unit
-(** SIGTERM and SIGINT trigger {!stop}. *)
+val install_signal_handlers : ?flight_dump:string -> t -> unit
+(** SIGTERM and SIGINT trigger {!stop}.  When [flight_dump] is given,
+    SIGQUIT additionally dumps the flight recorder to that path as JSONL
+    {e without} stopping the server (dump-and-keep-running forensics). *)
 
 val running : t -> bool
 (** True until drain begins. *)
 
 val stats_json : t -> Aging_obs.Json.t
 (** The [Stats] payload: live queue length / in-flight count / state /
-    uptime plus the process metrics registry (which includes the
-    [serve.*] counters and the degradation-library cache counters). *)
+    uptime, a ["latency"] object summarizing every
+    [serve.latency.<op>.<phase>_ms] histogram as
+    [op -> phase -> {count, p50, p95, p99}] (ms; ["all"] aggregates all
+    ops), plus the process metrics registry (which includes the [serve.*]
+    counters, the sampled [serve.queue_depth] / [serve.inflight] gauges
+    and the degradation-library cache counters). *)
+
+val flight_json : unit -> Aging_obs.Json.t
+(** The [Dump_flight] payload: the process-global flight recorder's
+    surviving events plus recorded/overwritten/capacity counters. *)
+
+val dump_flight_to : string -> unit
+(** Write the process-global flight recorder to [path] as JSONL (one
+    event per line), logging instead of raising on failure — usable from
+    crash handlers.  This is what the SIGQUIT handler calls. *)
 
 val worker_restarts : t -> int
 (** Number of worker domains the supervisor has respawned. *)

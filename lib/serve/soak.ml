@@ -40,6 +40,8 @@ type report = {
   elapsed_s : float;
   qps : float;
   server_alive : bool;
+  lat_p50_ms : float option;
+  lat_p95_ms : float option;
 }
 
 (* Per-thread tally; summed after join so the storm itself shares nothing. *)
@@ -158,6 +160,31 @@ let client_loop cfg ci tally =
   in
   loop 0
 
+(* Total-latency percentiles across all ops, read back from the server's
+   stats snapshot after the storm: the server owns the histograms, the soak
+   only reports them.  [None] when the server is gone or predates the
+   latency summary. *)
+let fetch_latency addr =
+  match Client.connect addr with
+  | Error _ -> None
+  | Ok conn ->
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        match Client.call ~deadline_s:2. conn Protocol.Stats with
+        | Error _ -> None
+        | Ok stats ->
+          let ( >>= ) o f = Option.bind o f in
+          Json.member "latency" stats >>= Json.member "all"
+          >>= Json.member "total_ms"
+          >>= fun tot ->
+          (match
+             ( Json.member "p50" tot >>= Json.to_float,
+               Json.member "p95" tot >>= Json.to_float )
+           with
+          | Some p50, Some p95 -> Some (p50, p95)
+          | _ -> None))
+
 let probe_alive addr =
   let ok req =
     match Client.connect addr with
@@ -190,6 +217,7 @@ let run cfg =
   in
   Array.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. started in
+  let latency = fetch_latency cfg.addr in
   let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
   let ok = sum (fun t -> t.t_ok) in
   {
@@ -207,11 +235,13 @@ let run cfg =
     elapsed_s;
     qps = (if elapsed_s > 0. then float_of_int ok /. elapsed_s else 0.);
     server_alive = probe_alive cfg.addr;
+    lat_p50_ms = Option.map fst latency;
+    lat_p95_ms = Option.map snd latency;
   }
 
 let report_json r =
   Json.Obj
-    [
+    ([
       ("attempts", Json.Int r.attempts);
       ("ok", Json.Int r.ok);
       ("refused_overloaded", Json.Int r.refused_overloaded);
@@ -227,13 +257,27 @@ let report_json r =
       ("qps", Json.of_float r.qps);
       ("server_alive", Json.Bool r.server_alive);
     ]
+    @ (match r.lat_p50_ms with
+      | Some p -> [ ("lat_p50_ms", Json.of_float p) ]
+      | None -> [])
+    @
+    match r.lat_p95_ms with
+    | Some p -> [ ("lat_p95_ms", Json.of_float p) ]
+    | None -> [])
 
 let report_to_string r =
+  let lat =
+    match (r.lat_p50_ms, r.lat_p95_ms) with
+    | Some p50, Some p95 ->
+      Printf.sprintf "; total latency p50/p95 %.1f/%.1f ms" p50 p95
+    | _ -> ""
+  in
   Printf.sprintf
     "soak: %d ok / %d attempts in %.2fs (%.0f q/s); refused: %d overloaded, \
      %d timeout, %d internal, %d bad_request, %d shutting_down; %d \
      transport, %d garbled, %d exhausted, %d corrupt frames sent; server \
-     alive: %b"
+     alive: %b%s"
     r.ok r.attempts r.elapsed_s r.qps r.refused_overloaded r.refused_timeout
     r.refused_internal r.refused_bad_request r.refused_shutting_down
     r.transport_errors r.garbled r.exhausted r.corrupt_sent r.server_alive
+    lat

@@ -42,6 +42,10 @@ type report = {
   elapsed_s : float;
   qps : float;             (** successful requests per second *)
   server_alive : bool;     (** [Ping] + [Stats] answered after the storm *)
+  lat_p50_ms : float option;
+      (** server-side total-latency p50 across all ops, read from the
+          post-storm stats snapshot; [None] if the server was unreachable *)
+  lat_p95_ms : float option;
 }
 
 val run : config -> report

@@ -7,6 +7,7 @@ module Log = Aging_obs.Log
 module Json = Aging_obs.Json
 module Run_ledger = Aging_obs.Run_ledger
 module Trace_export = Aging_obs.Trace_export
+module Flightrec = Aging_obs.Flightrec
 module Profile = Aging_obs.Profile
 module Scenario = Aging_physics.Scenario
 module Axes = Aging_liberty.Axes
@@ -628,6 +629,99 @@ let test_profile_telescopes () =
   Alcotest.(check bool) "table renders the hottest rows" true
     (String.length table > 0)
 
+(* --------------------------- flight recorder --------------------------- *)
+
+let test_flightrec_wrap () =
+  let r = Flightrec.create ~capacity:8 () in
+  for i = 0 to 19 do
+    Flightrec.record r ~fields:[ ("i", Json.Int i) ] "test.tick"
+  done;
+  Alcotest.(check int) "recorded counts overwritten events" 20
+    (Flightrec.recorded r);
+  Alcotest.(check int) "overwritten = recorded - capacity" 12
+    (Flightrec.overwritten r);
+  let events = Flightrec.events r in
+  Alcotest.(check int) "ring keeps exactly capacity" 8 (List.length events);
+  Alcotest.(check (list int)) "survivors are the newest, oldest first"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun (ev : Flightrec.event) -> ev.Flightrec.seq) events);
+  List.iter
+    (fun (ev : Flightrec.event) ->
+      Alcotest.(check bool) "payload tracks seq" true
+        (List.assoc_opt "i" ev.Flightrec.fields
+        = Some (Json.Int ev.Flightrec.seq)))
+    events;
+  Flightrec.clear r;
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Flightrec.events r));
+  Alcotest.(check int) "clear resets the counters" 0 (Flightrec.recorded r)
+
+(* Four domains hammer one ring concurrently: every surviving event must
+   have a unique seq, and the survivors must be exactly the newest
+   [capacity] seqs — the lock hands out dense sequence numbers and ring
+   slots atomically. *)
+let test_flightrec_concurrent () =
+  let per_domain = 200 in
+  let domains = 4 in
+  let r = Flightrec.create ~capacity:64 () in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Flightrec.record r
+                ~fields:[ ("d", Json.Int d); ("i", Json.Int i) ]
+                "test.storm"
+            done))
+  in
+  List.iter Domain.join workers;
+  let total = domains * per_domain in
+  Alcotest.(check int) "every record counted" total (Flightrec.recorded r);
+  let events = Flightrec.events r in
+  Alcotest.(check int) "full ring survives" 64 (List.length events);
+  let seqs = List.map (fun (ev : Flightrec.event) -> ev.Flightrec.seq) events in
+  Alcotest.(check (list int)) "survivors are the dense newest window"
+    (List.init 64 (fun i -> total - 64 + i))
+    seqs
+
+let test_flightrec_dump_roundtrip () =
+  let r = Flightrec.create ~capacity:16 () in
+  Flightrec.record r "serve.started";
+  Flightrec.record r
+    ~fields:
+      [ ("job", Json.Int 3); ("op", Json.String "sleep");
+        ("trace", Json.String "c12-0"); ("total_ms", Json.Float 4.25) ]
+    "req.completed";
+  (* Single-event JSON round trip preserves every field. *)
+  (match Flightrec.events r with
+  | [ _; ev ] -> begin
+    match Flightrec.event_of_json (Flightrec.event_to_json ev) with
+    | Ok ev' ->
+      Alcotest.(check bool) "event JSON round trip" true (ev' = ev)
+    | Error msg -> Alcotest.fail msg
+  end
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flightrec-%d.jsonl" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Flightrec.dump_to_file r path with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Flightrec.load_jsonl path with
+  | Ok evs ->
+    Alcotest.(check bool) "dump/load round trip" true
+      (evs = Flightrec.events r)
+  | Error msg -> Alcotest.fail msg);
+  (* A malformed line aborts the load with a typed error, not an exception. *)
+  let oc = open_out path in
+  output_string oc "{\"seq\":0,\"kind\":\"ok\",\"t\":1.0,\"mono\":1.0}\nnot json\n";
+  close_out oc;
+  match Flightrec.load_jsonl path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on malformed line"
+
 let suite =
   [
     Alcotest.test_case "counter get-or-create / reset" `Quick test_counter;
@@ -666,4 +760,10 @@ let suite =
       test_trace_export_parallel;
     Alcotest.test_case "profile self times telescope" `Slow
       test_profile_telescopes;
+    Alcotest.test_case "flight recorder wraps and overwrites" `Quick
+      test_flightrec_wrap;
+    Alcotest.test_case "flight recorder concurrent domains" `Slow
+      test_flightrec_concurrent;
+    Alcotest.test_case "flight recorder dump round trip" `Quick
+      test_flightrec_dump_roundtrip;
   ]

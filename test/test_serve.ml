@@ -3,6 +3,9 @@
    exercised in-process over real unix sockets. *)
 
 module Json = Aging_obs.Json
+module Metrics = Aging_obs.Metrics
+module Span = Aging_obs.Span
+module Flightrec = Aging_obs.Flightrec
 module Frame = Aging_serve.Frame
 module Protocol = Aging_serve.Protocol
 module Bqueue = Aging_serve.Bqueue
@@ -10,6 +13,7 @@ module Chaos = Aging_serve.Chaos
 module Server = Aging_serve.Server
 module Client = Aging_serve.Client
 module Soak = Aging_serve.Soak
+module Dash = Aging_serve.Dash
 module Scenario = Aging_physics.Scenario
 module Rng = Aging_util.Rng
 module Retry = Aging_util.Retry
@@ -92,7 +96,10 @@ let test_frame_closed () =
 
 let test_protocol_roundtrip () =
   let corner = Scenario.corner ~lambda_p:0.37 ~lambda_n:0.61 in
-  let meta = { Protocol.id = Some 5; deadline_s = Some 0.25 } in
+  let meta =
+    { Protocol.id = Some 5; deadline_s = Some 0.25;
+      trace_id = Some "c1a2b-3" }
+  in
   List.iter
     (fun req ->
       match Protocol.request_of_json (Protocol.request_to_json ~meta req) with
@@ -429,6 +436,237 @@ let test_server_survives_corrupt_frames () =
       | Ok _ -> ()
       | Error e -> Alcotest.fail (Client.error_to_string e))
 
+(* --------------------- tracing and phase accounting --------------------- *)
+
+(* One worker pinned by a long sleep; the next request waits in the queue,
+   then executes.  The per-op latency histograms must attribute the wait
+   to queue_ms and the handler run to exec_ms.  Assertions run after
+   [with_server] returns — [Server.await] has joined the workers, so every
+   reply's phase accounting has landed. *)
+let test_server_phase_accounting () =
+  Metrics.reset ();
+  with_server (fun _srv addr ->
+      let blocker =
+        Thread.create (fun () -> call_on addr (Protocol.Sleep 0.25)) ()
+      in
+      Unix.sleepf 0.05;
+      (match call_on addr (Protocol.Sleep 0.05) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Client.error_to_string e));
+      Thread.join blocker);
+  let h phase =
+    Metrics.histogram (Printf.sprintf "serve.latency.sleep.%s_ms" phase)
+  in
+  Alcotest.(check int) "both sleeps in total_ms" 2
+    (Metrics.histogram_count (h "total"));
+  Alcotest.(check int) "both sleeps in queue_ms" 2
+    (Metrics.histogram_count (h "queue"));
+  Alcotest.(check int) "both sleeps in exec_ms" 2
+    (Metrics.histogram_count (h "exec"));
+  let queue_ms = Metrics.histogram_sum (h "queue") in
+  let exec_ms = Metrics.histogram_sum (h "exec") in
+  let total_ms = Metrics.histogram_sum (h "total") in
+  Alcotest.(check bool) "queued request's wait lands in queue_ms" true
+    (queue_ms >= 100.);
+  Alcotest.(check bool) "handler runs land in exec_ms" true (exec_ms >= 200.);
+  Alcotest.(check bool) "phases telescope into the total" true
+    (queue_ms +. exec_ms <= total_ms +. 1.);
+  Alcotest.(check int) "\"all\" pseudo-op aggregates" 2
+    (Metrics.histogram_count (Metrics.histogram "serve.latency.all.total_ms"))
+
+(* With span recording on, a traced request leaves a [serve.req.<op>] root
+   tagged with the client's trace id and queue/exec phase children. *)
+let test_server_request_spans () =
+  Span.reset ();
+  Span.set_recording true;
+  Fun.protect ~finally:(fun () -> Span.set_recording false) @@ fun () ->
+  with_server (fun _srv addr ->
+      match Client.connect addr with
+      | Error e -> Alcotest.fail (Client.error_to_string e)
+      | Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            match
+              Client.call ~trace_id:"t-span" conn (Protocol.Sleep 0.02)
+            with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Client.error_to_string e)));
+  match
+    List.find_opt
+      (fun (s : Span.t) -> s.Span.name = "serve.req.sleep")
+      (Span.roots ())
+  with
+  | None -> Alcotest.fail "no serve.req.sleep span recorded"
+  | Some s ->
+    Alcotest.(check (option string)) "trace attr" (Some "t-span")
+      (List.assoc_opt "trace" s.Span.attrs);
+    Alcotest.(check (option string)) "result attr" (Some "ok")
+      (List.assoc_opt "result" s.Span.attrs);
+    let names = List.map (fun (c : Span.t) -> c.Span.name) s.Span.children in
+    Alcotest.(check bool) "queue and exec phase children" true
+      (List.mem "serve.phase.queue" names
+      && List.mem "serve.phase.exec" names);
+    let exec =
+      List.find
+        (fun (c : Span.t) -> c.Span.name = "serve.phase.exec")
+        s.Span.children
+    in
+    Alcotest.(check bool) "exec phase covers the handler run" true
+      (exec.Span.duration >= 0.015)
+
+(* The flight recorder is always on: a served request leaves admitted /
+   started events carrying its trace id, and [dump_flight] returns them
+   over the wire without stopping the server. *)
+let test_server_dump_flight () =
+  Flightrec.clear Flightrec.global;
+  with_server (fun srv addr ->
+      (match Client.connect addr with
+      | Error e -> Alcotest.fail (Client.error_to_string e)
+      | Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            match
+              Client.call ~trace_id:"t-flight" conn (Protocol.Sleep 0.01)
+            with
+            | Ok _ -> ()
+            | Error e -> Alcotest.fail (Client.error_to_string e)));
+      (match call_on addr Protocol.Dump_flight with
+      | Error e -> Alcotest.fail (Client.error_to_string e)
+      | Ok dump ->
+        let events =
+          match Json.member "events" dump with
+          | Some (Json.List l) -> l
+          | _ -> []
+        in
+        Alcotest.(check bool) "flight dump has events" true (events <> []);
+        let kinds =
+          List.filter_map
+            (fun ev ->
+              match Json.member "kind" ev with
+              | Some (Json.String k) -> Some k
+              | _ -> None)
+            events
+        in
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) (k ^ " recorded") true (List.mem k kinds))
+          [ "serve.started"; "req.admitted"; "req.started" ];
+        Alcotest.(check bool) "events carry the trace id" true
+          (List.exists
+             (fun ev ->
+               match Json.member "fields" ev with
+               | Some fields ->
+                 Json.member "trace" fields = Some (Json.String "t-flight")
+               | None -> false)
+             events));
+      Alcotest.(check bool) "server still running after dump" true
+        (Server.running srv))
+
+(* ------------------------------- dash ------------------------------- *)
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_dash_snapshot () =
+  let pct c p50 p95 p99 =
+    Json.Obj
+      [ ("count", Json.Int c); ("p50", Json.of_float p50);
+        ("p95", Json.of_float p95); ("p99", Json.of_float p99) ]
+  in
+  let snap_json =
+    Json.Obj
+      [
+        ("state", Json.String "running");
+        ("uptime_s", Json.Float 12.5);
+        ("workers", Json.Int 2);
+        ("queue_length", Json.Int 1);
+        ("queue_cap", Json.Int 8);
+        ("inflight", Json.Int 2);
+        ( "metrics",
+          (* the {"type","value"} entry shape of Metrics.to_json *)
+          let ctr n =
+            Json.Obj
+              [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+          in
+          Json.Obj
+            [
+              ("serve.requests", ctr 100);
+              ("serve.replies_ok", ctr 90);
+              ("serve.refused_timeout", ctr 10);
+              ("serve.worker_restarts", ctr 1);
+              ("serve.connections", ctr 7);
+            ] );
+        ( "latency",
+          Json.Obj
+            [
+              ( "sleep",
+                Json.Obj
+                  [
+                    ("queue_ms", pct 5 1. 2. 3.);
+                    ("exec_ms", pct 5 50. 60. 70.);
+                    ("total_ms", pct 5 51. 62. 73.);
+                  ] );
+              ("all", Json.Obj [ ("total_ms", pct 6 10. 60. 70.) ]);
+              (* An empty histogram must be filtered out of the table. *)
+              ("ping", Json.Obj [ ("total_ms", pct 0 0. 0. 0.) ]);
+            ] );
+      ]
+  in
+  (match Dash.of_stats_json snap_json with
+  | Error msg -> Alcotest.fail msg
+  | Ok snap ->
+    Alcotest.(check string) "state" "running" snap.Dash.state;
+    Alcotest.(check int) "workers" 2 snap.Dash.workers;
+    Alcotest.(check int) "queue" 1 snap.Dash.queue_length;
+    Alcotest.(check int) "inflight" 2 snap.Dash.inflight;
+    Alcotest.(check int) "requests counter" 100 snap.Dash.requests;
+    Alcotest.(check (list (pair string int))) "only refusals seen"
+      [ ("timeout", 10) ]
+      snap.Dash.refused;
+    Alcotest.(check (list string)) "\"all\" first, empty ops dropped"
+      [ "all"; "sleep" ]
+      (List.map (fun l -> l.Dash.op) snap.Dash.latency);
+    let sleep = List.nth snap.Dash.latency 1 in
+    Alcotest.(check bool) "queue percentiles parsed" true
+      (match sleep.Dash.queue with
+      | Some p -> p.Dash.p95 = 2.
+      | None -> false);
+    let prev = { snap with Dash.replies_ok = 40 } in
+    Alcotest.(check (float 1e-9)) "qps from two snapshots" 10.
+      (Dash.qps ~prev ~dt:5. snap);
+    let screen = Dash.render ~qps:10. snap in
+    Alcotest.(check bool) "render shows the header" true
+      (contains screen "relaware top");
+    Alcotest.(check bool) "render shows the op rows" true
+      (contains screen "sleep"));
+  match Dash.of_stats_json (Json.Obj []) with
+  | Error msg ->
+    Alcotest.(check bool) "error names the missing field" true
+      (contains msg "state")
+  | Ok _ -> Alcotest.fail "expected parse error on empty stats"
+
+let test_dash_of_live_stats () =
+  with_server (fun _srv addr ->
+      ignore (call_on addr Protocol.Ping);
+      match call_on addr Protocol.Stats with
+      | Error e -> Alcotest.fail (Client.error_to_string e)
+      | Ok stats -> (
+        match Dash.of_stats_json stats with
+        | Error msg -> Alcotest.fail msg
+        | Ok snap ->
+          Alcotest.(check string) "live state" "running" snap.Dash.state;
+          Alcotest.(check int) "live queue cap" 4 snap.Dash.queue_cap;
+          Alcotest.(check bool) "live requests counted" true
+            (snap.Dash.requests >= 1);
+          Alcotest.(check bool) "live latency summary present" true
+            (List.exists (fun l -> l.Dash.op = "all") snap.Dash.latency)))
+
 (* In-process chaos soak: saturating concurrent clients against an
    injected-fault server must end with the server alive and clients
    having succeeded through retries — graceful degradation, not a crash
@@ -485,6 +723,13 @@ let suite =
      test_server_supervisor_restarts);
     ("server: survives corrupt frames", `Quick,
      test_server_survives_corrupt_frames);
+    ("server: queue/exec phase accounting", `Quick,
+     test_server_phase_accounting);
+    ("server: traced requests leave phase spans", `Quick,
+     test_server_request_spans);
+    ("server: dump_flight over the wire", `Quick, test_server_dump_flight);
+    ("dash: parses a captured stats snapshot", `Quick, test_dash_snapshot);
+    ("dash: parses live stats", `Quick, test_dash_of_live_stats);
     ("soak: degrades gracefully under chaos", `Quick,
      test_soak_degrades_gracefully);
   ]
