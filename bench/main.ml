@@ -86,6 +86,50 @@ let smoke () =
   Printf.printf "smoke: counter4, %d cells, min period %.3e s\n%!"
     (List.length cells) min_period
 
+(* ------------------------- kernel scenario ------------------------- *)
+
+(* Raw transient-kernel throughput: characterize a small cell set over the
+   paper's 7x7 grid (sequential, no cache) and report per-point throughput
+   plus the solver effort per point/step.  The QoR rows make `obs diff`
+   gate both speed (points/s) and solver effort (Jacobian refreshes and
+   Newton iterations), so a kernel regression that trades one for the
+   other is caught either way. *)
+let kernel () =
+  let cells =
+    List.map Aging_cells.Catalog.find_exn [ "INV_X1"; "NAND2_X1"; "NOR2_X1" ]
+  in
+  let scenario =
+    Aging_physics.Scenario.scenario Aging_physics.Scenario.worst_case
+  in
+  let counter name =
+    Option.value (Metrics.value_by_name name) ~default:0.
+  in
+  let steps0 = counter "engine.steps" in
+  let jac0 = counter "engine.jacobian_refreshes" in
+  let newton0 = counter "engine.newton_iterations" in
+  let t0 = Span.elapsed () in
+  let _lib, report =
+    Aging_liberty.Characterize.library_report ~cells
+      ~axes:Aging_liberty.Axes.paper ~name:"kernel" ~scenario ()
+  in
+  let wall = Span.elapsed () -. t0 in
+  let totals = Aging_liberty.Characterize.report_totals report in
+  let points = float_of_int totals.Aging_liberty.Characterize.points in
+  let steps = counter "engine.steps" -. steps0 in
+  let jacs = counter "engine.jacobian_refreshes" -. jac0 in
+  let newtons = counter "engine.newton_iterations" -. newton0 in
+  let per base v = if base > 0. then v /. base else 0. in
+  Run_ledger.note_qor "engine.points_per_s" (per wall points);
+  Run_ledger.note_qor "engine.steps_per_point" (per points steps);
+  Run_ledger.note_qor "engine.jacobian_refreshes_per_point" (per points jacs);
+  Run_ledger.note_qor "engine.newton_iters_per_step" (per steps newtons);
+  Printf.printf
+    "kernel: %d points in %.2f s (%.0f points/s); per point %.1f steps, %.2f \
+     Jacobians; %.2f Newton iters/step\n\
+     %!"
+    totals.Aging_liberty.Characterize.points wall (per wall points)
+    (per points steps) (per points jacs) (per steps newtons)
+
 (* ------------------------- scaling scenario ------------------------- *)
 
 (* The same small characterization run at jobs=1 and jobs=N: the two
@@ -394,6 +438,7 @@ let () =
     let mode, selected =
       match args with
       | [ "smoke" ] -> ("smoke", [ "smoke" ])
+      | [ "kernel" ] -> ("kernel", [ "kernel" ])
       | [ "scaling" ] -> ("scaling", [ "scaling-jobs1"; "scaling-jobsN" ])
       | [ "serve" ] -> ("serve", [ "serve" ])
       | [] -> ((if !quick then "quick" else "full"), all_figures)
@@ -401,6 +446,7 @@ let () =
     in
     Printf.printf "reliability-aware design reproduction — %s mode\n\n%!" mode;
     if mode = "smoke" then scenario "smoke" smoke
+    else if mode = "kernel" then scenario "kernel" kernel
     else if mode = "scaling" then scaling ~jobs:!jobs ~scenario
     else if mode = "serve" then scenario "serve" serve_bench
     else begin

@@ -9,6 +9,10 @@ module Cell = Aging_cells.Cell
 module Scenario = Aging_physics.Scenario
 module Device = Aging_physics.Device
 module Mosfet = Aging_spice.Mosfet
+module Circuit = Aging_spice.Circuit
+module Engine = Aging_spice.Engine
+module Stimulus = Aging_spice.Stimulus
+module Waveform = Aging_spice.Waveform
 module Timing = Aging_sta.Timing
 module Sdf = Aging_sta.Sdf
 module Event_sim = Aging_sim.Event_sim
@@ -576,6 +580,137 @@ let synth_equiv spec =
       (String.concat "," (List.map string_of_int cycles))
 
 (* ------------------------------------------------------------------ *)
+(* 9. jacobian-fd: the engine's analytic device derivatives vs finite
+   differences of the current equation itself, at random (aged) devices
+   and operating points; plus one transient where the engine's
+   [fd_jacobian] option must reproduce the analytic-Jacobian delays. *)
+
+type jac_case = {
+  jac_pmos : bool;
+  jac_w : float;
+  jac_dvth : float;
+  jac_mu : float;
+  jac_vg : float;
+  jac_vd : float;
+  jac_vs : float;
+  jac_slew : float;
+  jac_load : float;
+}
+
+let pp_jac_case c =
+  Printf.sprintf
+    "{%s w=%.2e dvth=%.3f mu=%.2f vg=%.3f vd=%.3f vs=%.3f slew=%.2e load=%.2e}"
+    (if c.jac_pmos then "pmos" else "nmos")
+    c.jac_w c.jac_dvth c.jac_mu c.jac_vg c.jac_vd c.jac_vs c.jac_slew
+    c.jac_load
+
+let jac_case_gen =
+  let open Gen in
+  let+ p = float_range 0. 1.
+  and+ jac_w = float_range Device.w_min (4. *. Device.w_min)
+  and+ jac_dvth = float_range 0. 0.12
+  and+ jac_mu = float_range 0.8 1.0
+  and+ jac_vg = float_range (-0.1) (Device.vdd +. 0.1)
+  and+ jac_vd = float_range (-0.1) (Device.vdd +. 0.1)
+  and+ jac_vs = float_range (-0.1) (Device.vdd +. 0.1)
+  and+ jac_slew = float_range 2e-11 5e-10
+  and+ jac_load = float_range 1e-15 8e-15 in
+  { jac_pmos = p < 0.5; jac_w; jac_dvth; jac_mu; jac_vg; jac_vd; jac_vs;
+    jac_slew; jac_load }
+
+let jacobian_fd c =
+  let dev =
+    Device.with_aging ~delta_vth:c.jac_dvth ~mu_factor:c.jac_mu
+      (if c.jac_pmos then Device.pmos ~w:c.jac_w else Device.nmos ~w:c.jac_w)
+  in
+  let vg = c.jac_vg and vd = c.jac_vd and vs = c.jac_vs in
+  let i_at ~vg ~vd ~vs = Mosfet.channel_current dev ~vg ~vd ~vs in
+  let d = Mosfet.channel_current_deriv dev ~vg ~vd ~vs in
+  let i = i_at ~vg ~vd ~vs in
+  let** () =
+    if Float.abs (d.Mosfet.i -. i) <= 1e-15 +. (1e-12 *. Float.abs i) then
+      Ok ()
+    else
+      fail "deriv.i disagrees with channel_current: %.6e vs %.6e" d.Mosfet.i i
+  in
+  (* The model is continuous but only piecewise differentiable, and the
+     analytic derivative is the one-sided derivative of the branch taken;
+     near a region boundary (vds = vdsat, vov = 0, vd = vs) the central
+     difference straddles the kink.  A partial therefore passes if ANY of
+     the central / forward / backward estimates matches — one of the
+     one-sided differences always approximates the branch taken. *)
+  let h = 1e-7 in
+  let check_partial what analytic f_plus f_minus =
+    let central = (f_plus -. f_minus) /. (2. *. h) in
+    let forward = (f_plus -. i) /. h in
+    let backward = (i -. f_minus) /. h in
+    let ok est =
+      Float.abs (analytic -. est)
+      <= 2e-6 +. (1e-3 *. Float.max (Float.abs analytic) (Float.abs est))
+    in
+    if ok central || ok forward || ok backward then Ok ()
+    else
+      fail "d/d%s: analytic %.6e vs FD %.6e (fwd %.6e, bwd %.6e)" what
+        analytic central forward backward
+  in
+  let** () =
+    check_partial "vg" d.Mosfet.di_dvg
+      (i_at ~vg:(vg +. h) ~vd ~vs)
+      (i_at ~vg:(vg -. h) ~vd ~vs)
+  in
+  let** () =
+    check_partial "vd" d.Mosfet.di_dvd
+      (i_at ~vg ~vd:(vd +. h) ~vs)
+      (i_at ~vg ~vd:(vd -. h) ~vs)
+  in
+  let** () =
+    check_partial "vs" d.Mosfet.di_dvs
+      (i_at ~vg ~vd ~vs:(vs +. h))
+      (i_at ~vg ~vd ~vs:(vs -. h))
+  in
+  (* End to end: the FD-Jacobian engine path must land on the same INV
+     delay and output slew as the analytic path.  Both linearizations
+     drive the same Newton iteration to the same [newton_tol], so only
+     sub-tolerance trajectory differences survive into the crossings. *)
+  let inv = Catalog.find_exn "INV_X1" in
+  let run fd_jacobian =
+    let circuit = Circuit.map_devices Fun.id inv.Cell.built.Cell.circuit in
+    let out_node = List.assoc "Y" inv.Cell.built.Cell.output_nodes in
+    let in_node = List.assoc "A" inv.Cell.built.Cell.input_nodes in
+    Circuit.add_cap circuit out_node c.jac_load;
+    let options =
+      { Engine.default_options with settle_time = 0.8e-9; fd_jacobian }
+    in
+    let t_start = 5e-11 in
+    let t_stop =
+      t_start +. Stimulus.full_ramp_time c.jac_slew +. 2e-9
+    in
+    let r =
+      Engine.transient ~options circuit
+        ~drives:
+          [ (in_node, Stimulus.ramp ~t_start ~slew:c.jac_slew ~rising:true ()) ]
+        ~t_stop
+    in
+    let w_in = Engine.waveform r in_node in
+    let w_out = Engine.waveform r out_node in
+    ( Waveform.delay ~input:w_in ~output:w_out ~out_direction:Waveform.Falling
+        ~vdd:Device.vdd,
+      Waveform.slew w_out ~direction:Waveform.Falling ~vdd:Device.vdd )
+  in
+  let d_ana, s_ana = run false in
+  let d_fd, s_fd = run true in
+  let close what a b =
+    match (a, b) with
+    | Some a, Some b ->
+      if Float.abs (a -. b) <= 0.02 *. Float.max (Float.abs a) (Float.abs b)
+      then Ok ()
+      else fail "fd_jacobian %s diverges: analytic %.4e vs fd %.4e" what a b
+    | None, _ | _, None -> fail "missing %s measurement" what
+  in
+  let** () = close "delay" d_ana d_fd in
+  close "slew" s_ana s_fd
+
+(* ------------------------------------------------------------------ *)
 
 let mk name doc ~print ~gen prop =
   {
@@ -622,6 +757,11 @@ let all () =
       "the synthesis flow preserves cycle-accurate behaviour on random \
        netlists"
       ~print:Netgen.pp_spec ~gen:Netgen.spec synth_equiv;
+    mk "jacobian-fd"
+      "analytic device derivatives match finite differences of the current \
+       equation at random aged operating points; the engine's fd_jacobian \
+       path reproduces the analytic-Jacobian delays"
+      ~print:pp_jac_case ~gen:jac_case_gen jacobian_fd;
   ]
 
 let find name = List.find_opt (fun o -> o.name = name) (all ())

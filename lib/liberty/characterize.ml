@@ -74,8 +74,8 @@ let aged_circuit ~scenario (cell : Cell.t) =
 (* Transient backend                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let transient_measure ?(t_stop_scale = 1.) options ~base_circuit
-    ~(cell : Cell.t) ~(arc : Cell.arc) ~dir ~slew ~load =
+let transient_measure ?(t_stop_scale = 1.) ?warm ?state_out options
+    ~base_circuit ~(cell : Cell.t) ~(arc : Cell.arc) ~dir ~slew ~load =
   let circuit = Circuit.map_devices Fun.id base_circuit in
   let out_node = List.assoc arc.Cell.arc_output cell.Cell.built.output_nodes in
   let in_node = List.assoc arc.Cell.arc_input cell.Cell.built.input_nodes in
@@ -92,7 +92,24 @@ let transient_measure ?(t_stop_scale = 1.) options ~base_circuit
   in
   let init =
     match cell.Cell.kind with
-    | Cell.Combinational -> []
+    | Cell.Combinational -> begin
+      (* Warm start: seed every free node from a neighbouring grid point's
+         settled final state (same topology, slightly different slew/load),
+         so DC settling starts at — or within a Newton tolerance of — the
+         operating point instead of relaxing from 0 V.  Combinational cells
+         only: a latch seeded from a foreign state could settle into the
+         wrong stored value. *)
+      match warm with
+      | Some state when Array.length state = Circuit.node_count circuit ->
+        let driven = in_node :: List.map fst side_drives in
+        let seeds = ref [] in
+        for n = Circuit.node_count circuit - 1 downto 0 do
+          if n <> Circuit.gnd && n <> Circuit.vdd && not (List.mem n driven)
+          then seeds := (n, state.(n)) :: !seeds
+        done;
+        !seeds
+      | Some _ | None -> []
+    end
     | Cell.Flipflop ->
       (* Seed the slave latch storage node with the pre-edge state (the
          output is its complement); the clocked keeper maintains it through
@@ -123,6 +140,15 @@ let transient_measure ?(t_stop_scale = 1.) options ~base_circuit
   if diag.Engine.non_converged_steps > 0 then
     Error (Non_converged diag.Engine.non_converged_steps)
   else begin
+    (* Hand the t=0 operating point back for the next grid point's warm
+       start: across the grid the [t <= 0] drive values are identical, so
+       this settled state is (to Newton tolerance) exactly where the next
+       run's DC pre-roll wants to end up.  Only a converged run qualifies;
+       the later sanity checks gate the *measurement*, but the settled
+       state is a valid operating point either way. *)
+    (match state_out with
+    | Some r -> r := Some (Engine.settled_state result)
+    | None -> ());
     let w_in = Engine.waveform result in_node in
     let w_out = Engine.waveform result out_node in
     let out_dir =
@@ -240,18 +266,22 @@ let injected_error fault key =
   | 2 -> No_slew
   | _ -> Non_converged 1
 
-let rec attempt_point backend ~attempt ~key ~base_circuit ~cell ~arc ~dir ~slew
-    ~load =
+let rec attempt_point backend ~attempt ~key ?warm ?state_out ~base_circuit
+    ~cell ~arc ~dir ~slew ~load () =
   match backend with
   | Faulty (fault, inner) ->
     if injects fault key ~attempt then Error (injected_error fault key)
     else
-      attempt_point inner ~attempt ~key ~base_circuit ~cell ~arc ~dir ~slew ~load
+      attempt_point inner ~attempt ~key ?warm ?state_out ~base_circuit ~cell
+        ~arc ~dir ~slew ~load ()
   | Analytic -> Ok (analytic_measure ~base_circuit ~cell ~arc ~dir ~slew ~load)
   | Transient options ->
     let options, t_stop_scale = escalated attempt options in
-    transient_measure ~t_stop_scale options ~base_circuit ~cell ~arc ~dir ~slew
-      ~load
+    (* Escalation rungs run cold: if the first attempt failed, the warm
+       seed is suspect, and the rungs are about robustness, not speed. *)
+    let warm = if attempt = 0 then warm else None in
+    transient_measure ~t_stop_scale ?warm ?state_out options ~base_circuit
+      ~cell ~arc ~dir ~slew ~load
 
 (* Pacing between escalation rungs.  A failed rung is usually a
    deterministic solver problem (retrying immediately with tighter settings
@@ -264,7 +294,8 @@ let retry_pause_backoff =
   { Retry.default_backoff with
     Retry.base = 5e-4; cap = 5e-3; factor = 2.; jitter = 0.5 }
 
-let measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load =
+let measure_point backend ~key ?warm ?state_out ~base_circuit ~cell ~arc ~dir
+    ~slew ~load () =
   let pause =
     match backend with
     | Transient _ | Analytic -> None
@@ -278,8 +309,8 @@ let measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load =
   Retry.with_escalation ?pause
     ~ladder:(List.init (max_escalations + 1) Fun.id)
     (fun attempt ->
-      attempt_point backend ~attempt ~key ~base_circuit ~cell ~arc ~dir ~slew
-        ~load)
+      attempt_point backend ~attempt ~key ?warm ?state_out ~base_circuit ~cell
+        ~arc ~dir ~slew ~load ())
 
 (* ------------------------------------------------------------------ *)
 (* Characterization report                                             *)
@@ -401,6 +432,12 @@ let measure_grid backend ~(stats : arc_stats) ~(axes : Axes.t) ~base_circuit
   let slews_out = Array.make_matrix ns nl 0. in
   let ok = Array.make_matrix ns nl false in
   let holes = ref [] in
+  (* Warm-start chain: each point seeds the next one's DC settle with the
+     operating point of the last successful measurement.  The chain runs
+     inside this (arc, dir) work unit, which is always sequential, so the
+     grid values are identical whatever the worker fan-out is. *)
+  let warm = ref None in
+  let state_out = ref None in
   for i = 0 to ns - 1 do
     for j = 0 to nl - 1 do
       let slew = axes.Axes.slews.(i) and load = axes.Axes.loads.(j) in
@@ -423,7 +460,15 @@ let measure_grid backend ~(stats : arc_stats) ~(axes : Axes.t) ~base_circuit
               ("load", Printf.sprintf "%.3g" load);
             ]
           (fun () ->
-            measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load)
+            state_out := None;
+            let outcome =
+              measure_point backend ~key ?warm:!warm ~state_out ~base_circuit
+                ~cell ~arc ~dir ~slew ~load ()
+            in
+            (match !state_out with
+            | Some _ as s -> warm := s
+            | None -> ());
+            outcome)
       in
       match outcome with
       | Retry.First_try (d, s) ->
@@ -505,7 +550,9 @@ let arc_measure backend ~scenario ~(cell : Cell.t) ~(arc : Cell.arc) ~dir ~slew
   in
   (* Legacy single-point entry point: the one place a point failure still
      escapes as an exception, after the full escalation ladder. *)
-  match measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load with
+  match
+    measure_point backend ~key ~base_circuit ~cell ~arc ~dir ~slew ~load ()
+  with
   | Retry.First_try v | Retry.Recovered (v, _) -> v
   | Retry.Exhausted errs ->
     Metrics.incr m_failed;

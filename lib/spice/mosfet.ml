@@ -8,26 +8,91 @@ let saturation_current (dev : Device.params) ~vov =
     dev.Device.mu_factor *. dev.Device.beta *. (dev.Device.w /. dev.Device.l)
     *. (vov ** dev.Device.alpha_sat)
 
+(* exp(x) for the exponentials of the model, short-circuited deep in the
+   tail: below -26 the result is < 5.2e-12, which is beyond the engine's
+   Newton tolerance relative to every other term it ever meets.  Cuts the
+   libm call for the common on-state operating points (large vds, positive
+   overdrive). *)
+let exp_tail x = if x < -26. then 0. else exp x
+
+(* A device compiled for the transient hot path: the derived constants of
+   the current equations (threshold, geometry-scaled prefactors, inverse
+   thermal slopes) are folded once at construction, so an evaluation does
+   no division or parameter-record chasing; and the overdrive-dependent
+   strength term — the alpha-power [**] above threshold (idsat) or the
+   subthreshold [exp] below it (gate factor) — is memoized in the two
+   mutable fields.  Gates mostly sit on driven nodes and sources on rails,
+   so vov repeats across every chord-Newton iteration of a step: the libm
+   call is paid once per input movement instead of once per residual
+   evaluation.  The memo is keyed on the exact vov float (a hit is a
+   pure-function memo hit, bit-identical to recomputation) and the key's
+   sign disambiguates which quantity is stored.  Never share an [inst]
+   between devices with different parameters. *)
+type inst = {
+  nmos : bool;
+  vth : float;         (* effective threshold, aging shift included *)
+  sub0 : float;        (* i_sub0 * W/L *)
+  inv_nvt : float;     (* 1 / (n_sub * vt) *)
+  inv_vt : float;      (* 1 / vt *)
+  k_sat : float;       (* mu_factor * beta * W/L *)
+  alpha : float;
+  vdsat_frac : float;
+  lambda : float;
+  mutable c_vov : float;
+  mutable c_strength : float;
+}
+
+let inst (dev : Device.params) =
+  let wl = dev.Device.w /. dev.Device.l in
+  {
+    nmos = (dev.Device.polarity = Device.Nmos);
+    vth = Device.effective_vth dev;
+    sub0 = dev.Device.i_sub0 *. wl;
+    inv_nvt = 1. /. (dev.Device.n_sub *. thermal_voltage);
+    inv_vt = 1. /. thermal_voltage;
+    k_sat = dev.Device.mu_factor *. dev.Device.beta *. wl;
+    alpha = dev.Device.alpha_sat;
+    vdsat_frac = dev.Device.vdsat_frac;
+    lambda = dev.Device.lambda_clm;
+    c_vov = Float.nan;
+    c_strength = 0.;
+  }
+
+let idsat_at m vov =
+  if vov = m.c_vov then m.c_strength
+  else begin
+    let i = m.k_sat *. (vov ** m.alpha) in
+    m.c_vov <- vov;
+    m.c_strength <- i;
+    i
+  end
+
+let gate_factor_at m vov =
+  if vov = m.c_vov then m.c_strength
+  else begin
+    let g = exp_tail (vov *. m.inv_nvt) in
+    m.c_vov <- vov;
+    m.c_strength <- g;
+    g
+  end
+
 (* Normalized nMOS-style current for vgs/vds referenced to the true source
    (the lower-potential terminal); always >= 0. *)
-let forward_current (dev : Device.params) ~vgs ~vds =
-  let vth = Device.effective_vth dev in
-  let vov = vgs -. vth in
-  let wl = dev.Device.w /. dev.Device.l in
-  let vt = thermal_voltage in
-  let drain_factor = 1. -. exp (-.vds /. vt) in
+let forward_current m ~vgs ~vds =
+  let vov = vgs -. m.vth in
+  let drain_factor = 1. -. exp_tail (-.vds *. m.inv_vt) in
   let sub =
     (* Continuous across vov = 0: exponential below threshold, constant
        floor above (the strong-inversion term dominates there anyway). *)
-    let gate_factor = if vov < 0. then exp (vov /. (dev.Device.n_sub *. vt)) else 1. in
-    dev.Device.i_sub0 *. wl *. gate_factor *. drain_factor
+    let gate_factor = if vov < 0. then gate_factor_at m vov else 1. in
+    m.sub0 *. gate_factor *. drain_factor
   in
   let strong =
     if vov <= 0. then 0.
     else begin
-      let idsat = saturation_current dev ~vov in
-      let vdsat = dev.Device.vdsat_frac *. vov in
-      let clm = 1. +. (dev.Device.lambda_clm *. vds) in
+      let idsat = idsat_at m vov in
+      let vdsat = m.vdsat_frac *. vov in
+      let clm = 1. +. (m.lambda *. vds) in
       if vds >= vdsat then idsat *. clm
       else
         let x = vds /. vdsat in
@@ -36,14 +101,117 @@ let forward_current (dev : Device.params) ~vgs ~vds =
   in
   sub +. strong
 
-let channel_current (dev : Device.params) ~vg ~vd ~vs =
-  match dev.Device.polarity with
-  | Device.Nmos ->
-    if vd >= vs then forward_current dev ~vgs:(vg -. vs) ~vds:(vd -. vs)
-    else -.forward_current dev ~vgs:(vg -. vd) ~vds:(vs -. vd)
-  | Device.Pmos ->
+(* Value and partial derivatives of [forward_current] with respect to vgs
+   and vds.  Every branch mirrors the current equation exactly, so the
+   triple is the true gradient of the implemented model (not of the ideal
+   physics): the FD-vs-analytic oracle compares against finite differences
+   of [forward_current] itself. *)
+let forward_current_deriv m ~vgs ~vds =
+  let vov = vgs -. m.vth in
+  let e_d = exp_tail (-.vds *. m.inv_vt) in
+  let drain_factor = 1. -. e_d in
+  let d_drain = e_d *. m.inv_vt in
+  let gate_factor, d_gate =
+    if vov < 0. then
+      let g = gate_factor_at m vov in
+      (g, g *. m.inv_nvt)
+    else (1., 0.)
+  in
+  let sub = m.sub0 *. gate_factor *. drain_factor in
+  let sub_g = m.sub0 *. d_gate *. drain_factor in
+  let sub_d = m.sub0 *. gate_factor *. d_drain in
+  if vov <= 0. then (sub, sub_g, sub_d)
+  else begin
+    let idsat = idsat_at m vov in
+    let d_idsat = m.alpha *. idsat /. vov in
+    let vdsat = m.vdsat_frac *. vov in
+    let clm = 1. +. (m.lambda *. vds) in
+    if vds >= vdsat then
+      ( sub +. (idsat *. clm),
+        sub_g +. (d_idsat *. clm),
+        sub_d +. (idsat *. m.lambda) )
+    else begin
+      let x = vds /. vdsat in
+      let shape = (2. -. x) *. x in
+      (* x depends on vgs through vdsat: dx/dvov = -x/vov. *)
+      let strong_g =
+        (d_idsat *. shape *. clm)
+        -. (idsat *. (2. -. (2. *. x)) *. (x /. vov) *. clm)
+      in
+      let strong_d =
+        (idsat *. (2. -. (2. *. x)) /. vdsat *. clm)
+        +. (idsat *. shape *. m.lambda)
+      in
+      (sub +. (idsat *. shape *. clm), sub_g +. strong_g, sub_d +. strong_d)
+    end
+  end
+
+let channel_current_inst m ~vg ~vd ~vs =
+  if m.nmos then begin
+    if vd >= vs then forward_current m ~vgs:(vg -. vs) ~vds:(vd -. vs)
+    else -.forward_current m ~vgs:(vg -. vd) ~vds:(vs -. vd)
+  end
+  else begin
     (* Mirror: the source of a pMOS is its higher-potential terminal; the
        conventional channel current then flows source -> drain, i.e. the
        drain->source current is negative. *)
-    if vd <= vs then -.forward_current dev ~vgs:(vs -. vg) ~vds:(vs -. vd)
-    else forward_current dev ~vgs:(vd -. vg) ~vds:(vd -. vs)
+    if vd <= vs then -.forward_current m ~vgs:(vs -. vg) ~vds:(vs -. vd)
+    else forward_current m ~vgs:(vd -. vg) ~vds:(vd -. vs)
+  end
+
+let channel_current (dev : Device.params) ~vg ~vd ~vs =
+  channel_current_inst (inst dev) ~vg ~vd ~vs
+
+type deriv = { i : float; di_dvg : float; di_dvd : float; di_dvs : float }
+
+(* Chain rule through the same drain/source swap and pMOS mirror as
+   [channel_current]; [i] always equals [channel_current] at the same
+   terminal voltages. *)
+let channel_current_deriv_inst m ~vg ~vd ~vs =
+  if m.nmos then begin
+    if vd >= vs then
+      let i, fg, fd = forward_current_deriv m ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+      { i; di_dvg = fg; di_dvd = fd; di_dvs = -.(fg +. fd) }
+    else
+      let i, fg, fd = forward_current_deriv m ~vgs:(vg -. vd) ~vds:(vs -. vd) in
+      { i = -.i; di_dvg = -.fg; di_dvd = fg +. fd; di_dvs = -.fd }
+  end
+  else begin
+    if vd <= vs then
+      let i, fg, fd = forward_current_deriv m ~vgs:(vs -. vg) ~vds:(vs -. vd) in
+      { i = -.i; di_dvg = fg; di_dvd = fd; di_dvs = -.(fg +. fd) }
+    else
+      let i, fg, fd = forward_current_deriv m ~vgs:(vd -. vg) ~vds:(vd -. vs) in
+      { i; di_dvg = -.fg; di_dvd = fg +. fd; di_dvs = -.fd }
+  end
+
+let channel_current_deriv (dev : Device.params) ~vg ~vd ~vs =
+  channel_current_deriv_inst (inst dev) ~vg ~vd ~vs
+
+(* Batch entry points for the transient engine.  Keeping the loop on this
+   side of the module boundary lets the whole current-equation chain
+   inline into the loop body (the fully-inlined evaluators are too large
+   to inline across modules), and the array-in/array-out signature keeps
+   every float unboxed: the per-call boxing of three terminal voltages
+   and a result was a measurable share of the engine's per-iteration
+   allocation. *)
+
+let channel_currents_into insts gn dn sn v out =
+  for k = 0 to Array.length insts - 1 do
+    out.(k) <-
+      channel_current_inst insts.(k) ~vg:v.(gn.(k)) ~vd:v.(dn.(k))
+        ~vs:v.(sn.(k))
+  done
+
+let channel_current_derivs_into insts gn dn sn v out =
+  for k = 0 to Array.length insts - 1 do
+    let d =
+      channel_current_deriv_inst insts.(k) ~vg:v.(gn.(k)) ~vd:v.(dn.(k))
+        ~vs:v.(sn.(k))
+    in
+    let o = 4 * k in
+    out.(o) <- d.i;
+    out.(o + 1) <- d.di_dvg;
+    out.(o + 2) <- d.di_dvd;
+    out.(o + 3) <- d.di_dvs
+  done

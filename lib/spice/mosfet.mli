@@ -21,3 +21,61 @@ val channel_current : Aging_physics.Device.params -> vg:float -> vd:float -> vs:
 val saturation_current : Aging_physics.Device.params -> vov:float -> float
 (** Saturation current at overdrive [vov] (no channel-length modulation);
     0 for non-positive overdrive.  Exposed for calibration and tests. *)
+
+type inst
+(** A device compiled for the transient hot path: derived constants
+    (effective threshold, geometry-scaled prefactors, inverse thermal
+    slopes) folded once at construction, plus a memo of the
+    overdrive-dependent strength term (the alpha-power [**] above
+    threshold, the subthreshold [exp] below it).  Gates mostly sit on
+    driven nodes and sources on rails, so the overdrive repeats across
+    every chord-Newton iteration of a step; the memo pays the libm call
+    once per input movement instead of once per residual evaluation.  It
+    is keyed on the exact overdrive float, so a hit is always a
+    pure-function memo hit — results are bit-identical with and without
+    one.  Never share an [inst] between devices with different
+    parameters. *)
+
+val inst : Aging_physics.Device.params -> inst
+(** Compile a device (memo starts empty). *)
+
+val channel_current_inst : inst -> vg:float -> vd:float -> vs:float -> float
+(** {!channel_current} through a compiled device — the transient engine's
+    hot path, one [inst] per device instance. *)
+
+type deriv = {
+  i : float;       (** the channel current itself, = {!channel_current} *)
+  di_dvg : float;  (** ∂I/∂vg at the operating point [A/V] *)
+  di_dvd : float;  (** ∂I/∂vd *)
+  di_dvs : float;  (** ∂I/∂vs *)
+}
+
+val channel_current_deriv :
+  Aging_physics.Device.params -> vg:float -> vd:float -> vs:float -> deriv
+(** [channel_current] together with its analytic partial derivatives with
+    respect to the three terminal voltages — the device stamps of the
+    transient engine's Jacobian.  Exact gradient of the implemented model
+    on every branch (triode, saturation, subthreshold, swapped terminals);
+    the model is continuous but only piecewise differentiable, so at region
+    boundaries the one-sided derivative of the branch taken is returned.
+    Verified against finite differences by the [jacobian-fd] oracle. *)
+
+val channel_current_deriv_inst : inst -> vg:float -> vd:float -> vs:float -> deriv
+(** {!channel_current_deriv} through a compiled device; see
+    {!channel_current_inst}. *)
+
+val channel_currents_into :
+  inst array -> int array -> int array -> int array -> float array ->
+  float array -> unit
+(** [channel_currents_into insts gn dn sn v out] evaluates every compiled
+    device at the node voltages [v] — device [k]'s terminals are nodes
+    [gn.(k)]/[dn.(k)]/[sn.(k)] — and stores its channel current in
+    [out.(k)].  The batch form exists for the engine's residual loop:
+    arrays in, arrays out, so no float crosses the module boundary boxed. *)
+
+val channel_current_derivs_into :
+  inst array -> int array -> int array -> int array -> float array ->
+  float array -> unit
+(** Same batch shape for {!channel_current_deriv}: device [k]'s current
+    and its three partial derivatives land in [out.(4k) .. 4k+3]
+    (i, di_dvg, di_dvd, di_dvs) — the engine's Jacobian-assembly loop. *)

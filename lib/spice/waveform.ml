@@ -13,10 +13,47 @@ let value_at w time =
     w.values.(i) +. (f *. (w.values.(i + 1) -. w.values.(i)))
   end
 
+(* Inverse quadratic through three consecutive samples: t as a Lagrange
+   polynomial in v, evaluated at [level].  Only valid when the values are
+   strictly monotone over the triple (t(v) is single-valued there); returns
+   None otherwise so the caller falls back to linear. *)
+let inv_quad_t w i0 i1 i2 level =
+  let v0 = w.values.(i0) and v1 = w.values.(i1) and v2 = w.values.(i2) in
+  if (v1 -. v0) *. (v2 -. v1) <= 0. then None
+  else begin
+    let t0 = w.times.(i0) and t1 = w.times.(i1) and t2 = w.times.(i2) in
+    let d01 = v0 -. v1 and d02 = v0 -. v2 and d12 = v1 -. v2 in
+    let l0 = (level -. v1) *. (level -. v2) /. (d01 *. d02) in
+    let l1 = (level -. v0) *. (level -. v2) /. (-.(d01 *. d12)) in
+    let l2 = (level -. v0) *. (level -. v1) /. (d02 *. d12) in
+    Some ((l0 *. t0) +. (l1 *. t1) +. (l2 *. t2))
+  end
+
+(* Crossing time within segment [i, i+1].  The linear estimate is refined
+   by inverse-quadratic interpolation over each three-sample neighbourhood
+   of the segment (averaged when both sides apply), which removes the
+   leading curvature term of the error — crossing times then barely move
+   when the same trajectory is sampled on a different adaptive step grid.
+   A refinement that leaves the bracketing segment is discarded: the
+   crossing provably lies inside it. *)
 let crossing_at w i level =
   let v0 = w.values.(i) and v1 = w.values.(i + 1) in
   let t0 = w.times.(i) and t1 = w.times.(i + 1) in
-  t0 +. ((level -. v0) /. (v1 -. v0) *. (t1 -. t0))
+  let linear = t0 +. ((level -. v0) /. (v1 -. v0) *. (t1 -. t0)) in
+  let n = Array.length w.times in
+  let inside t = if t >= t0 && t <= t1 then Some t else None in
+  let left =
+    if i > 0 then Option.bind (inv_quad_t w (i - 1) i (i + 1) level) inside
+    else None
+  in
+  let right =
+    if i + 2 < n then Option.bind (inv_quad_t w i (i + 1) (i + 2) level) inside
+    else None
+  in
+  match (left, right) with
+  | Some a, Some b -> 0.5 *. (a +. b)
+  | Some a, None | None, Some a -> a
+  | None, None -> linear
 
 let crosses w i level = function
   | Rising -> w.values.(i) < level && w.values.(i + 1) >= level
@@ -40,27 +77,46 @@ let cross_last w ~level ~direction =
   in
   go (n - 2)
 
+(* Last crossing at or before time [t_max] — the "matching" crossing of an
+   edge anchored downstream.  Scanning for the globally-last crossing
+   instead would pair levels from different edges: on a waveform with a
+   full transition followed by a partial re-transition, the partial edge's
+   crossing of one level can postdate the full edge's crossing of the
+   other, which is exactly the multi-edge case the global search got
+   wrong (it returned no slew at all). *)
+let cross_last_at_or_before w ~level ~direction ~t_max =
+  let n = Array.length w.times in
+  let rec go i =
+    if i < 0 then None
+    else if crosses w i level direction then begin
+      let t = crossing_at w i level in
+      if t <= t_max then Some t else go (i - 1)
+    end
+    else go (i - 1)
+  in
+  go (n - 2)
+
 let slew w ~direction ~vdd =
   let lo = 0.2 *. vdd and hi = 0.8 *. vdd in
   match direction with
   | Rising -> begin
     (* Anchor on the last 80% crossing, then find the matching 20% crossing
-       before it so a single edge is measured. *)
+       at or before it so a single edge is measured. *)
     match cross_last w ~level:hi ~direction with
     | None -> None
     | Some t_hi -> begin
-      match cross_last w ~level:lo ~direction with
-      | Some t_lo when t_lo <= t_hi -> Some (t_hi -. t_lo)
-      | Some _ | None -> None
+      match cross_last_at_or_before w ~level:lo ~direction ~t_max:t_hi with
+      | Some t_lo -> Some (t_hi -. t_lo)
+      | None -> None
     end
   end
   | Falling -> begin
     match cross_last w ~level:lo ~direction with
     | None -> None
     | Some t_lo -> begin
-      match cross_last w ~level:hi ~direction with
-      | Some t_hi when t_hi <= t_lo -> Some (t_lo -. t_hi)
-      | Some _ | None -> None
+      match cross_last_at_or_before w ~level:hi ~direction ~t_max:t_lo with
+      | Some t_hi -> Some (t_lo -. t_hi)
+      | None -> None
     end
   end
 

@@ -16,14 +16,20 @@ val value_at : t -> float -> float
 (** Linear interpolation between samples; clamps outside the record. *)
 
 val cross : t -> level:float -> direction:direction -> float option
-(** First time the waveform crosses [level] in the given direction
-    (interpolated between samples). *)
+(** First time the waveform crosses [level] in the given direction.
+    Crossing times are located by linear bracketing and refined by
+    inverse-quadratic interpolation over the neighbouring samples, so they
+    are stable against resampling the same trajectory on a different
+    adaptive step grid. *)
 
 val cross_last : t -> level:float -> direction:direction -> float option
 (** Last such crossing — robust to glitches before the final settling edge. *)
 
 val slew : t -> direction:direction -> vdd:float -> float option
-(** 20 %-80 % transition time of the final edge in [direction]. *)
+(** 20 %-80 % transition time of the final edge in [direction]: anchored
+    on the last far-level crossing, paired with the matching near-level
+    crossing {e at or before} it, so a partial re-transition after the
+    measured edge (a multi-edge waveform) cannot break the pairing. *)
 
 val delay :
   input:t -> output:t -> out_direction:direction -> vdd:float -> float option

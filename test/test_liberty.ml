@@ -286,6 +286,36 @@ let test_analytic_backend_runs () =
   in
   Alcotest.(check bool) "positive" true (d > 0. && s > 0.)
 
+let test_warm_vs_cold_agreement () =
+  (* Grid characterization warm-starts every transient from the previous
+     point's settled operating point; [arc_measure] settles cold from zero.
+     Warm seeding only accelerates the settle — it must not move the
+     measured numbers.  Compare every coarse-grid point of the aged
+     inverter, both directions, against a cold re-measurement. *)
+  let scenario = Scenario.scenario Scenario.worst_case in
+  let cell = Catalog.find_exn "INV_X1" in
+  let cell_arc = List.hd (Cell.arcs cell) in
+  let arc = List.hd (aged_entry "INV_X1").Library.arcs in
+  List.iter
+    (fun dir ->
+      Array.iter
+        (fun slew ->
+          Array.iter
+            (fun load ->
+              let d_cold, s_cold =
+                Characterize.arc_measure Characterize.default_backend ~scenario
+                  ~cell ~arc:cell_arc ~dir ~slew ~load
+              in
+              let d_warm = Library.delay_of arc ~dir ~slew ~load in
+              let s_warm = Library.out_slew_of arc ~dir ~slew ~load in
+              Fixtures.check_close ~tol:(0.01 *. d_cold) "warm vs cold delay"
+                d_cold d_warm;
+              Fixtures.check_close ~tol:(0.01 *. s_cold) "warm vs cold slew"
+                s_cold s_warm)
+            Axes.coarse.Axes.loads)
+        Axes.coarse.Axes.slews)
+    [ Library.Rise; Library.Fall ]
+
 let prop_lookup_within_table_bounds =
   let lib = Fixtures.fresh_library in
   Fixtures.qtest "interpolated delay within table bounds"
@@ -315,6 +345,7 @@ let suite =
     ("io: save/load roundtrip", `Quick, test_io_roundtrip);
     ("io: parse errors", `Quick, test_io_parse_errors);
     ("characterize: analytic backend", `Quick, test_analytic_backend_runs);
+    ("characterize: warm start agrees with cold", `Quick, test_warm_vs_cold_agreement);
     ("characterize: clean build report", `Quick, test_clean_build_report);
     ("characterize: injected faults recovered by retry", `Quick, test_fault_injection_recovers);
     ("characterize: exhausted faults repaired by fallback", `Quick, test_fault_injection_fallback);

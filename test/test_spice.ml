@@ -31,6 +31,35 @@ let prop_terminal_symmetry =
       let b = Mosfet.channel_current nmos ~vg ~vd:vs ~vs:vd in
       Float.abs (a +. b) <= 1e-9 +. (1e-6 *. Float.abs a))
 
+let prop_deriv_matches_fd =
+  (* The analytic Jacobian entries must match a finite difference of the
+     current equation.  The model is piecewise-differentiable (vov = 0,
+     vds = vdsat kinks), so at least one of the central/forward/backward
+     estimates must agree — at a kink the one-sided estimate from the
+     matching side is exact while the central one straddles it. *)
+  let close a b =
+    Float.abs (a -. b) <= 2e-6 +. (1e-3 *. Float.max (Float.abs a) (Float.abs b))
+  in
+  let matches f x analytic =
+    let h = 1e-7 in
+    let fm = f (x -. h) and f0 = f x and fp = f (x +. h) in
+    close analytic ((fp -. fm) /. (2. *. h))
+    || close analytic ((fp -. f0) /. h)
+    || close analytic ((f0 -. fm) /. h)
+  in
+  Fixtures.qtest "channel_current_deriv matches finite differences"
+    QCheck2.Gen.(
+      quad bool
+        (float_range (-0.1) 1.2)
+        (float_range (-0.1) 1.2)
+        (float_range (-0.1) 1.2))
+    (fun (p, vg, vd, vs) ->
+      let dev = if p then pmos else nmos in
+      let d = Mosfet.channel_current_deriv dev ~vg ~vd ~vs in
+      matches (fun x -> Mosfet.channel_current dev ~vg:x ~vd ~vs) vg d.Mosfet.di_dvg
+      && matches (fun x -> Mosfet.channel_current dev ~vg ~vd:x ~vs) vd d.Mosfet.di_dvd
+      && matches (fun x -> Mosfet.channel_current dev ~vg ~vd ~vs:x) vs d.Mosfet.di_dvs)
+
 let test_pmos_sign () =
   (* Conducting pMOS pulling the drain up: conventional drain->source
      current is negative (current flows from source/Vdd into the drain). *)
@@ -160,13 +189,44 @@ let test_engine_diagnostics_rejections () =
 
 let test_engine_validation () =
   let c, a, _ = build_inverter () in
-  ignore a;
+  let stim = Stimulus.constant 0. in
   Alcotest.check_raises "t_stop" (Invalid_argument "Engine.transient: t_stop <= 0")
     (fun () -> ignore (Engine.transient c ~drives:[] ~t_stop:0.));
   Alcotest.check_raises "rail drive"
     (Invalid_argument "Engine.transient: cannot drive a rail") (fun () ->
       ignore
-        (Engine.transient c ~drives:[ (Circuit.gnd, Stimulus.constant 0.) ] ~t_stop:1e-9))
+        (Engine.transient c ~drives:[ (Circuit.gnd, Stimulus.constant 0.) ] ~t_stop:1e-9));
+  Alcotest.check_raises "duplicate drive"
+    (Invalid_argument "Engine.transient: duplicate drive") (fun () ->
+      ignore (Engine.transient c ~drives:[ (a, stim); (a, stim) ] ~t_stop:1e-9));
+  Alcotest.check_raises "init on a driven node"
+    (Invalid_argument "Engine.transient: init on a driven node") (fun () ->
+      ignore
+        (Engine.transient c ~drives:[ (a, stim) ] ~init:[ (a, 0.5) ] ~t_stop:1e-9));
+  Alcotest.check_raises "init on a rail"
+    (Invalid_argument "Engine.transient: init on a rail") (fun () ->
+      ignore (Engine.transient c ~drives:[] ~init:[ (Circuit.vdd, 0.) ] ~t_stop:1e-9));
+  Alcotest.check_raises "init on unknown node"
+    (Invalid_argument "Engine.transient: init on unknown node") (fun () ->
+      ignore
+        (Engine.transient c ~drives:[] ~init:[ (Circuit.node_count c, 0.) ] ~t_stop:1e-9))
+
+let test_engine_singular () =
+  (* A floating node with zero capacitance and no conduction path makes the
+     linear system structurally singular.  The engine must surface that —
+     count the collapsed factorization, reject the step, report
+     non-convergence — rather than clamp the pivot and invent a voltage. *)
+  let c = Circuit.create () in
+  let n = Circuit.fresh_node ~name:"float" c in
+  let options =
+    { Engine.default_options with Engine.c_floor = 0.; settle_time = 1e-12 }
+  in
+  let r = Engine.transient ~options ~init:[ (n, 0.3) ] c ~drives:[] ~t_stop:5e-12 in
+  let d = Engine.diagnostics r in
+  Alcotest.(check bool) "singular systems counted" true (d.Engine.singular_systems > 0);
+  Alcotest.(check bool) "steps rejected" true (d.Engine.rejected_steps > 0);
+  Alcotest.(check bool) "not converged" true (not (Engine.converged r));
+  Alcotest.(check (float 1e-9)) "state never corrupted" 0.3 (Engine.final_voltage r n)
 
 let test_stimulus_ramp () =
   let ramp = Stimulus.ramp ~t_start:1e-10 ~slew:6e-11 ~rising:true () in
@@ -196,6 +256,25 @@ let test_waveform_slew () =
   match Waveform.slew w ~direction:Waveform.Rising ~vdd:1. with
   | Some s -> Alcotest.(check (float 1e-9)) "20-80 slew" 0.6 s
   | None -> Alcotest.fail "no slew"
+
+let test_waveform_slew_multi_edge () =
+  (* A full edge followed by a later partial swing: the slew must anchor on
+     the LAST far-level crossing and pair it with the near-level crossing at
+     or before it.  The old pairing took the last near-level crossing
+     anywhere in the record, which here lands after the anchor (on the
+     partial swing) and produced a negative width, i.e. no slew at all. *)
+  let rising =
+    { Waveform.times = [| 0.; 1.; 2.; 3. |]; values = [| 0.; 1.; 0.; 0.3 |] }
+  in
+  (match Waveform.slew rising ~direction:Waveform.Rising ~vdd:1. with
+  | Some s -> Alcotest.(check (float 1e-9)) "rising multi-edge slew" 0.6 s
+  | None -> Alcotest.fail "rising: no slew");
+  let falling =
+    { Waveform.times = [| 0.; 1.; 2.; 3. |]; values = [| 1.; 0.; 1.; 0.7 |] }
+  in
+  match Waveform.slew falling ~direction:Waveform.Falling ~vdd:1. with
+  | Some s -> Alcotest.(check (float 1e-9)) "falling multi-edge slew" 0.6 s
+  | None -> Alcotest.fail "falling: no slew"
 
 let test_circuit_map_devices () =
   let c, _, y = build_inverter () in
@@ -234,10 +313,12 @@ let suite =
     ("engine: stiff run counts non-converged steps", `Quick, test_engine_diagnostics_stiff);
     ("engine: tight dv_reject counts rejections", `Quick, test_engine_diagnostics_rejections);
     ("engine: validation", `Quick, test_engine_validation);
+    ("engine: singular system surfaced", `Quick, test_engine_singular);
     ("stimulus: ramp shape", `Quick, test_stimulus_ramp);
     ("waveform: crossings", `Quick, test_waveform_crossings);
     ("waveform: slew of a ramp", `Quick, test_waveform_slew);
+    ("waveform: multi-edge slew pairing", `Quick, test_waveform_slew_multi_edge);
     ("circuit: map_devices rebuilds parasitics", `Quick, test_circuit_map_devices);
   ]
 
-let props = [ prop_terminal_symmetry ]
+let props = [ prop_terminal_symmetry; prop_deriv_matches_fd ]
