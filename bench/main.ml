@@ -26,6 +26,34 @@ module Metrics = Aging_obs.Metrics
 module Span = Aging_obs.Span
 module Json = Aging_obs.Json
 module Run_ledger = Aging_obs.Run_ledger
+module Runtime = Aging_obs.Runtime
+
+(* Per-scenario runtime story: RSS peak plus the GC work the scenario
+   performed (deltas of the cumulative [Runtime.totals] counters), merged
+   into the BENCH.json scenario rows next to "seconds". *)
+let scenario_runtime : (string, (string * Json.t) list) Hashtbl.t =
+  Hashtbl.create 8
+
+let runtime_fields ~(before : Runtime.totals) ~(after : Runtime.totals) =
+  let opt name v = Option.map (fun x -> (name, Json.of_float x)) v in
+  List.filter_map Fun.id
+    [
+      opt "peak_rss_mb" after.Runtime.hwm_mb;
+      opt "rss_mb" after.Runtime.rss_mb;
+      Some
+        ( "minor_words",
+          Json.of_float (after.Runtime.minor_words -. before.Runtime.minor_words) );
+      Some
+        ( "promoted_words",
+          Json.of_float
+            (after.Runtime.promoted_words -. before.Runtime.promoted_words) );
+      Some
+        ( "major_collections",
+          Json.Int
+            (after.Runtime.major_collections - before.Runtime.major_collections)
+        );
+      Some ("heap_mb", Json.of_float after.Runtime.heap_mb);
+    ]
 
 let all_figures =
   [ "fig1"; "fig2"; "fig3"; "fig5a"; "fig5b"; "fig5c"; "fig6a"; "fig6b";
@@ -249,7 +277,11 @@ let bench_json ~mode =
             | Some n -> n
             | None -> s.Span.name
           in
-          Some (name, Json.Obj [ ("seconds", Json.Float s.Span.duration) ]))
+          let runtime =
+            Option.value ~default:[] (Hashtbl.find_opt scenario_runtime name)
+          in
+          Some
+            (name, Json.Obj (("seconds", Json.Float s.Span.duration) :: runtime)))
       (Span.roots ())
   in
   let counters =
@@ -412,11 +444,15 @@ let () =
     (* One ledger record per scenario: tool "bench", subcommand = scenario
        name, spans restricted to that scenario's root, wall time from the
        monotonic clock, scenario seconds as QoR. *)
+    Runtime.start_global ();
     let scenario name f =
       let started_at = Span.now () in
       let t0 = Span.elapsed () in
+      let before = Runtime.totals () in
       Span.with_ "bench.scenario" ~attrs:[ ("scenario", name) ] f;
       let wall = Span.elapsed () -. t0 in
+      let after = Runtime.totals () in
+      Hashtbl.replace scenario_runtime name (runtime_fields ~before ~after);
       Printf.printf "[%s done in %.1f s]\n\n%!" name wall;
       Option.iter
         (fun dir ->
@@ -428,6 +464,15 @@ let () =
               (Span.roots ())
           in
           Run_ledger.note_qor "seconds" wall;
+          (* The runtime story rides the record too, so `obs history`
+             can watch memory growth across bench runs. *)
+          Option.iter (Run_ledger.note_qor "peak_rss_mb") after.Runtime.hwm_mb;
+          Run_ledger.note_qor "minor_words"
+            (after.Runtime.minor_words -. before.Runtime.minor_words);
+          Run_ledger.note_qor "major_collections"
+            (float_of_int
+               (after.Runtime.major_collections
+               - before.Runtime.major_collections));
           let record =
             Run_ledger.capture ~tool:"bench" ~subcommand:name ~spans
               ~started_at ~wall_s:wall ()

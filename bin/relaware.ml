@@ -283,6 +283,9 @@ let characterize_cmd =
   let run tele corner years axes cache jobs cells out report fault_rate
       fault_seed =
     with_telemetry ~cmd:"characterize" tele @@ fun () ->
+    (* Library builds can run for minutes; keep the runtime gauges moving
+       so the ledger record (and any scrape) sees live GC/RSS numbers. *)
+    Obs.Runtime.start_global ();
     let backend =
       if fault_rate > 0. then
         Characterize.Faulty
@@ -1009,12 +1012,174 @@ let obs_flight_cmd =
     (Cmd.info "flight" ~doc:"Pretty-print a flight-recorder dump")
     Term.(const run $ file_arg $ require_arg)
 
+(* Export one record's stored metrics snapshot in a machine-readable
+   format — OpenMetrics text so archived runs can be pushed at anything
+   that speaks Prometheus, or the raw stored JSON. *)
+let obs_export_cmd =
+  let format_arg =
+    Arg.(value & opt (enum [ ("openmetrics", `Openmetrics); ("json", `Json) ])
+           `Openmetrics
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"openmetrics (Prometheus text exposition) or json (the \
+                   stored snapshot verbatim).")
+  in
+  let out_arg =
+    Arg.(value & opt string "-"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Output path ($(b,-) = stdout).")
+  in
+  let run dir sel format out =
+    let r = select_run (load_ledger dir) sel in
+    let text =
+      match format with
+      | `Json -> Obs.Json.to_string ~pretty:true r.Run_ledger.metrics ^ "\n"
+      | `Openmetrics -> begin
+        match Obs.Openmetrics.render_stored r.Run_ledger.metrics with
+        | Ok text -> text
+        | Error msg ->
+          failwith
+            (Printf.sprintf "run %s: metrics snapshot unreadable: %s"
+               r.Run_ledger.id msg)
+      end
+    in
+    write_file out text;
+    if out <> "-" then
+      Printf.printf "wrote %s from run %s\n" out r.Run_ledger.id
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export one ledger record's metrics snapshot (OpenMetrics or \
+             JSON)")
+    Term.(const run $ obs_ledger_arg
+          $ run_selector_arg ~at:0 ~default:"-1"
+              ~doc:"Record selector (as in $(b,obs report))."
+          $ format_arg $ out_arg)
+
+(* Time-series view over the last N records: sparkline per metric, robust
+   drift score of the newest value against the trailing window.  [--gate]
+   turns the Drift verdicts into exit 1 — the multi-run complement of the
+   pairwise [obs diff]. *)
+let obs_history_cmd =
+  let last_arg =
+    Arg.(value & opt int 20
+         & info [ "last" ] ~docv:"N"
+             ~doc:"Consider only the newest $(docv) records (0 = all).")
+  in
+  let metric_arg =
+    Arg.(value & opt_all string []
+         & info [ "metric" ] ~docv:"NAME"
+             ~doc:"Show only this metric (repeatable; default: every QoR \
+                   row plus the standard health counters).")
+  in
+  let cmd_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cmd" ] ~docv:"SUB"
+             ~doc:"Consider only records of this subcommand (e.g. \
+                   $(b,soak)), so series are not polluted by unrelated \
+                   runs sharing the ledger.")
+  in
+  let gate_arg =
+    Arg.(value & flag
+         & info [ "gate" ]
+             ~doc:"Exit 1 naming every drifting metric.  Rows whose \
+                   trailing window is shorter than $(b,--min-window) are \
+                   informational and never gate.")
+  in
+  let z_arg =
+    Arg.(value & opt float 4.
+         & info [ "z" ] ~docv:"Z"
+             ~doc:"Robust z-score threshold (deviation from the trailing \
+                   window's median in MAD-sigmas).")
+  in
+  let min_window_arg =
+    Arg.(value & opt int 4
+         & info [ "min-window" ] ~docv:"N"
+             ~doc:"Minimum trailing-window size for a verdict.")
+  in
+  let run dir last metrics cmd gate z min_window =
+    let records = load_ledger dir in
+    let records =
+      match cmd with
+      | None -> records
+      | Some sub ->
+        List.filter (fun r -> r.Run_ledger.subcommand = sub) records
+    in
+    let records =
+      if last <= 0 then records
+      else begin
+        let n = List.length records in
+        if n <= last then records
+        else List.filteri (fun i _ -> i >= n - last) records
+      end
+    in
+    if records = [] then failwith "obs history: no records selected";
+    let rows = Obs.History.rows_of_records records in
+    let rows =
+      match metrics with
+      | [] -> rows
+      | wanted ->
+        List.iter
+          (fun name ->
+            if not (List.exists (fun r -> r.Obs.History.r_name = name) rows)
+            then
+              failwith
+                (Printf.sprintf "obs history: no series named %S" name))
+          wanted;
+        List.filter (fun r -> List.mem r.Obs.History.r_name wanted) rows
+    in
+    if rows = [] then failwith "obs history: selected records carry no series";
+    let gated =
+      List.map (Obs.History.gate ~z_thresh:z ~min_window) rows
+    in
+    let fmt_f v = if Float.is_nan v then "-" else Printf.sprintf "%.6g" v in
+    Tablefmt.print
+      ~align:[ Tablefmt.Left; Tablefmt.Right; Tablefmt.Left ]
+      ~header:[ "metric"; "n"; "trend"; "median"; "last"; "z"; "status" ]
+      (List.map
+         (fun (g : Obs.History.gated) ->
+           let row = g.Obs.History.g_row in
+           [ row.Obs.History.r_name;
+             string_of_int (Array.length row.Obs.History.r_values);
+             Obs.History.sparkline row.Obs.History.r_values;
+             fmt_f g.Obs.History.g_median;
+             fmt_f g.Obs.History.g_last;
+             (if Float.is_nan g.Obs.History.g_z then "-"
+              else Printf.sprintf "%.2f" g.Obs.History.g_z);
+             (match g.Obs.History.g_status with
+             | Obs.History.Pass -> "ok"
+             | Obs.History.Drift -> "DRIFT"
+             | Obs.History.Short -> "short") ])
+         gated);
+    Printf.printf "\n%d record(s), window = all but newest, z threshold %g\n"
+      (List.length records) z;
+    let drifting =
+      List.filter_map
+        (fun (g : Obs.History.gated) ->
+          match g.Obs.History.g_status with
+          | Obs.History.Drift -> Some g.Obs.History.g_row.Obs.History.r_name
+          | Obs.History.Pass | Obs.History.Short -> None)
+        gated
+    in
+    match drifting with
+    | [] -> if gate then print_string "no drift\n"
+    | names ->
+      Printf.printf "drift: %s\n" (String.concat ", " names);
+      if gate then exit 1
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:"Per-metric trends over the last N ledger records, with \
+             sparklines and a robust drift gate")
+    Term.(const run $ obs_ledger_arg $ last_arg $ metric_arg $ cmd_arg
+          $ gate_arg $ z_arg $ min_window_arg)
+
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
        ~doc:"Inspect run-ledger records: report, trace export, regression \
-             diff, flight-recorder dumps")
-    [ obs_report_cmd; obs_trace_cmd; obs_diff_cmd; obs_flight_cmd ]
+             diff, flight-recorder dumps, metric export, drift history")
+    [ obs_report_cmd; obs_trace_cmd; obs_diff_cmd; obs_flight_cmd;
+      obs_export_cmd; obs_history_cmd ]
 
 (* ------------------------ serve / query / soak ------------------------ *)
 
@@ -1102,8 +1267,46 @@ let flight_dump_arg =
                  chaos events) to $(docv) as JSONL on SIGQUIT and on crash. \
                  Inspect with $(b,relaware obs flight).")
 
+let flight_cap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "flight-cap" ] ~docv:"N"
+           ~doc:"Resize the flight-recorder ring to hold $(docv) events \
+                 (default 4096, or $(b,AGING_FLIGHT_CAP)).  A small cap \
+                 keeps only the newest events — cheap always-on forensics.")
+
+let apply_flight_cap cap =
+  Option.iter
+    (fun n ->
+      if n <= 0 then failwith "--flight-cap must be positive";
+      Obs.Flightrec.set_capacity Obs.Flightrec.global n)
+    cap
+
+let metrics_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Serve the OpenMetrics exposition on \
+                 http://127.0.0.1:$(docv)/metrics (plus /health); \
+                 $(b,0) picks an ephemeral port (logged at startup).")
+
+let stall_after_arg =
+  Arg.(value & opt (some float) (Some 5.)
+       & info [ "stall-after" ] ~docv:"S"
+           ~doc:"Watchdog budget: flag a worker stalled when one job \
+                 executes longer than $(docv) seconds (flight event, \
+                 $(b,serve.worker.stalled) counter, $(b,health) verdict). \
+                 Negative disables the watchdog.")
+
+let rss_limit_arg =
+  Arg.(value & opt (some float) None
+       & info [ "rss-limit-mb" ] ~docv:"MB"
+           ~doc:"Report $(b,unhealthy) when resident set size exceeds \
+                 $(docv) MB.")
+
 let server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain ~chaos
-    ~slow_ms =
+    ~slow_ms ~metrics_port ~stall_after ~rss_limit =
+  let stall_after_s =
+    match stall_after with Some s when s <= 0. -> None | s -> s
+  in
   {
     Serve.Server.addr = (addr_of socket port :> [ `Unix of string | `Tcp of int ]);
     workers;
@@ -1113,6 +1316,9 @@ let server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain ~chaos
     max_frame = Serve.Frame.default_max_frame;
     chaos;
     slow_ms;
+    metrics_port;
+    stall_after_s;
+    rss_limit_mb = rss_limit;
   }
 
 let note_serve_qor () =
@@ -1124,8 +1330,11 @@ let note_serve_qor () =
 
 let serve_cmd =
   let run tele socket port workers queue_cap deadline drain chaos slow_ms
-      flight_dump axes years cache jobs cells =
+      flight_dump flight_cap metrics_port stall_after rss_limit axes years
+      cache jobs cells =
     with_telemetry ~cmd:"serve" tele @@ fun () ->
+    apply_flight_cap flight_cap;
+    Obs.Runtime.start_global ();
     let go () =
       let queries =
         Serve.Queries.create ~axes ~years ~cache_dir:cache ~jobs
@@ -1133,11 +1342,15 @@ let serve_cmd =
       in
       let cfg =
         server_config_of ~socket ~port ~workers ~queue_cap ~deadline ~drain
-          ~chaos ~slow_ms
+          ~chaos ~slow_ms ~metrics_port ~stall_after ~rss_limit
       in
       let server =
         Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg
       in
+      Option.iter
+        (fun p ->
+          Obs.Log.infof "serve" "metrics on http://127.0.0.1:%d/metrics" p)
+        (Serve.Server.metrics_port server);
       Serve.Server.install_signal_handlers ?flight_dump server;
       Serve.Server.await server;
       note_serve_qor ()
@@ -1155,20 +1368,23 @@ let serve_cmd =
              SIGTERM/SIGINT; SIGQUIT dumps the flight recorder)")
     Term.(const run $ telemetry_term $ socket_arg $ port_arg $ workers_arg
           $ queue_cap_arg $ deadline_opt_arg $ drain_arg $ chaos_term
-          $ slow_ms_arg $ flight_dump_arg
+          $ slow_ms_arg $ flight_dump_arg $ flight_cap_arg $ metrics_port_arg
+          $ stall_after_arg $ rss_limit_arg
           $ axes_arg $ years_arg $ cache_arg $ jobs_arg $ cells_arg)
 
 let query_cmd =
   let op_arg =
     let ops =
-      [ ("ping", `Ping); ("stats", `Stats); ("shutdown", `Shutdown);
-        ("flight", `Flight); ("guardband", `Guardband); ("delay", `Delay);
-        ("sleep", `Sleep) ]
+      [ ("ping", `Ping); ("stats", `Stats); ("health", `Health);
+        ("shutdown", `Shutdown); ("flight", `Flight);
+        ("guardband", `Guardband); ("delay", `Delay); ("sleep", `Sleep) ]
     in
     Arg.(required & pos 0 (some (enum ops)) None
          & info [] ~docv:"OP"
-             ~doc:"One of ping, stats, shutdown, flight (on-demand \
-                   flight-recorder dump), guardband, delay, sleep.")
+             ~doc:"One of ping, stats, health (watchdog/saturation/RSS \
+                   verdict with machine-readable reasons), shutdown, \
+                   flight (on-demand flight-recorder dump), guardband, \
+                   delay, sleep.")
   in
   let design_opt =
     let all = [ "DSP"; "FFT"; "RISC-6P"; "RISC-5P"; "VLIW"; "DCT"; "IDCT" ] in
@@ -1215,6 +1431,7 @@ let query_cmd =
       match op with
       | `Ping -> Serve.Protocol.Ping
       | `Stats -> Serve.Protocol.Stats
+      | `Health -> Serve.Protocol.Health
       | `Shutdown -> Serve.Protocol.Shutdown
       | `Flight -> Serve.Protocol.Dump_flight
       | `Sleep -> Serve.Protocol.Sleep seconds
@@ -1308,9 +1525,26 @@ let soak_cmd =
                    record appended to $(docv) when the daemon drains.  \
                    Export with $(b,relaware obs trace).")
   in
+  let expect_stall_arg =
+    Arg.(value & flag
+         & info [ "expect-stall" ]
+             ~doc:"Fail unless the post-storm $(b,health) verdict proves \
+                   the watchdog flagged at least one stalled worker \
+                   (cumulative $(b,serve.worker.stalled) > 0).  Used by \
+                   the health smoke gate with heavy $(b,--chaos-slow).")
+  in
   let run tele socket port attach clients duration deadline seed corrupt
-      heavy workers queue_cap drain chaos slow_ms flight_dump server_obs =
+      heavy workers queue_cap drain chaos slow_ms flight_dump flight_cap
+      metrics_port stall_after expect_stall server_obs =
     with_telemetry ~cmd:"soak" tele @@ fun () ->
+    apply_flight_cap flight_cap;
+    (match metrics_port with
+    | Some 0 ->
+      failwith
+        "soak: --metrics-port 0 (ephemeral) is not scrapeable from the \
+         parent; pass a concrete port"
+    | _ -> ());
+    Obs.Runtime.start_global ();
     let addr, child =
       if attach then (addr_of socket port, None)
       else begin
@@ -1327,6 +1561,7 @@ let soak_cmd =
           let code =
             try
               if server_obs <> None then Obs.Span.set_recording true;
+              Obs.Runtime.start_global ();
               let started_at = Unix.gettimeofday () in
               let m0 = Obs.Span.elapsed () in
               let queries =
@@ -1335,7 +1570,8 @@ let soak_cmd =
               in
               let cfg =
                 server_config_of ~socket:path ~port:None ~workers ~queue_cap
-                  ~deadline:None ~drain ~chaos ~slow_ms
+                  ~deadline:None ~drain ~chaos ~slow_ms ~metrics_port
+                  ~stall_after ~rss_limit:None
               in
               let server =
                 Serve.Server.start ~handler:(Serve.Queries.handle queries) cfg
@@ -1408,6 +1644,50 @@ let soak_cmd =
     Option.iter (Run_ledger.note_qor "soak.p95_ms") report.Serve.Soak.lat_p95_ms;
     Run_ledger.note "soak.server_alive"
       (Obs.Json.Bool report.Serve.Soak.server_alive);
+    (* The server's own runtime story (peak RSS, GC work) and the health
+       verdict ride the same record, so drift gates cover them too. *)
+    Option.iter (Run_ledger.note_qor "soak.srv_hwm_mb")
+      report.Serve.Soak.srv_hwm_mb;
+    Option.iter (Run_ledger.note_qor "soak.srv_minor_words")
+      report.Serve.Soak.srv_minor_words;
+    Option.iter (Run_ledger.note_qor "soak.srv_major_collections")
+      report.Serve.Soak.srv_major_collections;
+    Option.iter
+      (fun (h : Serve.Dash.health) ->
+        Run_ledger.note "soak.health_status" (Obs.Json.String h.Serve.Dash.status);
+        Run_ledger.note_qor "soak.stalled_total"
+          (float_of_int h.Serve.Dash.stalled_total))
+      report.Serve.Soak.health;
+    (* Live scrape validation: while the daemon still runs, GET /metrics
+       and parse the exposition — names legal, buckets cumulative — then
+       require the serve counters to actually be there. *)
+    Option.iter
+      (fun p ->
+        match Serve.Metrics_http.fetch ~port:p ~path:"/metrics" with
+        | Error msg -> failwith ("soak: /metrics scrape failed: " ^ msg)
+        | Ok body ->
+          match Obs.Openmetrics.parse body with
+          | Error msg -> failwith ("soak: scrape did not parse: " ^ msg)
+          | Ok samples ->
+            if Obs.Openmetrics.find samples "serve_requests_total" = None
+            then failwith "soak: scrape lacks serve_requests_total";
+            Printf.printf "scraped /metrics: %d samples, exposition valid\n"
+              (List.length samples);
+            Run_ledger.note_qor "soak.scrape_samples"
+              (float_of_int (List.length samples)))
+      metrics_port;
+    if expect_stall then begin
+      let stalls =
+        match report.Serve.Soak.health with
+        | Some h -> h.Serve.Dash.stalled_total
+        | None -> 0
+      in
+      if stalls = 0 then
+        failwith
+          "soak: --expect-stall, but health reports no stalled worker \
+           (serve.worker.stalled = 0)"
+      else Printf.printf "watchdog saw %d stall(s), as expected\n" stalls
+    end;
     (* Post-storm forensics: SIGQUIT makes the (still running) child dump
        its flight recorder; wait for the file so the drain below cannot
        race the write. *)
@@ -1470,7 +1750,9 @@ let soak_cmd =
     Term.(const run $ telemetry_term $ socket_arg $ port_arg $ attach_arg
           $ clients_arg $ duration_arg $ soak_deadline_arg $ soak_seed_arg
           $ corrupt_arg $ heavy_arg $ workers_arg $ queue_cap_arg $ drain_arg
-          $ chaos_term $ slow_ms_arg $ flight_dump_arg $ server_obs_arg)
+          $ chaos_term $ slow_ms_arg $ flight_dump_arg $ flight_cap_arg
+          $ metrics_port_arg $ stall_after_arg $ expect_stall_arg
+          $ server_obs_arg)
 
 (* A reader, not a run: no telemetry wrapper, no ledger record — watching
    a daemon should leave no artifacts of its own. *)
@@ -1504,13 +1786,25 @@ let top_cmd =
               Serve.Client.call ~deadline_s:2. conn Serve.Protocol.Stats
             with
             | Error e -> Error (Serve.Client.error_to_string e)
-            | Ok stats -> Serve.Dash.of_stats_json stats)
+            | Ok stats ->
+              (* Health is best-effort: an older daemon that predates the
+                 op still renders the rest of the dashboard. *)
+              let health =
+                match
+                  Serve.Client.call ~deadline_s:2. conn Serve.Protocol.Health
+                with
+                | Ok h -> Result.to_option (Serve.Dash.of_health_json h)
+                | Error _ -> None
+              in
+              Result.map
+                (fun snap -> (snap, health))
+                (Serve.Dash.of_stats_json stats))
     in
     let clear = not (no_clear || count = 1) in
     let rec loop i prev =
       match fetch () with
       | Error msg -> failwith ("top: " ^ msg)
-      | Ok snap ->
+      | Ok (snap, health) ->
         let now = Obs.Span.elapsed () in
         let qps =
           Option.map
@@ -1518,7 +1812,7 @@ let top_cmd =
             prev
         in
         if clear then print_string "\027[H\027[2J";
-        print_string (Serve.Dash.render ?qps snap);
+        print_string (Serve.Dash.render ?qps ?health snap);
         flush stdout;
         if count = 0 || i + 1 < count then begin
           Unix.sleepf interval;

@@ -7,16 +7,37 @@ type event = {
 }
 
 type t = {
-  ring : event option array;
+  mutable ring : event option array;
   lock : Mutex.t;
   mutable next_seq : int;
 }
 
-let create ?(capacity = 4096) () =
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Flightrec.create: capacity must be >= 1";
   { ring = Array.make capacity None; lock = Mutex.create (); next_seq = 0 }
 
-let capacity t = Array.length t.ring
+let capacity t = Mutex.protect t.lock (fun () -> Array.length t.ring)
+
+let set_capacity t cap =
+  if cap < 1 then invalid_arg "Flightrec.set_capacity: capacity must be >= 1";
+  Mutex.protect t.lock (fun () ->
+      if cap <> Array.length t.ring then begin
+        (* Keep the newest [cap] surviving events.  Their seqs are
+           consecutive, so [seq mod cap] slots stay collision-free. *)
+        let surviving =
+          Array.fold_right
+            (fun slot acc -> match slot with Some e -> e :: acc | None -> acc)
+            t.ring []
+          |> List.sort (fun a b -> compare b.seq a.seq)
+        in
+        let ring = Array.make cap None in
+        List.iteri
+          (fun i e -> if i < cap then ring.(e.seq mod cap) <- Some e)
+          surviving;
+        t.ring <- ring
+      end)
 
 let mono_s () = 1e-9 *. Int64.to_float (Monotonic_clock.now ())
 
@@ -49,7 +70,19 @@ let clear t =
       Array.fill t.ring 0 (Array.length t.ring) None;
       t.next_seq <- 0)
 
-let global = create ()
+(* The global ring's initial capacity honours AGING_FLIGHT_CAP so operators
+   can size the post-mortem window without a CLI flag (daemons launched from
+   supervisors often only control the environment).  Bad values fall back to
+   the default rather than aborting the process at module init. *)
+let env_capacity () =
+  match Sys.getenv_opt "AGING_FLIGHT_CAP" with
+  | None | Some "" -> default_capacity
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> default_capacity)
+
+let global = create ~capacity:(env_capacity ()) ()
 let note ?fields kind = record global ?fields kind
 
 let event_to_json e =

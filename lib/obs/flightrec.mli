@@ -32,6 +32,11 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 
+val set_capacity : t -> int -> unit
+(** Resize the ring in place, keeping the newest [min cap surviving]
+    events ([recorded] is unaffected).  Safe to call while other threads
+    record.  @raise Invalid_argument when [cap < 1]. *)
+
 val record : t -> ?fields:(string * Json.t) list -> string -> unit
 (** [record t kind] appends an event, overwriting the oldest one when the
     ring is full.  Safe to call from any domain or thread. *)
@@ -49,7 +54,10 @@ val overwritten : t -> int
 val clear : t -> unit
 
 val global : t
-(** The process-global recorder used by the service layer. *)
+(** The process-global recorder used by the service layer.  Its initial
+    capacity is [AGING_FLIGHT_CAP] when that environment variable holds a
+    positive integer, 4096 otherwise; [relaware serve --flight-cap]
+    resizes it via {!set_capacity} before traffic starts. *)
 
 val note : ?fields:(string * Json.t) list -> string -> unit
 (** [note kind] is [record global kind]. *)

@@ -133,6 +133,9 @@ let capture_seq = Atomic.make 0
 
 let capture ~tool ~subcommand ?(argv = Array.to_list Sys.argv)
     ?(outcome = Finished) ?spans ~started_at ~wall_s () =
+  (* Refresh the runtime.* gauges so every record's metrics snapshot
+     carries the process health (GC totals, RSS, fds) of its run. *)
+  Runtime.sample_global ();
   let qor, notes = drain_notes () in
   let spans = match spans with Some s -> s | None -> Span.roots () in
   let id =

@@ -126,18 +126,82 @@ let of_stats_json json =
         | None -> []);
     }
 
+(* ---- health verdict ({!Server.health_json} payload) ---- *)
+
+type reason = { code : string; severity : string; detail : string }
+
+type health = {
+  status : string;
+  reasons : reason list;
+  stalled_workers : int;
+  stalled_total : int;
+  miss_ratio : float;
+  rss_mb : float option;
+}
+
+let of_health_json json =
+  match Json.member "status" json with
+  | Some (Json.String status) ->
+    let reasons =
+      match Json.member "reasons" json with
+      | Some (Json.List items) ->
+        List.filter_map
+          (fun r ->
+            let s name =
+              match Json.member name r with
+              | Some (Json.String v) -> Some v
+              | _ -> None
+            in
+            match (s "code", s "severity", s "detail") with
+            | Some code, Some severity, Some detail ->
+              Some { code; severity; detail }
+            | _ -> None)
+          items
+      | _ -> []
+    in
+    let checks = Option.value ~default:(Json.Obj []) (Json.member "checks" json) in
+    let check_int name =
+      match Json.member name checks with Some (Json.Int n) -> n | _ -> 0
+    in
+    Ok
+      {
+        status;
+        reasons;
+        stalled_workers = check_int "stalled_workers";
+        stalled_total = check_int "stalled_total";
+        miss_ratio =
+          Option.value ~default:0.
+            (Json.member "deadline_miss_ratio" checks >>= Json.to_float);
+        rss_mb = Json.member "rss_mb" checks >>= Json.to_float;
+      }
+  | _ -> Error "health: missing status"
+
 let qps ~prev ~dt snap =
   if dt <= 0. then 0.
   else max 0. (float_of_int (snap.replies_ok - prev.replies_ok) /. dt)
 
 let ms f = if Float.is_nan f then "-" else Printf.sprintf "%.2f" f
 
-let render ?qps snap =
+let render ?qps ?health snap =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   line "relaware top — %s, up %.1f s, %d workers%s" snap.state snap.uptime_s
     snap.workers
     (match qps with Some q -> Printf.sprintf ", %.0f q/s" q | None -> "");
+  (match health with
+  | None -> ()
+  | Some h ->
+    line "health %s%s%s" h.status
+      (match h.rss_mb with
+      | Some rss -> Printf.sprintf "   rss %.0f MB" rss
+      | None -> "")
+      (if h.stalled_total > 0 then
+         Printf.sprintf "   stalls %d (now %d)" h.stalled_total
+           h.stalled_workers
+       else "");
+    List.iter
+      (fun r -> line "  [%s] %s: %s" r.severity r.code r.detail)
+      h.reasons);
   line "queue %d/%d   in-flight %d   connections %d" snap.queue_length
     snap.queue_cap snap.inflight snap.connections;
   line "requests %d   ok %d   restarts %d   bad frames %d" snap.requests

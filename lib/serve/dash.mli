@@ -43,7 +43,23 @@ val qps : prev:snapshot -> dt:float -> snapshot -> float
 (** Successful replies per second between two snapshots [dt] seconds
     apart (non-negative; 0 when [dt <= 0]). *)
 
-val render : ?qps:float -> snapshot -> string
-(** Multi-line dashboard: header (state, uptime, workers, qps), queue and
-    in-flight occupancy, counters, and a per-op latency table
-    (count, total p50/p95/p99, queue p95, exec p95). *)
+(** Typed view of a [Health] reply ({!Server.health_json}). *)
+
+type reason = { code : string; severity : string; detail : string }
+
+type health = {
+  status : string;  (** ["ok"] / ["degraded"] / ["unhealthy"] *)
+  reasons : reason list;
+  stalled_workers : int;  (** workers currently flagged by the watchdog *)
+  stalled_total : int;  (** cumulative [serve.worker.stalled] *)
+  miss_ratio : float;  (** timeouts / requests *)
+  rss_mb : float option;
+}
+
+val of_health_json : Aging_obs.Json.t -> (health, string) result
+
+val render : ?qps:float -> ?health:health -> snapshot -> string
+(** Multi-line dashboard: header (state, uptime, workers, qps), the
+    health verdict with its reasons when supplied, queue and in-flight
+    occupancy, counters, and a per-op latency table (count, total
+    p50/p95/p99, queue p95, exec p95). *)

@@ -1,0 +1,204 @@
+module Json = Aging_obs.Json
+module Openmetrics = Aging_obs.Openmetrics
+module Log = Aging_obs.Log
+
+type t = {
+  fd : Unix.file_descr;
+  bound_port : int;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let content_type_openmetrics =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+let http_response ?(status = "200 OK") ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* Read until the end of the request headers (we never accept bodies). *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          let s = Buffer.contents buf in
+          if
+            String.length s >= 4
+            && (String.ends_with ~suffix:"\r\n\r\n" s
+               || String.ends_with ~suffix:"\n\n" s)
+          then Some s
+          else go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          None
+      | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let request_path request =
+  match String.split_on_char '\n' request with
+  | first :: _ -> (
+      match String.split_on_char ' ' (String.trim first) with
+      | [ "GET"; path; _version ] -> Some path
+      | [ "GET"; path ] -> Some path
+      | _ -> None)
+  | [] -> None
+
+let serve_conn ~prepare ~health fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0;
+      let response =
+        match Option.bind (read_request fd) request_path with
+        | Some "/metrics" ->
+            prepare ();
+            http_response ~content_type:content_type_openmetrics
+              (Openmetrics.render ())
+        | Some "/health" -> (
+            match health with
+            | Some health ->
+                http_response ~content_type:"application/json"
+                  (Json.to_string (health ()) ^ "\n")
+            | None ->
+                http_response ~status:"404 Not Found" ~content_type:"text/plain"
+                  "no health source\n")
+        | Some _ ->
+            http_response ~status:"404 Not Found" ~content_type:"text/plain"
+              "try /metrics or /health\n"
+        | None ->
+            http_response ~status:"400 Bad Request" ~content_type:"text/plain"
+              "GET only\n"
+      in
+      let bytes = Bytes.of_string response in
+      let rec send off =
+        if off < Bytes.length bytes then
+          match Unix.write fd bytes off (Bytes.length bytes - off) with
+          | n -> send (off + n)
+          | exception Unix.Unix_error _ -> ()
+      in
+      send 0)
+
+let accept_loop ~fd ~stopping ~prepare ~health =
+  let rec go () =
+    if not (Atomic.get stopping) then begin
+      (match Unix.select [ fd ] [] [] 0.1 with
+      | [ _ ], _, _ -> (
+          match Unix.accept ~cloexec:true fd with
+          | conn, _ -> serve_conn ~prepare ~health conn
+          | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let start ?(prepare = fun () -> ()) ?health ~port () =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       Unix.listen fd 16
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let bound_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let stopping = Atomic.make false in
+    let thread =
+      Thread.create (fun () -> accept_loop ~fd ~stopping ~prepare ~health) ()
+    in
+    let t = { fd; bound_port; thread; stopping } in
+    Log.infof "metrics"
+      ~fields:[ ("port", string_of_int bound_port) ]
+      "OpenMetrics exposition on http://127.0.0.1:%d/metrics" bound_port;
+    t
+  with
+  | t -> Ok t
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "metrics port %d: %s (%s)" port
+               (Unix.error_message err) fn)
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Thread.join t.thread;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fetch ~port ~path =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let request =
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n"
+            path
+        in
+        let bytes = Bytes.of_string request in
+        let rec send off =
+          if off < Bytes.length bytes then
+            send (off + Unix.write fd bytes off (Bytes.length bytes - off))
+        in
+        send 0;
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec recv () =
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              recv ()
+        in
+        recv ();
+        Buffer.contents buf)
+  with
+  | exception Unix.Unix_error (err, fn, _) ->
+      Error (Printf.sprintf "fetch %s: %s (%s)" path (Unix.error_message err) fn)
+  | raw -> (
+      let sep = "\r\n\r\n" in
+      let split_at =
+        let n = String.length raw and m = String.length sep in
+        let rec find i =
+          if i + m > n then None
+          else if String.sub raw i m = sep then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      match split_at with
+      | None -> Error "HTTP response without header terminator"
+      | Some i ->
+          let headers = String.sub raw 0 i in
+          let body =
+            String.sub raw
+              (i + String.length sep)
+              (String.length raw - i - String.length sep)
+          in
+          if
+            String.starts_with ~prefix:"HTTP/1.1 200" headers
+            || String.starts_with ~prefix:"HTTP/1.0 200" headers
+          then Ok body
+          else
+            Error
+              (match String.index_opt headers '\r' with
+              | Some i -> String.sub headers 0 i
+              | None -> "malformed status line"))

@@ -1,0 +1,37 @@
+(** Minimal HTTP/1.x responder for Prometheus scrapes.
+
+    [relaware serve --metrics-port P] starts one of these next to the
+    frame protocol: a loopback TCP listener whose only job is answering
+    [GET /metrics] with the OpenMetrics exposition of the process
+    registry and [GET /health] with the server's health verdict as JSON.
+    One thread accepts, each connection is served inline (a scrape is a
+    single small response; no pipelining, [Connection: close]) — a
+    deliberate floor on complexity: no HTTP library exists in the tree
+    and a scraper needs nothing more.
+
+    [prepare] runs before each [/metrics] render (the server passes a
+    runtime-sampler tick so gauges are fresh at scrape time). *)
+
+type t
+
+val start :
+  ?prepare:(unit -> unit) ->
+  ?health:(unit -> Aging_obs.Json.t) ->
+  port:int ->
+  unit ->
+  (t, string) result
+(** Bind 127.0.0.1:[port] ([port = 0] picks an ephemeral one — see
+    {!port}) and start the accept thread.  [Error] on bind failure
+    (port in use, privileged port) rather than an exception, so a
+    daemon can report and continue without the exposition. *)
+
+val port : t -> int
+(** The bound port (the actual one when [start ~port:0]). *)
+
+val stop : t -> unit
+(** Close the listener and join the accept thread.  Idempotent. *)
+
+val fetch : port:int -> path:string -> (string, string) result
+(** One-shot HTTP GET against 127.0.0.1:[port]: returns the body on a
+    200, [Error] with the status line or transport failure otherwise.
+    Used by the soak harness and tests to validate a live scrape. *)

@@ -4,6 +4,7 @@ module Scenario = Aging_physics.Scenario
 type request =
   | Ping
   | Stats
+  | Health
   | Shutdown
   | Dump_flight
   | Sleep of float
@@ -53,6 +54,7 @@ let error_code_of_string = function
 let request_op = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Health -> "health"
   | Shutdown -> "shutdown"
   | Dump_flight -> "dump_flight"
   | Sleep _ -> "sleep"
@@ -82,6 +84,7 @@ let request_to_json ?(meta = no_meta) req =
   match req with
   | Ping -> op "ping" []
   | Stats -> op "stats" []
+  | Health -> op "health" []
   | Shutdown -> op "shutdown" []
   | Dump_flight -> op "dump_flight" []
   | Sleep s -> op "sleep" [ ("seconds", Json.of_float s) ]
@@ -126,6 +129,7 @@ let request_of_json json =
     | None -> Error "missing op"
     | Some "ping" -> Ok Ping
     | Some "stats" -> Ok Stats
+    | Some "health" -> Ok Health
     | Some "shutdown" -> Ok Shutdown
     | Some "dump_flight" -> Ok Dump_flight
     | Some "crash" -> Ok Crash

@@ -17,8 +17,13 @@
 type request =
   | Ping  (** trivial round-trip; the canonical liveness/queue probe *)
   | Stats
-      (** health endpoint: served out-of-band (never queued), so it
+      (** telemetry snapshot: served out-of-band (never queued), so it
           answers even when the request queue is saturated *)
+  | Health
+      (** health verdict (ok/degraded/unhealthy with machine-readable
+          reasons: stalled workers, queue saturation, deadline-miss
+          ratio, RSS ceiling); out-of-band like [Stats] so a wedged
+          server still reports {e why} it is wedged *)
   | Shutdown  (** ask the server to drain gracefully and exit *)
   | Dump_flight
       (** flight-recorder dump: the surviving ring-buffer events as a JSON

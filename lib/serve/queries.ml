@@ -47,6 +47,12 @@ let handle t (req : Protocol.request) =
   match req with
   | Protocol.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
   | Protocol.Stats -> Ok (Aging_obs.Metrics.to_json ())
+  | Protocol.Health ->
+    (* Served inline by the server (which owns the watchdog state); a
+       handler without a server has no verdict to offer beyond "up". *)
+    Ok
+      (Json.Obj
+         [ ("status", Json.String "ok"); ("reasons", Json.List []) ])
   | Protocol.Shutdown ->
     (* Admission control: the server answers shutdown inline and drains;
        reaching the handler means a client sent it to a non-draining path. *)

@@ -13,6 +13,9 @@ type config = {
   max_frame : int;
   chaos : Chaos.t;
   slow_ms : float option;
+  metrics_port : int option;
+  stall_after_s : float option;
+  rss_limit_mb : float option;
 }
 
 let default_config =
@@ -25,6 +28,9 @@ let default_config =
     max_frame = Frame.default_max_frame;
     chaos = Chaos.none;
     slow_ms = None;
+    metrics_port = None;
+    stall_after_s = Some 5.;
+    rss_limit_mb = None;
   }
 
 type handler =
@@ -42,6 +48,7 @@ let m_internal = Metrics.counter "serve.refused_internal"
 let m_shutting_down = Metrics.counter "serve.refused_shutting_down"
 let m_restarts = Metrics.counter "serve.worker_restarts"
 let m_bad_frames = Metrics.counter "serve.bad_frames"
+let m_stalled = Metrics.counter "serve.worker.stalled"
 
 (* Queue-to-reply latency of queued (data-plane) requests. *)
 let m_latency = Metrics.histogram "serve.request_s"
@@ -197,14 +204,22 @@ type t = {
   next_job : int Atomic.t;
   next_conn : int Atomic.t;
   started_at : float;
+  busy_since : float Atomic.t array;
+      (* per worker: monotonic time its current job started executing;
+         nan while idle.  Written by the worker, read by the reaper. *)
+  stall_flag : bool Atomic.t array;
+      (* per worker: the reaper flagged the current job as stalled; the
+         worker clears it (once per episode) when the job finishes. *)
   mutable accept_thread : Thread.t option;
   mutable supervisor : Thread.t option;
   mutable reaper : Thread.t option;
+  mutable metrics_http : Metrics_http.t option;
 }
 
 let running t = Atomic.get t.state = Running
 
 let worker_restarts _t = Metrics.value m_restarts
+let metrics_port t = Option.map Metrics_http.port t.metrics_http
 
 (* ---- replies ---- *)
 
@@ -316,6 +331,10 @@ let latency_json () =
                ] )))
 
 let stats_json t =
+  (* Refresh the runtime.* gauges so a Stats consumer (top, the soak
+     harness's srv_* QoR rows) reads live memory/GC numbers, not the
+     sampler's last periodic tick. *)
+  Aging_obs.Runtime.sample_global ();
   Json.Obj
     [
       ("state", Json.String (state_name (Atomic.get t.state)));
@@ -326,6 +345,100 @@ let stats_json t =
       ("inflight", Json.Int (inflight_count t));
       ("latency", latency_json ());
       ("metrics", Metrics.to_json ());
+    ]
+
+(* ---- health verdict ----
+
+   Distinct from [stats]: stats is the raw telemetry snapshot, health is a
+   judgement — ok / degraded / unhealthy plus machine-readable reasons — so
+   an orchestrator (or [relaware top]) does not have to re-derive policy
+   from counters.  Served inline like [Stats], so a saturated or wedged
+   server still explains itself. *)
+
+let health_json t =
+  Aging_obs.Runtime.sample_global ();
+  let stalled_workers =
+    Array.fold_left
+      (fun acc f -> if Atomic.get f then acc + 1 else acc)
+      0 t.stall_flag
+  in
+  let stalled_total = Metrics.value m_stalled in
+  let queue_depth = Bqueue.length t.queue in
+  let requests = Metrics.value m_requests in
+  let timeouts = Metrics.value m_timeout in
+  let miss_ratio =
+    if requests > 0 then float_of_int timeouts /. float_of_int requests else 0.
+  in
+  let rss_mb = Metrics.value_by_name "runtime.mem.rss_mb" in
+  let reasons = ref [] in
+  let add severity code detail =
+    reasons :=
+      Json.Obj
+        [
+          ("code", Json.String code);
+          ("severity", Json.String severity);
+          ("detail", Json.String detail);
+        ]
+      :: !reasons
+  in
+  if stalled_workers > 0 then
+    add "critical" "worker_stalled"
+      (Printf.sprintf "%d worker(s) stalled beyond %s" stalled_workers
+         (match t.cfg.stall_after_s with
+         | Some s -> Printf.sprintf "%.0f ms" (s *. 1e3)
+         | None -> "budget"));
+  (match (rss_mb, t.cfg.rss_limit_mb) with
+  | Some rss, Some limit when rss > limit ->
+    add "critical" "rss_ceiling"
+      (Printf.sprintf "RSS %.0f MB over the %.0f MB ceiling" rss limit)
+  | _ -> ());
+  if queue_depth >= t.cfg.queue_cap then
+    add "warn" "queue_saturated"
+      (Printf.sprintf "queue full (%d/%d)" queue_depth t.cfg.queue_cap)
+  else if float_of_int queue_depth >= 0.9 *. float_of_int t.cfg.queue_cap then
+    add "warn" "queue_saturated"
+      (Printf.sprintf "queue at %d/%d" queue_depth t.cfg.queue_cap);
+  if requests >= 20 && miss_ratio > 0.05 then
+    add "warn" "deadline_misses"
+      (Printf.sprintf "%.1f%% of %d requests timed out" (miss_ratio *. 1e2)
+         requests);
+  (match Atomic.get t.state with
+  | Running -> ()
+  | Draining | Stopped -> add "warn" "draining" "server is draining");
+  let has severity =
+    List.exists
+      (fun r -> Json.member "severity" r = Some (Json.String severity))
+      !reasons
+  in
+  let status =
+    if has "critical" then "unhealthy"
+    else if has "warn" then "degraded"
+    else "ok"
+  in
+  Json.Obj
+    [
+      ("status", Json.String status);
+      ("reasons", Json.List (List.rev !reasons));
+      ("state", Json.String (state_name (Atomic.get t.state)));
+      ("uptime_s", Json.of_float (Unix.gettimeofday () -. t.started_at));
+      ( "checks",
+        Json.Obj
+          [
+            ("stalled_workers", Json.Int stalled_workers);
+            ("stalled_total", Json.Int stalled_total);
+            ("queue_depth", Json.Int queue_depth);
+            ("queue_cap", Json.Int t.cfg.queue_cap);
+            ("requests", Json.Int requests);
+            ("timeouts", Json.Int timeouts);
+            ("deadline_miss_ratio", Json.of_float miss_ratio);
+            ( "rss_mb",
+              match rss_mb with Some v -> Json.of_float v | None -> Json.Null
+            );
+            ( "rss_limit_mb",
+              match t.cfg.rss_limit_mb with
+              | Some v -> Json.of_float v
+              | None -> Json.Null );
+          ] );
     ]
 
 let flight_json () =
@@ -347,6 +460,14 @@ let execute t wid job =
   if Atomic.get job.replied then unregister t job
   else begin
     Atomic.set job.exec_started_m (Span.elapsed ());
+    (* Heartbeat for the watchdog: busy from here until the protected
+       section below ends (including a chaos kill unwinding through it). *)
+    Atomic.set t.busy_since.(wid) (Span.elapsed ());
+    Fun.protect ~finally:(fun () ->
+        Atomic.set t.busy_since.(wid) Float.nan;
+        if Atomic.exchange t.stall_flag.(wid) false then
+          flight_job "worker.recovered" job [ ("worker", Json.Int wid) ])
+    @@ fun () ->
     flight_job "req.started" job [ ("worker", Json.Int wid) ];
     let chaos_action = Chaos.decide t.cfg.chaos ~request_id:job.job_id in
     (match chaos_action with
@@ -474,6 +595,36 @@ let reaper_body t () =
          sampling, no extra thread. *)
       Metrics.set m_queue_depth (float_of_int (Bqueue.length t.queue));
       Metrics.set m_inflight (float_of_int (inflight_count t));
+      (* Watchdog: a worker whose current job has been executing longer
+         than the stall budget is flagged once per episode; the flag
+         clears when the job finally finishes (worker side). *)
+      (match t.cfg.stall_after_s with
+      | Some limit ->
+        let now_m = Span.elapsed () in
+        Array.iteri
+          (fun wid busy ->
+            let since = Atomic.get busy in
+            if
+              (not (Float.is_nan since))
+              && now_m -. since > limit
+              && Atomic.compare_and_set t.stall_flag.(wid) false true
+            then begin
+              Metrics.incr m_stalled;
+              let busy_ms = (now_m -. since) *. 1e3 in
+              Flightrec.note
+                ~fields:
+                  [
+                    ("worker", Json.Int wid);
+                    ("busy_ms", Json.of_float busy_ms);
+                  ]
+                "worker.stalled";
+              Log.warnf "serve"
+                ~fields:[ ("worker", string_of_int wid) ]
+                "worker %d stalled: busy %.0f ms (budget %.0f ms)" wid busy_ms
+                (limit *. 1e3)
+            end)
+          t.busy_since
+      | None -> ());
       let expired =
         Mutex.protect t.jobs_lock (fun () ->
             let acc = ref [] in
@@ -574,6 +725,10 @@ let handle_frame t conn json stop_self =
       inline_timed ~op:"stats" ~trace (fun () ->
           send_response conn ?id:meta.Protocol.id
             (Protocol.Reply (stats_json t)))
+    | Protocol.Health ->
+      inline_timed ~op:"health" ~trace (fun () ->
+          send_response conn ?id:meta.Protocol.id
+            (Protocol.Reply (health_json t)))
     | Protocol.Dump_flight ->
       inline_timed ~op:"dump_flight" ~trace (fun () ->
           send_response conn ?id:meta.Protocol.id
@@ -680,6 +835,11 @@ let teardown t =
     live;
   (try Unix.close t.stop_pipe_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_pipe_w with Unix.Unix_error _ -> ());
+  (match t.metrics_http with
+  | Some srv ->
+    Metrics_http.stop srv;
+    t.metrics_http <- None
+  | None -> ());
   Atomic.set t.state Stopped;
   Flightrec.note "serve.stopped";
   Log.infof "serve" "stopped"
@@ -762,9 +922,12 @@ let start ~handler cfg =
       next_job = Atomic.make 0;
       next_conn = Atomic.make 0;
       started_at = Unix.gettimeofday ();
+      busy_since = Array.init cfg.workers (fun _ -> Atomic.make Float.nan);
+      stall_flag = Array.init cfg.workers (fun _ -> Atomic.make false);
       accept_thread = None;
       supervisor = None;
       reaper = None;
+      metrics_http = None;
     }
   in
   for wid = 0 to cfg.workers - 1 do
@@ -773,6 +936,20 @@ let start ~handler cfg =
   t.supervisor <- Some (Thread.create (supervisor_body t) ());
   t.reaper <- Some (Thread.create (reaper_body t) ());
   t.accept_thread <- Some (Thread.create (accept_body t) ());
+  (match cfg.metrics_port with
+  | Some port -> begin
+    match
+      Metrics_http.start ~prepare:Aging_obs.Runtime.sample_global
+        ~health:(fun () -> health_json t)
+        ~port ()
+    with
+    | Ok srv -> t.metrics_http <- Some srv
+    | Error msg ->
+      (* The frame protocol is the product; a lost exposition endpoint is
+         worth a warning, not a refused start. *)
+      Log.warnf "serve" "metrics exposition disabled: %s" msg
+  end
+  | None -> ());
   Flightrec.note
     ~fields:
       [

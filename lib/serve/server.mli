@@ -45,12 +45,26 @@ type config = {
       (** warn-log any request whose total latency (admission to reply)
           meets this threshold, with trace id and queue/exec phase
           breakdown; [None] (the default) disables the log *)
+  metrics_port : int option;
+      (** when set, serve the OpenMetrics exposition on
+          [http://127.0.0.1:port/metrics] (plus [/health]) via
+          {!Metrics_http}; [0] picks an ephemeral port — see
+          {!metrics_port} *)
+  stall_after_s : float option;
+      (** watchdog budget: a worker whose current job executes longer
+          than this is flagged stalled (flight event + the
+          [serve.worker.stalled] counter, surfaced by [Health]);
+          [None] disables the watchdog *)
+  rss_limit_mb : float option;
+      (** [Health] reports [unhealthy] ([rss_ceiling]) when the sampled
+          [runtime.mem.rss_mb] gauge exceeds this *)
 }
 
 val default_config : config
 (** Unix socket (caller must set [addr]), 2 workers, queue of 64, no
     default deadline, 5 s drain, {!Frame.default_max_frame}, no chaos,
-    no slow-request log. *)
+    no slow-request log, no metrics port, 5 s stall budget, no RSS
+    ceiling. *)
 
 type handler =
   Protocol.request -> (Aging_obs.Json.t, Protocol.error_code * string) result
@@ -93,6 +107,20 @@ val stats_json : t -> Aging_obs.Json.t
     ops), plus the process metrics registry (which includes the [serve.*]
     counters, the sampled [serve.queue_depth] / [serve.inflight] gauges
     and the degradation-library cache counters). *)
+
+val health_json : t -> Aging_obs.Json.t
+(** The [Health] payload: ["status"] of [ok] / [degraded] / [unhealthy],
+    a ["reasons"] list of [{code, severity, detail}] objects
+    ([worker_stalled], [rss_ceiling], [queue_saturated],
+    [deadline_misses], [draining]) and a ["checks"] object with the raw
+    numbers behind the verdict (including the cumulative
+    [stalled_total], so an injected stall remains visible after the
+    worker recovers).  Takes one runtime sample so the RSS check reads
+    fresh gauges. *)
+
+val metrics_port : t -> int option
+(** The bound exposition port when [config.metrics_port] was set and the
+    listener started (the actual port when configured as [0]). *)
 
 val flight_json : unit -> Aging_obs.Json.t
 (** The [Dump_flight] payload: the process-global flight recorder's

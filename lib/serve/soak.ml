@@ -42,6 +42,10 @@ type report = {
   server_alive : bool;
   lat_p50_ms : float option;
   lat_p95_ms : float option;
+  health : Dash.health option;
+  srv_hwm_mb : float option;
+  srv_minor_words : float option;
+  srv_major_collections : float option;
 }
 
 (* Per-thread tally; summed after join so the storm itself shares nothing. *)
@@ -185,6 +189,40 @@ let fetch_latency addr =
           | Some p50, Some p95 -> Some (p50, p95)
           | _ -> None))
 
+(* The server's own runtime gauges (peak RSS, GC totals) out of the
+   post-storm stats snapshot — the daemon samples them, the soak only
+   reports, so the QoR rows describe the process under load, not the
+   client harness. *)
+let fetch_runtime addr =
+  match Client.connect addr with
+  | Error _ -> (None, None, None)
+  | Ok conn ->
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        match Client.call ~deadline_s:2. conn Protocol.Stats with
+        | Error _ -> (None, None, None)
+        | Ok stats ->
+          let ( >>= ) o f = Option.bind o f in
+          let gauge name =
+            Json.member "metrics" stats >>= Json.member name
+            >>= Json.member "value" >>= Json.to_float
+          in
+          ( gauge "runtime.mem.hwm_mb",
+            gauge "runtime.gc.minor_words",
+            gauge "runtime.gc.major_collections" ))
+
+let fetch_health addr =
+  match Client.connect addr with
+  | Error _ -> None
+  | Ok conn ->
+    Fun.protect
+      ~finally:(fun () -> Client.close conn)
+      (fun () ->
+        match Client.call ~deadline_s:2. conn Protocol.Health with
+        | Error _ -> None
+        | Ok payload -> Result.to_option (Dash.of_health_json payload))
+
 let probe_alive addr =
   let ok req =
     match Client.connect addr with
@@ -218,6 +256,10 @@ let run cfg =
   Array.iter Thread.join threads;
   let elapsed_s = Unix.gettimeofday () -. started in
   let latency = fetch_latency cfg.addr in
+  let srv_hwm_mb, srv_minor_words, srv_major_collections =
+    fetch_runtime cfg.addr
+  in
+  let health = fetch_health cfg.addr in
   let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
   let ok = sum (fun t -> t.t_ok) in
   {
@@ -237,6 +279,10 @@ let run cfg =
     server_alive = probe_alive cfg.addr;
     lat_p50_ms = Option.map fst latency;
     lat_p95_ms = Option.map snd latency;
+    health;
+    srv_hwm_mb;
+    srv_minor_words;
+    srv_major_collections;
   }
 
 let report_json r =
@@ -260,9 +306,22 @@ let report_json r =
     @ (match r.lat_p50_ms with
       | Some p -> [ ("lat_p50_ms", Json.of_float p) ]
       | None -> [])
+    @ (match r.lat_p95_ms with
+      | Some p -> [ ("lat_p95_ms", Json.of_float p) ]
+      | None -> [])
+    @ (match r.health with
+      | Some h ->
+        [
+          ("health_status", Json.String h.Dash.status);
+          ("stalled_total", Json.Int h.Dash.stalled_total);
+        ]
+      | None -> [])
+    @ (match r.srv_hwm_mb with
+      | Some v -> [ ("srv_hwm_mb", Json.of_float v) ]
+      | None -> [])
     @
-    match r.lat_p95_ms with
-    | Some p -> [ ("lat_p95_ms", Json.of_float p) ]
+    match r.srv_minor_words with
+    | Some v -> [ ("srv_minor_words", Json.of_float v) ]
     | None -> [])
 
 let report_to_string r =
@@ -271,6 +330,18 @@ let report_to_string r =
     | Some p50, Some p95 ->
       Printf.sprintf "; total latency p50/p95 %.1f/%.1f ms" p50 p95
     | _ -> ""
+  in
+  let lat =
+    lat
+    ^ (match r.health with
+      | Some h ->
+        Printf.sprintf "; health %s (%d stall(s))" h.Dash.status
+          h.Dash.stalled_total
+      | None -> "")
+    ^
+    match r.srv_hwm_mb with
+    | Some v -> Printf.sprintf "; server peak rss %.0f MB" v
+    | None -> ""
   in
   Printf.sprintf
     "soak: %d ok / %d attempts in %.2fs (%.0f q/s); refused: %d overloaded, \

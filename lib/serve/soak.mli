@@ -46,6 +46,14 @@ type report = {
       (** server-side total-latency p50 across all ops, read from the
           post-storm stats snapshot; [None] if the server was unreachable *)
   lat_p95_ms : float option;
+  health : Dash.health option;
+      (** post-storm [Health] verdict (status, reasons, cumulative stall
+          count) — how a chaos soak proves the watchdog saw its stalls *)
+  srv_hwm_mb : float option;
+      (** the {e server's} peak RSS ([runtime.mem.hwm_mb] gauge), read
+          from the post-storm stats snapshot *)
+  srv_minor_words : float option;  (** server GC minor words *)
+  srv_major_collections : float option;  (** server major collections *)
 }
 
 val run : config -> report

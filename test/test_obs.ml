@@ -726,6 +726,324 @@ let test_flightrec_dump_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected Error on malformed line"
 
+(* A tiny cap still keeps the newest events after a live resize, and the
+   resized ring wraps correctly from there — the property `--flight-cap`
+   relies on. *)
+let test_flightrec_set_capacity () =
+  let r = Flightrec.create ~capacity:8 () in
+  for i = 0 to 9 do
+    Flightrec.record r ~fields:[ ("i", Json.Int i) ] "test.cap"
+  done;
+  Flightrec.set_capacity r 4;
+  Alcotest.(check int) "capacity updated" 4 (Flightrec.capacity r);
+  Alcotest.(check int) "recorded unaffected by resize" 10
+    (Flightrec.recorded r);
+  let seqs r =
+    List.map (fun (ev : Flightrec.event) -> ev.Flightrec.seq)
+      (Flightrec.events r)
+  in
+  Alcotest.(check (list int)) "shrink keeps the newest events"
+    [ 6; 7; 8; 9 ] (seqs r);
+  (* Wrap at the tiny cap: the next records overwrite the oldest slots. *)
+  for i = 10 to 12 do
+    Flightrec.record r ~fields:[ ("i", Json.Int i) ] "test.cap"
+  done;
+  Alcotest.(check (list int)) "tiny ring wraps cleanly"
+    [ 9; 10; 11; 12 ] (seqs r);
+  (* Growing keeps everything that survived. *)
+  Flightrec.set_capacity r 16;
+  Alcotest.(check (list int)) "grow preserves survivors"
+    [ 9; 10; 11; 12 ] (seqs r);
+  for i = 13 to 14 do
+    Flightrec.record r ~fields:[ ("i", Json.Int i) ] "test.cap"
+  done;
+  Alcotest.(check (list int)) "grown ring accumulates"
+    [ 9; 10; 11; 12; 13; 14 ] (seqs r)
+
+(* --------------------------- runtime sampler --------------------------- *)
+
+module Runtime = Aging_obs.Runtime
+
+let gauge_value name =
+  match Metrics.value_by_name name with
+  | Some v -> v
+  | None -> Alcotest.failf "gauge %s missing" name
+
+let test_runtime_sampler_rates () =
+  let now = ref 100. in
+  let t = Runtime.create ~clock:(fun () -> !now) () in
+  Runtime.sample t;
+  Alcotest.(check (float 0.)) "first sample leaves rates at 0" 0.
+    (gauge_value "runtime.rate.minor_words_per_s");
+  let minor1 = gauge_value "runtime.gc.minor_words" in
+  (* Allocate across a fake 2-second gap; the rate must divide the exact
+     cumulative delta by the exact fake delta. *)
+  let junk = ref [] in
+  for i = 0 to 9999 do junk := (i, float_of_int i) :: !junk done;
+  ignore (Sys.opaque_identity !junk);
+  (* OCaml 5 only folds a domain's allocation counters into quick_stat at
+     collection points; force one so the delta is visible. *)
+  Gc.minor ();
+  now := 102.;
+  Runtime.sample t;
+  let minor2 = gauge_value "runtime.gc.minor_words" in
+  Alcotest.(check bool) "allocation moved the gauge" true (minor2 > minor1);
+  Alcotest.(check (float 1e-6)) "rate = delta / fake dt"
+    ((minor2 -. minor1) /. 2.)
+    (gauge_value "runtime.rate.minor_words_per_s")
+
+let test_runtime_sampler_gauges () =
+  let t = Runtime.create () in
+  Runtime.sample t;
+  Alcotest.(check bool) "heap gauge positive" true
+    (gauge_value "runtime.gc.heap_mb" > 0.);
+  Alcotest.(check bool) "minor words positive" true
+    (gauge_value "runtime.gc.minor_words" > 0.);
+  (* procfs-backed gauges exist on Linux; elsewhere sampling must still
+     have succeeded without them. *)
+  (match Metrics.value_by_name "runtime.mem.rss_mb" with
+  | Some rss -> Alcotest.(check bool) "rss plausible" true (rss > 1.)
+  | None -> ());
+  let totals = Runtime.totals () in
+  Alcotest.(check bool) "totals: minor words positive" true
+    (totals.Runtime.minor_words > 0.);
+  Alcotest.(check bool) "totals: heap positive" true
+    (totals.Runtime.heap_mb > 0.);
+  (match totals.Runtime.rss_mb with
+  | Some rss ->
+    Alcotest.(check bool) "totals rss plausible" true (rss > 1.);
+    (match totals.Runtime.hwm_mb with
+    | Some hwm -> Alcotest.(check bool) "hwm >= rss" true (hwm >= rss -. 1.)
+    | None -> ())
+  | None -> ())
+
+let test_runtime_sampler_thread () =
+  let t = Runtime.create () in
+  Alcotest.(check bool) "not running before start" false (Runtime.running t);
+  Runtime.start ~period_s:0.01 t;
+  Alcotest.(check bool) "running after start" true (Runtime.running t);
+  Runtime.start t;  (* second start is a no-op *)
+  Unix.sleepf 0.05;
+  Runtime.stop t;
+  Alcotest.(check bool) "stopped" false (Runtime.running t);
+  Runtime.stop t;  (* idempotent *)
+  Alcotest.(check bool) "background thread sampled" true
+    (Metrics.value (Metrics.counter "runtime.samples") >= 2)
+
+(* ----------------------------- openmetrics ----------------------------- *)
+
+module Openmetrics = Aging_obs.Openmetrics
+
+let test_openmetrics_sanitize () =
+  Alcotest.(check string) "dots become underscores" "serve_latency_p99"
+    (Openmetrics.sanitize_name "serve.latency.p99");
+  Alcotest.(check string) "leading digit prefixed" "_9lives"
+    (Openmetrics.sanitize_name "9lives");
+  Alcotest.(check string) "colons survive" "ns:metric_x"
+    (Openmetrics.sanitize_name "ns:metric-x");
+  Alcotest.(check string) "empty becomes underscore" "_"
+    (Openmetrics.sanitize_name "");
+  Alcotest.(check string) "escape backslash quote newline"
+    "a\\\\b\\\"c\\nd"
+    (Openmetrics.escape_label_value "a\\b\"c\nd")
+
+let test_openmetrics_render_parse_roundtrip () =
+  let snapshot =
+    [ ("test.om.requests", Metrics.Counter_value 7);
+      ("test.om.depth", Metrics.Gauge_value 3.5);
+      ( "test.om.lat_ms",
+        Metrics.Histogram_value
+          {
+            Metrics.hs_count = 6;
+            hs_sum = 123.5;
+            hs_buckets = [ (1., 2); (10., 3); (infinity, 1) ];
+          } ) ]
+  in
+  let text = Openmetrics.render_snapshot snapshot in
+  Alcotest.(check bool) "ends with EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  match Openmetrics.parse text with
+  | Error msg -> Alcotest.failf "own exposition does not parse: %s" msg
+  | Ok samples ->
+    Alcotest.(check (option (float 0.))) "counter sample" (Some 7.)
+      (Openmetrics.find samples "test_om_requests_total");
+    Alcotest.(check (option (float 0.))) "gauge sample" (Some 3.5)
+      (Openmetrics.find samples "test_om_depth");
+    Alcotest.(check (option (float 0.))) "histogram count" (Some 6.)
+      (Openmetrics.find samples "test_om_lat_ms_count");
+    Alcotest.(check (option (float 1e-9))) "histogram sum" (Some 123.5)
+      (Openmetrics.find samples "test_om_lat_ms_sum");
+    (* Buckets must be cumulative and monotone, with +Inf = count. *)
+    let bucket le =
+      match
+        Openmetrics.find samples ~labels:[ ("le", le) ] "test_om_lat_ms_bucket"
+      with
+      | Some v -> v
+      | None -> Alcotest.failf "bucket le=%s missing" le
+    in
+    Alcotest.(check (float 0.)) "first bucket" 2. (bucket "1");
+    Alcotest.(check (float 0.)) "second bucket cumulative" 5. (bucket "10");
+    Alcotest.(check (float 0.)) "+Inf bucket = count" 6. (bucket "+Inf")
+
+let test_openmetrics_stored_roundtrip () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.om.stored.counter" in
+  Metrics.incr ~by:3 c;
+  let h = Metrics.histogram ~bounds:[| 1.; 10. |] "test.om.stored.hist" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 50. ];
+  let stored = Json.of_string (Json.to_string (Metrics.to_json ())) in
+  match Openmetrics.values_of_stored_json stored with
+  | Error msg -> Alcotest.failf "stored snapshot rejected: %s" msg
+  | Ok values ->
+    (* Rendering the recovered snapshot equals rendering the live one for
+       the entries we control. *)
+    let text = Openmetrics.render_snapshot values in
+    (match Openmetrics.parse text with
+    | Error msg -> Alcotest.failf "stored render does not parse: %s" msg
+    | Ok samples ->
+      Alcotest.(check (option (float 0.))) "stored counter" (Some 3.)
+        (Openmetrics.find samples "test_om_stored_counter_total");
+      Alcotest.(check (option (float 0.))) "stored histogram +Inf" (Some 3.)
+        (Openmetrics.find samples
+           ~labels:[ ("le", "+Inf") ]
+           "test_om_stored_hist_bucket"));
+    Alcotest.(check bool) "render_stored agrees" true
+      (Openmetrics.render_stored stored = Ok text)
+
+let test_openmetrics_parse_rejects () =
+  let bad s =
+    match Openmetrics.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed exposition %S" s
+  in
+  bad "";  (* no EOF *)
+  bad "x_total 1\n";  (* no EOF *)
+  bad "9bad 1\n# EOF\n";  (* illegal name *)
+  bad "x{le=\"1\" 2\n# EOF\n";  (* unterminated labels *)
+  bad "x notanumber\n# EOF\n"
+
+(* ------------------------------- history ------------------------------- *)
+
+module History = Aging_obs.History
+
+let test_history_median_mad () =
+  Alcotest.(check (float 1e-9)) "odd median" 3.
+    (History.median [| 5.; 1.; 3. |]);
+  Alcotest.(check (float 1e-9)) "even median" 2.5
+    (History.median [| 1.; 2.; 3.; 4. |]);
+  Alcotest.(check bool) "empty median is nan" true
+    (Float.is_nan (History.median [||]));
+  Alcotest.(check (float 1e-9)) "mad" 1.
+    (History.mad [| 1.; 2.; 3.; 4.; 5. |]);
+  Alcotest.(check (float 1e-9)) "nan entries ignored" 2.
+    (History.median [| 1.; Float.nan; 2.; 3. |])
+
+let test_history_drift () =
+  let flat = [| 10.; 10.; 10.; 10.; 10. |] in
+  Alcotest.(check bool) "flat window, matching value passes" false
+    (History.drift ~z_thresh:4. ~window:flat 10.).History.drifting;
+  let v = History.drift ~z_thresh:4. ~window:flat 50. in
+  Alcotest.(check bool) "flat window, 5x step trips" true v.History.drifting;
+  Alcotest.(check bool) "step off flat is infinite z" true
+    (v.History.z = infinity);
+  let noisy = [| 10.; 11.; 9.; 10.; 12.; 10.; 9.5 |] in
+  Alcotest.(check bool) "in-band value passes" false
+    (History.drift ~z_thresh:4. ~window:noisy 10.5).History.drifting;
+  Alcotest.(check bool) "5x step trips a noisy window too" true
+    (History.drift ~z_thresh:4. ~window:noisy 50.).History.drifting;
+  (* One-sided: improvement is never drift. *)
+  Alcotest.(check bool) "one-sided ignores decreases" false
+    (History.drift ~one_sided:true ~z_thresh:4. ~window:noisy 0.)
+      .History.drifting;
+  Alcotest.(check bool) "one-sided still trips increases" true
+    (History.drift ~one_sided:true ~z_thresh:4. ~window:noisy 50.)
+      .History.drifting
+
+let test_history_sparkline () =
+  let s = History.sparkline [| 1.; 8. |] in
+  Alcotest.(check string) "min and max blocks" "\xe2\x96\x81\xe2\x96\x88" s;
+  Alcotest.(check string) "nan renders as space" " "
+    (History.sparkline [| Float.nan |]);
+  Alcotest.(check string) "empty" "" (History.sparkline [||]);
+  (* Flat series renders mid blocks, one per value. *)
+  let flat = History.sparkline [| 2.; 2.; 2. |] in
+  Alcotest.(check int) "one block char per value" 9 (String.length flat)
+
+let capture_with_qor name v =
+  Run_ledger.note_qor name v;
+  Run_ledger.capture ~tool:"test" ~subcommand:"hist" ~started_at:0. ~wall_s:0.
+    ()
+
+let test_history_rows_and_gate () =
+  Metrics.reset ();
+  let records = List.map (capture_with_qor "q") [ 10.; 10.1; 9.9; 10.; 10. ] in
+  (match History.rows_of_records records with
+  | rows -> begin
+    match List.find_opt (fun r -> r.History.r_name = "q") rows with
+    | None -> Alcotest.fail "qor row missing"
+    | Some row ->
+      Alcotest.(check bool) "two-sided qor row" false row.History.r_one_sided;
+      Alcotest.(check int) "one value per record" 5
+        (Array.length row.History.r_values);
+      Alcotest.(check (float 1e-9)) "oldest first" 10.
+        row.History.r_values.(0);
+      let g = History.gate row in
+      Alcotest.(check bool) "flat ledger passes" true
+        (g.History.g_status = History.Pass)
+  end);
+  (* A 5x step in the newest record trips the gate. *)
+  let drifted = records @ [ capture_with_qor "q" 50. ] in
+  let row =
+    List.find (fun r -> r.History.r_name = "q")
+      (History.rows_of_records drifted)
+  in
+  let g = History.gate row in
+  Alcotest.(check bool) "5x step drifts" true
+    (g.History.g_status = History.Drift);
+  Alcotest.(check (float 1e-9)) "last value surfaced" 50. g.History.g_last;
+  (* Too little history: informational, never a gate failure. *)
+  let short =
+    List.filteri (fun i _ -> i < 3) drifted
+    |> History.rows_of_records
+    |> List.find (fun r -> r.History.r_name = "q")
+  in
+  Alcotest.(check bool) "short window is Short" true
+    ((History.gate short).History.g_status = History.Short)
+
+let test_history_health_counter_one_sided () =
+  Metrics.reset ();
+  let stalled = Metrics.counter "serve.worker.stalled" in
+  let mk () =
+    Run_ledger.capture ~tool:"test" ~subcommand:"hist" ~started_at:0.
+      ~wall_s:0. ()
+  in
+  let quiet = List.init 5 (fun _ -> mk ()) in
+  Metrics.incr ~by:3 stalled;
+  let records = quiet @ [ mk () ] in
+  let row =
+    match
+      List.find_opt
+        (fun r -> r.History.r_name = "serve.worker.stalled")
+        (History.rows_of_records records)
+    with
+    | Some row -> row
+    | None -> Alcotest.fail "health counter series missing"
+  in
+  Alcotest.(check bool) "health counter is one-sided" true
+    row.History.r_one_sided;
+  Alcotest.(check bool) "stall appearing from zero drifts" true
+    ((History.gate row).History.g_status = History.Drift);
+  (* The reverse direction — counters falling back to zero — passes. *)
+  let falling =
+    {
+      row with
+      History.r_values = [| 3.; 3.; 3.; 3.; 3.; 0. |];
+    }
+  in
+  Alcotest.(check bool) "improvement passes one-sided" true
+    ((History.gate falling).History.g_status = History.Pass)
+
 let suite =
   [
     Alcotest.test_case "counter get-or-create / reset" `Quick test_counter;
@@ -770,4 +1088,27 @@ let suite =
       test_flightrec_concurrent;
     Alcotest.test_case "flight recorder dump round trip" `Quick
       test_flightrec_dump_roundtrip;
+    Alcotest.test_case "flight recorder live resize" `Quick
+      test_flightrec_set_capacity;
+    Alcotest.test_case "runtime sampler rates (fake clock)" `Quick
+      test_runtime_sampler_rates;
+    Alcotest.test_case "runtime sampler gauges and totals" `Quick
+      test_runtime_sampler_gauges;
+    Alcotest.test_case "runtime sampler background thread" `Quick
+      test_runtime_sampler_thread;
+    Alcotest.test_case "openmetrics name/label sanitization" `Quick
+      test_openmetrics_sanitize;
+    Alcotest.test_case "openmetrics render/parse round trip" `Quick
+      test_openmetrics_render_parse_roundtrip;
+    Alcotest.test_case "openmetrics from stored snapshot" `Quick
+      test_openmetrics_stored_roundtrip;
+    Alcotest.test_case "openmetrics parser rejects malformed" `Quick
+      test_openmetrics_parse_rejects;
+    Alcotest.test_case "history median/mad" `Quick test_history_median_mad;
+    Alcotest.test_case "history robust drift" `Quick test_history_drift;
+    Alcotest.test_case "history sparkline" `Quick test_history_sparkline;
+    Alcotest.test_case "history rows and gate over a ledger" `Quick
+      test_history_rows_and_gate;
+    Alcotest.test_case "history health counters gate one-sided" `Quick
+      test_history_health_counter_one_sided;
   ]

@@ -10,7 +10,9 @@ module Frame = Aging_serve.Frame
 module Protocol = Aging_serve.Protocol
 module Bqueue = Aging_serve.Bqueue
 module Chaos = Aging_serve.Chaos
+module Openmetrics = Aging_obs.Openmetrics
 module Server = Aging_serve.Server
+module Metrics_http = Aging_serve.Metrics_http
 module Client = Aging_serve.Client
 module Soak = Aging_serve.Soak
 module Dash = Aging_serve.Dash
@@ -110,8 +112,8 @@ let test_protocol_roundtrip () =
           (Protocol.request_op req ^ " meta") true (meta' = meta)
       | Error msg -> Alcotest.fail msg)
     [
-      Protocol.Ping; Protocol.Stats; Protocol.Shutdown; Protocol.Sleep 0.5;
-      Protocol.Crash;
+      Protocol.Ping; Protocol.Stats; Protocol.Health; Protocol.Shutdown;
+      Protocol.Sleep 0.5; Protocol.Crash;
       Protocol.Guardband { design = "DSP"; corner };
       Protocol.Delay
         { cell = "INV_X1"; corner; slew = Some 1e-11; load = None };
@@ -257,7 +259,8 @@ let default_handler req =
   | _ -> Ok (Json.Obj [ ("ok", Json.Bool true) ])
 
 let with_server ?(workers = 1) ?(queue_cap = 4) ?default_deadline
-    ?(chaos = Chaos.none) ?(handler = default_handler) f =
+    ?(chaos = Chaos.none) ?stall_after_s ?metrics_port
+    ?(handler = default_handler) f =
   let path = sock_name () in
   let cfg =
     {
@@ -268,6 +271,16 @@ let with_server ?(workers = 1) ?(queue_cap = 4) ?default_deadline
       default_deadline_s = default_deadline;
       chaos;
     }
+  in
+  let cfg =
+    match stall_after_s with
+    | None -> cfg
+    | Some s -> { cfg with Server.stall_after_s = Some s }
+  in
+  let cfg =
+    match metrics_port with
+    | None -> cfg
+    | Some p -> { cfg with Server.metrics_port = Some p }
   in
   let srv = Server.start ~handler cfg in
   Fun.protect
@@ -564,6 +577,94 @@ let test_server_dump_flight () =
       Alcotest.(check bool) "server still running after dump" true
         (Server.running srv))
 
+(* --------------------------- runtime health --------------------------- *)
+
+(* A quiet server answers [Health] inline with a clean verdict. *)
+let test_server_health_ok () =
+  with_server (fun srv addr ->
+      (match call_on addr Protocol.Health with
+      | Error e -> Alcotest.fail (Client.error_to_string e)
+      | Ok j -> (
+        match Dash.of_health_json j with
+        | Error msg -> Alcotest.fail msg
+        | Ok h ->
+          Alcotest.(check string) "clean verdict" "ok" h.Dash.status;
+          Alcotest.(check int) "no stalled workers" 0 h.Dash.stalled_workers));
+      (* the typed view parses the server's own JSON too *)
+      match Dash.of_health_json (Server.health_json srv) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg)
+
+(* Chaos slows every queued request well past the stall budget: the
+   reaper's watchdog must flag the worker while it is stuck (health
+   degrades with a [worker_stalled] reason), and the cumulative
+   [stalled_total] must keep the evidence after the worker recovers. *)
+let test_server_watchdog_flags_stall () =
+  let chaos =
+    Chaos.validated { Chaos.none with Chaos.slow_rate = 1.0; slow_s = 0.4 }
+  in
+  with_server ~chaos ~stall_after_s:0.08 (fun srv addr ->
+      let victim =
+        Thread.create (fun () -> ignore (call_on addr (Protocol.Sleep 0.01))) ()
+      in
+      (* give the job time to start and outlive the 80 ms budget *)
+      Unix.sleepf 0.25;
+      (match Dash.of_health_json (Server.health_json srv) with
+      | Error msg -> Alcotest.fail msg
+      | Ok h ->
+        Alcotest.(check bool) "health degrades during the stall" true
+          (h.Dash.status <> "ok");
+        Alcotest.(check bool) "watchdog counts the stuck worker" true
+          (h.Dash.stalled_workers >= 1);
+        Alcotest.(check bool) "reason names worker_stalled" true
+          (List.exists
+             (fun (r : Dash.reason) -> r.Dash.code = "worker_stalled")
+             h.Dash.reasons));
+      Thread.join victim;
+      Unix.sleepf 0.05;
+      (* after recovery, the live flag clears but the counter remembers *)
+      match call_on addr Protocol.Health with
+      | Error e -> Alcotest.fail (Client.error_to_string e)
+      | Ok j -> (
+        match Dash.of_health_json j with
+        | Error msg -> Alcotest.fail msg
+        | Ok h ->
+          Alcotest.(check bool) "stall recorded cumulatively" true
+            (h.Dash.stalled_total >= 1)))
+
+(* [metrics_port = Some 0] starts the exposition listener on an
+   ephemeral port; a live scrape must come back as valid OpenMetrics
+   carrying the serve counters and runtime gauges, and [/health] must
+   serve the verdict as JSON. *)
+let test_server_metrics_scrape () =
+  with_server ~metrics_port:0 (fun srv addr ->
+      ignore (call_on addr Protocol.Ping);
+      match Server.metrics_port srv with
+      | None -> Alcotest.fail "metrics listener did not start"
+      | Some port ->
+        (match Metrics_http.fetch ~port ~path:"/metrics" with
+        | Error e -> Alcotest.fail ("scrape failed: " ^ e)
+        | Ok body -> (
+          match Openmetrics.parse body with
+          | Error e -> Alcotest.fail ("scrape does not parse: " ^ e)
+          | Ok samples ->
+            Alcotest.(check bool) "request counter exposed" true
+              (match Openmetrics.find samples "serve_requests_total" with
+              | Some v -> v >= 1.
+              | None -> false);
+            Alcotest.(check bool) "runtime gauges exposed at scrape time" true
+              (Openmetrics.find samples "runtime_gc_heap_mb" <> None)));
+        (match Metrics_http.fetch ~port ~path:"/health" with
+        | Error e -> Alcotest.fail ("health fetch failed: " ^ e)
+        | Ok body -> (
+          match Dash.of_health_json (Json.of_string body) with
+          | Error msg -> Alcotest.fail msg
+          | Ok h ->
+            Alcotest.(check string) "healthy over HTTP" "ok" h.Dash.status));
+        match Metrics_http.fetch ~port ~path:"/nope" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown path should not 200")
+
 (* ------------------------------- dash ------------------------------- *)
 
 let contains hay needle =
@@ -728,6 +829,11 @@ let suite =
     ("server: traced requests leave phase spans", `Quick,
      test_server_request_spans);
     ("server: dump_flight over the wire", `Quick, test_server_dump_flight);
+    ("server: health reports ok when quiet", `Quick, test_server_health_ok);
+    ("server: watchdog flags a stalled worker", `Quick,
+     test_server_watchdog_flags_stall);
+    ("server: live /metrics scrape parses", `Quick,
+     test_server_metrics_scrape);
     ("dash: parses a captured stats snapshot", `Quick, test_dash_snapshot);
     ("dash: parses live stats", `Quick, test_dash_of_live_stats);
     ("soak: degrades gracefully under chaos", `Quick,
