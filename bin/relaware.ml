@@ -280,8 +280,31 @@ let characterize_cmd =
          & info [ "fault-seed" ] ~docv:"SEED"
              ~doc:"Seed selecting which grid points the injected faults hit.")
   in
+  let surrogate_arg =
+    Arg.(value & flag
+         & info [ "surrogate" ]
+             ~doc:"Characterize through the learned surrogate: simulate a \
+                   sparse deterministic subsample of each (slew, load) \
+                   grid, fit per-arc ridge models against the cross-corner \
+                   anchor pool, and serve every grid point whose predicted \
+                   confidence interval stays within the tolerance; \
+                   lower-confidence points are re-simulated.")
+  in
+  let surrogate_tol_arg =
+    Arg.(value & opt float 2.0
+         & info [ "surrogate-tol" ] ~docv:"PCT"
+             ~doc:"Relative confidence tolerance of the surrogate, in \
+                   percent (default 2).  A non-positive tolerance admits \
+                   no prediction and degenerates to the exact full sweep.")
+  in
+  let surrogate_sample_arg =
+    Arg.(value & opt int 12
+         & info [ "surrogate-sample" ] ~docv:"N"
+             ~doc:"Target seed simulations per (slew, load) grid (default \
+                   12).")
+  in
   let run tele corner years axes cache jobs cells out report fault_rate
-      fault_seed =
+      fault_seed surrogate surrogate_tol surrogate_sample =
     with_telemetry ~cmd:"characterize" tele @@ fun () ->
     (* Library builds can run for minutes; keep the runtime gauges moving
        so the ledger record (and any scrape) sees live GC/RSS numbers. *)
@@ -294,8 +317,16 @@ let characterize_cmd =
       else Characterize.default_backend
     in
     let cells = cells_of cells in
+    let surrogate =
+      if surrogate then
+        Some
+          (Characterize.surrogate ~tol:(surrogate_tol /. 100.)
+             ~sample:surrogate_sample ())
+      else None
+    in
     let deglib =
-      Deg.create ~backend ?cells ~axes ~years ~cache_dir:cache ~jobs ()
+      Deg.create ~backend ?cells ~axes ~years ~cache_dir:cache ~jobs
+        ?surrogate ()
     in
     let lib = Deg.corner deglib corner in
     Io.save out lib;
@@ -304,7 +335,21 @@ let characterize_cmd =
       (Scenario.suffix corner) years;
     if tele.ledger_dir <> None then begin
       Run_ledger.note "jobs" (Obs.Json.Int jobs);
-      note_characterize_qor ~axes ~jobs lib
+      note_characterize_qor ~axes ~jobs lib;
+      (* Surrogate accounting of the corner build (anchor builds carry no
+         provenance and contribute nothing here). *)
+      List.iter
+        (fun (_, r) ->
+          match Characterize.report_surrogate r with
+          | None -> ()
+          | Some st ->
+            Run_ledger.note_qor "surrogate.speedup"
+              st.Characterize.fit_speedup;
+            Run_ledger.note_qor "surrogate.predicted"
+              (float_of_int st.Characterize.fit_predicted);
+            Run_ledger.note_qor "surrogate.fallback"
+              (float_of_int st.Characterize.fit_fallback))
+        (Deg.build_reports deglib)
     end;
     if report then begin
       match Deg.build_reports deglib with
@@ -322,7 +367,8 @@ let characterize_cmd =
     (Cmd.info "characterize" ~doc:"Build a degradation-aware cell library")
     Term.(const run $ telemetry_term $ corner_arg $ years_arg $ axes_arg
           $ cache_arg $ jobs_arg $ cells_arg $ out_arg $ report_arg
-          $ fault_rate_arg $ fault_seed_arg)
+          $ fault_rate_arg $ fault_seed_arg $ surrogate_arg
+          $ surrogate_tol_arg $ surrogate_sample_arg)
 
 (* ------------------------------ report ------------------------------ *)
 

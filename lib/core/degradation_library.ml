@@ -11,6 +11,7 @@ module Span = Aging_obs.Span
 module Log = Aging_obs.Log
 module Pool = Aging_util.Pool
 module Lru = Aging_util.Lru
+module Trainset = Aging_fit.Trainset
 
 let m_memo_hit = Metrics.counter "cache.memo_hit"
 let m_memo_miss = Metrics.counter "cache.memo_miss"
@@ -40,6 +41,18 @@ type t = {
   lock : Mutex.t;
       (* guards [memo] and [reports]: [complete] builds corners on
          concurrent domains that all land their results here *)
+  surrogate : Characterize.surrogate option;
+      (* surrogate configuration (without a pool — the pool below is
+         attached once the anchors are in) *)
+  pool : Trainset.t;
+      (* cross-corner training rows, harvested from the {e table values}
+         of a fixed set of fully simulated anchor corners and then frozen.
+         Harvesting from tables rather than raw measurements makes the
+         pool identical whether an anchor was built now or loaded from the
+         disk cache — and therefore deterministic. *)
+  pool_lock : Mutex.t;
+      (* serializes anchor building + freezing; never held while [lock]
+         waits on it (the nested order is pool_lock -> lock only) *)
 }
 
 let rec backend_tag = function
@@ -50,7 +63,8 @@ let rec backend_tag = function
       f.Characterize.depth (backend_tag inner)
 
 let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
-    ?(years = 10.) ?cache_dir ?(jobs = 1) ?(memo_cap = default_memo_cap) () =
+    ?(years = 10.) ?cache_dir ?(jobs = 1) ?(memo_cap = default_memo_cap)
+    ?surrogate () =
   if memo_cap < 1 then
     invalid_arg "Degradation_library.create: memo_cap must be >= 1";
   let cells = Option.value cells ~default:(Aging_cells.Catalog.all ()) in
@@ -99,7 +113,10 @@ let create ?(backend = Characterize.default_backend) ?cells ?(axes = Axes.paper)
   in
   { backend; cells; axes; years; cache_dir; jobs = max 1 jobs;
     memo = Lru.create ~cap:memo_cap; fingerprint; reports = ref [];
-    lock = Mutex.create () }
+    lock = Mutex.create ();
+    surrogate = Option.map (fun s -> { s with Characterize.sur_pool = None })
+        surrogate;
+    pool = Trainset.create (); pool_lock = Mutex.create () }
 
 let axes t = t.axes
 let years t = t.years
@@ -205,27 +222,137 @@ let cached t name build =
             (Lru.cap t.memo) evicted);
     lib
 
-let build_with_report t ?indexed ~name ~scenario () =
+let build_with_report t ?indexed ?surrogate ~name ~scenario () =
   let lib, report =
     Characterize.library_report ~backend:t.backend ~cells:t.cells ?indexed
-      ~jobs:t.jobs ~axes:t.axes ~name ~scenario ()
+      ?surrogate ~jobs:t.jobs ~axes:t.axes ~name ~scenario ()
   in
   Mutex.protect t.lock (fun () -> t.reports := (name, report) :: !(t.reports));
   lib
 
 let build_reports t = Mutex.protect t.lock (fun () -> !(t.reports))
 
+(* Anchor corners of the cross-corner training pool: the four duty-cycle
+   extremes plus the balanced center.  Fixed — never derived from the
+   corners actually requested — so the pool (and through it every
+   surrogate-built library) is a function of the deglib configuration
+   alone, not of query order. *)
+let anchor_corners =
+  [
+    Scenario.fresh;
+    Scenario.corner ~lambda_p:1. ~lambda_n:0.;
+    Scenario.corner ~lambda_p:0. ~lambda_n:1.;
+    Scenario.balanced;
+    Scenario.worst_case;
+  ]
+
+(* Harvests one fully simulated anchor library into the training pool:
+   every (slew, load) table value of every arc becomes one row under the
+   same (cell, arc, dir, metric) key and with exactly the features
+   {!Characterize.surrogate_grid} will fit on. *)
+let harvest_anchor t c lib =
+  let scenario = Scenario.scenario ~years:t.years c in
+  let corner_feats = Characterize.corner_features scenario in
+  List.iter
+    (fun (e : Library.entry) ->
+      let cell = e.Library.cell.Cell.name in
+      List.iter
+        (fun (a : Library.arc) ->
+          let add dir metric (tbl : Nldm.table) =
+            let key =
+              Characterize.pool_key ~cell ~from_pin:a.Library.from_pin
+                ~to_pin:a.Library.to_pin ~dir ~metric
+            in
+            Array.iteri
+              (fun i row ->
+                Array.iteri
+                  (fun j v ->
+                    Trainset.add t.pool ~key
+                      ~features:
+                        (Characterize.point_features ~corner_feats
+                           ~slew:tbl.Nldm.slews.(i) ~load:tbl.Nldm.loads.(j))
+                      ~target:v)
+                  row)
+              tbl.Nldm.values
+          in
+          add Library.Rise "delay" a.Library.delay_rise;
+          add Library.Fall "delay" a.Library.delay_fall;
+          add Library.Rise "slew" a.Library.slew_rise;
+          add Library.Fall "slew" a.Library.slew_fall)
+        e.Library.arcs)
+    (Library.entries lib)
+
+(* Builds (or loads) the anchor libraries, harvests them, freezes the
+   pool, and returns the surrogate config with the pool attached.  Anchor
+   builds are plain full-simulation corner builds under the plain cache
+   key, so they are shared with non-surrogate runs of the same deglib
+   configuration. *)
+let ensure_pool t s =
+  Mutex.protect t.pool_lock (fun () ->
+      if not (Trainset.is_frozen t.pool) then begin
+        List.iter
+          (fun c ->
+            let name = key t ~mode:Degradation.Full ~indexed:false c in
+            let lib =
+              cached t name (fun () ->
+                  build_with_report t ~name
+                    ~scenario:(Scenario.scenario ~years:t.years c)
+                    ())
+            in
+            harvest_anchor t c lib)
+          anchor_corners;
+        Trainset.freeze t.pool;
+        Log.infof "core.surrogate"
+          "training pool frozen: %d rows from %d anchor corners (digest %s)"
+          (Trainset.size t.pool)
+          (List.length anchor_corners)
+          (Trainset.digest t.pool)
+      end);
+  { s with Characterize.sur_pool = Some t.pool }
+
+(* Cache-key suffix of a surrogate-built corner: the surrogate knobs plus
+   the frozen pool digest, so surrogate libraries never alias full builds
+   or builds under different tolerances. *)
+let surrogate_suffix s =
+  let pool_digest =
+    match s.Characterize.sur_pool with
+    | None -> "-"
+    | Some p -> Trainset.digest p
+  in
+  let tag =
+    Printf.sprintf "tol=%h;sample=%d;lambda=%h;conf=%h;pool=%s"
+      s.Characterize.sur_tol s.Characterize.sur_sample
+      s.Characterize.sur_lambda s.Characterize.sur_conf pool_digest
+  in
+  "_s" ^ String.sub (Digest.to_hex (Digest.string tag)) 0 12
+
 let corner ?(mode = Degradation.Full) t c =
-  let name = key t ~mode ~indexed:false c in
-  cached t name (fun () ->
-      let scenario = Scenario.scenario ~years:t.years ~mode c in
-      build_with_report t ~name ~scenario ())
+  match t.surrogate with
+  | None ->
+    let name = key t ~mode ~indexed:false c in
+    cached t name (fun () ->
+        let scenario = Scenario.scenario ~years:t.years ~mode c in
+        build_with_report t ~name ~scenario ())
+  | Some s ->
+    let s = ensure_pool t s in
+    let name = key t ~mode ~indexed:false c ^ surrogate_suffix s in
+    cached t name (fun () ->
+        let scenario = Scenario.scenario ~years:t.years ~mode c in
+        build_with_report t ~surrogate:s ~name ~scenario ())
 
 let indexed_corner t c =
-  let name = key t ~mode:Degradation.Full ~indexed:true c in
-  cached t name (fun () ->
-      let scenario = Scenario.scenario ~years:t.years c in
-      build_with_report t ~indexed:true ~name ~scenario ())
+  match t.surrogate with
+  | None ->
+    let name = key t ~mode:Degradation.Full ~indexed:true c in
+    cached t name (fun () ->
+        let scenario = Scenario.scenario ~years:t.years c in
+        build_with_report t ~indexed:true ~name ~scenario ())
+  | Some s ->
+    let s = ensure_pool t s in
+    let name = key t ~mode:Degradation.Full ~indexed:true c ^ surrogate_suffix s in
+    cached t name (fun () ->
+        let scenario = Scenario.scenario ~years:t.years c in
+        build_with_report t ~indexed:true ~surrogate:s ~name ~scenario ())
 
 let fresh t = corner t Scenario.fresh
 let worst_case ?mode t = corner ?mode t Scenario.worst_case

@@ -16,6 +16,7 @@ val create :
   ?cache_dir:string ->
   ?jobs:int ->
   ?memo_cap:int ->
+  ?surrogate:Aging_liberty.Characterize.surrogate ->
   unit ->
   t
 (** Defaults: transient backend, full catalog, the paper's 7x7 axes,
@@ -32,6 +33,21 @@ val create :
     is set, or re-characterized.  Hits, misses and evictions land in
     the metrics registry as [cache.memo_hit] / [cache.memo_miss] /
     [cache.memo_evict].
+
+    [surrogate] switches every corner build into
+    {!Aging_liberty.Characterize} surrogate mode, with per-model training
+    pooled across corners: the first surrogate build fully characterizes a
+    fixed set of five anchor corners (the duty-cycle extremes and the
+    balanced center), harvests their table values into a frozen
+    cross-corner training pool — one bucket per (cell, arc, direction,
+    metric) — and every requested corner then fits against that pool plus
+    a handful of local seed simulations, so a model is effectively fit
+    once per cell family and reused across nearby (lambda_p, lambda_n)
+    corners.  The pool is a function of the deglib configuration only
+    (never of query order), and surrogate-built libraries are cached under
+    keys extended with the surrogate knobs and the pool digest, so they
+    can never alias full builds.  Any [sur_pool] already present in the
+    passed config is ignored and replaced by the anchor pool.
     @raise Invalid_argument if [memo_cap < 1]. *)
 
 val axes : t -> Aging_liberty.Axes.t

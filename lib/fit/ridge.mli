@@ -1,0 +1,143 @@
+(** Normalized polynomial/RBF ridge regression with leave-one-out and
+    ensemble-spread confidence estimates.
+
+    This is the learned-surrogate kernel behind [Characterize]'s
+    [--surrogate] mode: a dependency-free pure-OCaml fit of a small dense
+    linear model over normalized features, solved through the {!Linalg}
+    LU.  The design goals, in order: {b determinism} (a fit is a pure
+    sequential function of the training rows — bit-identical across
+    worker counts and repeated runs), {b typed failure} (degenerate
+    designs surface as {!error}, never as NaN coefficients), and
+    {b honest confidence} (prediction intervals from leave-one-out
+    residuals scaled by leverage, which widen monotonically as a query
+    moves away from the training hull — the property the error-bounded
+    fallback relies on).
+
+    Why ridge rather than plain least squares: characterization feature
+    sets are nearly collinear by construction (log-spaced grid axes,
+    aging features that are all monotone functions of the same stress),
+    so the normal matrix is routinely ill-conditioned and a plain LS
+    solve either fails the pivot floor or amplifies rounding noise into
+    the extrapolation region.  A small ridge penalty [lambda] bounds the
+    condition number without measurably biasing interpolation, and makes
+    under-determined pooled fits (more basis functions than rows from a
+    single corner) well-posed. *)
+
+type basis =
+  | Poly of int
+      (** All monomials of the normalized features with total degree
+          [<= d], graded-lexicographic order (intercept first). *)
+  | Tensor of int array
+      (** Full tensor product with per-dimension maximum degrees; a
+          degree of [0] pins a dimension to the intercept.  Length must
+          equal the feature dimension. *)
+  | Rbf of { degree : int; centers : int; width : float }
+      (** [Poly degree] plus up to [centers] Gaussian bumps of the given
+          [width] (in normalized-feature units), centred on a
+          deterministic spread of training rows. *)
+  | Terms of int array array
+      (** Explicit exponent vectors, one per basis function — the escape
+          hatch for structured sparsity a dense tensor cannot express
+          (e.g. a full grid over two dimensions but only low-order
+          interactions with the rest, which shrinks the parameter count
+          and with it the [O(rows * params^2)] fit cost).  Each vector
+          must have one nonnegative entry per feature dimension;
+          duplicates are accepted but waste a column. *)
+
+type error =
+  | Too_few_rows of { rows : int; params : int }
+      (** No rows at all, or an exactly-determined/under-determined
+          design with [lambda <= 0]. *)
+  | Degenerate_column of int
+      (** Feature column with zero variance (rank-deficient by
+          construction); only reported when [drop_constant] is false. *)
+  | Singular
+      (** The (ridge-regularized) normal matrix lost a pivot — e.g. all
+          rows duplicated with [lambda = 0]. *)
+  | Non_finite of { row : int }
+      (** A NaN/infinite feature or target in the given training row. *)
+
+val error_to_string : error -> string
+
+type model
+
+val fit :
+  ?lambda:float ->
+  ?basis:basis ->
+  ?drop_constant:bool ->
+  ?weights:float array ->
+  rows:float array array ->
+  targets:float array ->
+  unit ->
+  (model, error) result
+(** Fits [targets.(i) ~ f(rows.(i))].  Features are normalized to zero
+    mean and unit variance over the training rows before basis
+    expansion; [lambda] (default [1e-6]) penalizes every coefficient
+    except the intercept.  [drop_constant] (default [false]) silently
+    neutralizes zero-variance columns (their normalized value is pinned
+    to 0, so they contribute nothing) instead of returning
+    {!Degenerate_column} — the surrogate uses this for corner features
+    that are constant within a single-corner fit.
+
+    [weights] (one strictly positive finite factor per row; a
+    non-positive or non-finite weight reports {!Non_finite}) turns the
+    solve into weighted least squares: residual [i] is scaled by
+    [weights.(i)] before minimization.  With [weights.(i) = 1 /.
+    targets.(i)] on positive targets this minimizes {e relative} error,
+    and [sigma], the LOO residuals and the {!confidence} half-widths all
+    come out in relative units — the form the surrogate's error-bounded
+    acceptance gate wants.
+    @raise Invalid_argument if [targets], [weights] and [rows] disagree
+    in length, rows disagree in dimension, a {!Tensor} or {!Terms} basis
+    has the wrong arity, or a {!Terms} basis is empty or holds a
+    negative exponent. *)
+
+val predict : model -> float array -> float
+
+val leverage : model -> float array -> float
+(** [phi(x)' (X'X + lambda R)^-1 phi(x)]: the statistical distance of a
+    query from the training design.  Along any ray leaving the data this
+    grows without bound, which is what makes the confidence below widen
+    away from the hull. *)
+
+val confidence : ?conf:float -> model -> float array -> float
+(** Half-width of the prediction interval at a query point:
+    [conf * sigma_loo * sqrt (1 + leverage)], with [conf] defaulting to
+    2 (roughly a 95% normal interval). *)
+
+val predict_ci : ?conf:float -> model -> float array -> float * float
+(** Prediction and confidence half-width in one call. *)
+
+val sigma : model -> float
+(** Root-mean-square leave-one-out residual: an unbiased-ish estimate of
+    out-of-sample error that costs nothing extra — the LOO residual is
+    [r_i / (1 - h_ii)] with [h_ii] the hat-matrix diagonal already
+    computed for {!leverage}. *)
+
+val loo_residuals : model -> float array
+(** Per-training-row leave-one-out residuals (prediction minus target of
+    a model fitted without that row), in row order. *)
+
+val params : model -> int
+(** Number of basis functions. *)
+
+val rows : model -> int
+(** Number of training rows. *)
+
+val ensemble :
+  ?folds:int ->
+  ?lambda:float ->
+  ?basis:basis ->
+  ?drop_constant:bool ->
+  ?weights:float array ->
+  rows:float array array ->
+  targets:float array ->
+  unit ->
+  (model list, error) result
+(** [folds] (default 4) models, each fitted with every [k]-th row held
+    out — a deterministic jackknife whose prediction spread is a second,
+    model-misfit-sensitive confidence signal. *)
+
+val spread : model list -> float array -> float
+(** Population standard deviation of the ensemble's predictions at a
+    query point; [0.] for an empty or singleton list. *)

@@ -1,0 +1,55 @@
+type row = { tr_features : float array; tr_target : float }
+
+type t = {
+  mutable frozen : bool;
+  tbl : (string, row list ref) Hashtbl.t;  (* rows newest-first *)
+  mu : Mutex.t;
+}
+
+let create () = { frozen = false; tbl = Hashtbl.create 64; mu = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let add t ~key ~features ~target =
+  with_lock t @@ fun () ->
+  if t.frozen then invalid_arg "Trainset.add: pool is frozen";
+  let r = { tr_features = Array.copy features; tr_target = target } in
+  match Hashtbl.find_opt t.tbl key with
+  | Some cell -> cell := r :: !cell
+  | None -> Hashtbl.add t.tbl key (ref [ r ])
+
+let freeze t = with_lock t @@ fun () -> t.frozen <- true
+let is_frozen t = with_lock t @@ fun () -> t.frozen
+
+let rows t key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let size t =
+  with_lock t @@ fun () ->
+  Hashtbl.fold (fun _ cell acc -> acc + List.length !cell) t.tbl 0
+
+let digest t =
+  with_lock t @@ fun () ->
+  let keys =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+  in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun k ->
+      Buffer.add_string b k;
+      Buffer.add_char b '\n';
+      List.iter
+        (fun r ->
+          Array.iter
+            (fun v -> Buffer.add_string b (Printf.sprintf "%h," v))
+            r.tr_features;
+          Buffer.add_string b (Printf.sprintf "=%h;" r.tr_target))
+        (List.rev !(Hashtbl.find t.tbl k));
+      Buffer.add_char b '\n')
+    keys;
+  Digest.to_hex (Digest.string (Buffer.contents b))

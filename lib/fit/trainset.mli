@@ -1,0 +1,41 @@
+(** Shared training pool for cross-corner surrogate reuse.
+
+    A [Degradation_library] sweep fits one surrogate per
+    (cell, arc, dir, output) — the [key] — but the underlying response
+    varies smoothly across nearby (lambda_p, lambda_n) corners, so rows
+    harvested from a fixed set of anchor corners can prime the fit at
+    every other corner.  The pool is a mutex-guarded key-to-rows map with
+    a one-way {!freeze}: the anchor phase populates it, [freeze] makes it
+    read-only, and the fan-out phase then reads it concurrently.  The
+    freeze is what keeps parallel corner builds deterministic — a
+    frozen pool's contents are a function of the anchor corners alone,
+    never of worker interleaving. *)
+
+type row = { tr_features : float array; tr_target : float }
+
+type t
+
+val create : unit -> t
+
+val add : t -> key:string -> features:float array -> target:float -> unit
+(** Appends a row under [key].  Rows under one key keep insertion order;
+    concurrent adds under {e different} keys are safe (each surrogate
+    work unit owns its keys exclusively).
+    @raise Invalid_argument after {!freeze}. *)
+
+val freeze : t -> unit
+(** Makes the pool read-only.  Idempotent. *)
+
+val is_frozen : t -> bool
+
+val rows : t -> string -> row list
+(** Rows under [key] in insertion order; [[]] when absent. *)
+
+val size : t -> int
+(** Total rows across all keys. *)
+
+val digest : t -> string
+(** Digest of the full canonical contents (keys sorted, rows in order,
+    floats in lossless hex).  Cache keys of libraries built against a
+    pool must include this, so a build primed by anchor rows can never
+    alias one that was not. *)

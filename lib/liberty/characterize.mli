@@ -35,7 +35,9 @@
     when the cell level alone cannot fill it.  The result is {e
     deterministic}: entries, tables, and the merged report are assembled in
     input order, never completion order, so [library ~jobs:n] is
-    bit-for-bit identical to [library ~jobs:1] for every [n].  [jobs]
+    bit-for-bit identical to [library ~jobs:1] for every [n] (the only
+    exception being the wall-time fields of {!arc_stats}, which record
+    measurements, not results).  [jobs]
     defaults to [1] (sequential); the CLI and benches default it to
     {!Aging_util.Pool.default_jobs}. *)
 
@@ -68,9 +70,100 @@ type backend =
 val default_backend : backend
 (** [Transient] with default engine options. *)
 
+(** {2 Surrogate mode}
+
+    A surrogate build simulates only a sparse deterministic sub-lattice of
+    each (slew x load) grid — reusing the warm-start chain — fits one
+    {!Aging_fit.Ridge} model per (cell, arc, direction, output metric) on
+    the results, and serves every remaining point from the model {e if}
+    its prediction-interval half-width is within [tol] of the predicted
+    value; any lower-confidence point falls back to a real simulation
+    (counted in the [fit.points.fallback] metric).  A non-positive [tol]
+    therefore degenerates to the exact non-surrogate sweep — same visit
+    order, same warm chain, bit-identical tables — with every point
+    accounted as a fallback.
+
+    With a cross-corner [pool] (primed by {!Degradation_library} from
+    full anchor-corner builds) the fit switches to multi-fidelity ratio
+    mode.  The pool corner nearest the target becomes the {e reference};
+    the model is a low-degree bivariate surface over (log slew, load)
+    fitted on the seed lattice's target/reference {e ratios}, and a
+    prediction is the fitted ratio times the reference value.  Aging
+    scales a timing surface far more smoothly than it shapes it — the
+    sharp (slew, load) structure cancels in the ratio — which is what
+    lets a handful of seeds certify percent-level tolerances that no
+    absolute-valued fit could reach.  Serving is gated per point by
+    {e both} the model's prediction interval and a replayed-anchor
+    certificate: the identical (lattice, basis, gate) scheme is re-run at
+    the pool corners nearest the target, its served predictions compared
+    against their full tables (whose truth the pool already holds), and a
+    point is only served where that replayed error also stayed within
+    [tol].  Certificates depend only on the (model, axes, reference,
+    anchor) tuple, so they are memoized in the config and reused across
+    nearby corner builds — the [fit.certs.reused] counter tracks the
+    sharing. *)
+
+type surrogate = {
+  sur_tol : float;      (** relative confidence tolerance, e.g. 0.02 *)
+  sur_sample : int;     (** target seed simulations per grid *)
+  sur_lambda : float;   (** ridge penalty *)
+  sur_conf : float;     (** confidence-interval multiplier *)
+  sur_pool : Aging_fit.Trainset.t option;
+      (** frozen cross-corner training pool (see {!Trainset}) *)
+  sur_certs : (string, float array array) Hashtbl.t;
+      (** memoized replayed-anchor certificate grids, shared across the
+          corner builds that use this config *)
+}
+
+val surrogate :
+  ?tol:float ->
+  ?sample:int ->
+  ?lambda:float ->
+  ?conf:float ->
+  ?pool:Aging_fit.Trainset.t ->
+  unit ->
+  surrogate
+(** Defaults: [tol = 0.02] (2 %), [sample = 12], [lambda = 1e-6],
+    [conf = 1.], no pool.  [conf] scales the prediction interval the
+    serve gate compares against [tol]; the default is deliberately a
+    ~68 % interval because in pooled mode the replayed-anchor
+    certificate — actual errors of this exact scheme at corners whose
+    truth is known — carries the safety argument, and a wider interval
+    starves the certificate itself (the replay serves fewer points, so
+    more of the grid reads "not measurable: unsafe").  Raise it when
+    running standalone fits whose only gate is the interval.
+    @raise Invalid_argument if [sample < 4] or [tol] is not finite. *)
+
+val corner_features : Aging_physics.Scenario.t -> float array
+(** Aging features of a corner measured on reference minimum-width
+    devices: [[| dVth_p; dVth_n; dmu_p; dmu_n |]] (mobility losses as
+    [1 - mu_factor]).  Constant within one corner; the cross-corner pool
+    is what makes them informative. *)
+
+val pool_key :
+  cell:string ->
+  from_pin:string ->
+  to_pin:string ->
+  dir:Library.direction ->
+  metric:string ->
+  string
+(** Canonical {!Aging_fit.Trainset} key of one per-model training bucket;
+    [metric] is ["delay"] or ["slew"]. *)
+
+val point_features :
+  corner_feats:float array -> slew:float -> load:float -> float array
+(** Model features of one grid point: log slew, load in fF, then the
+    corner features.  Exposed so {!Degradation_library} harvests pool
+    rows with exactly the features the fit will use. *)
+
 (** {2 Characterization report} *)
 
 type repair = Interpolated | Analytic_fallback
+
+type prov = Seeded | Predicted | Fell_back
+(** Provenance of one grid point in a surrogate build: simulated as a
+    seed, served by the model, or re-simulated because the model's
+    confidence interval exceeded the tolerance. *)
 
 type arc_stats = {
   stat_cell : string;
@@ -81,15 +174,21 @@ type arc_stats = {
   mutable retried : int;   (** points recovered by an escalated re-run *)
   mutable repaired : int;  (** points filled by a degraded fallback *)
   mutable failed : int;    (** points lost entirely (never with fallbacks) *)
+  mutable predicted : int; (** points served by the surrogate model *)
   mutable repairs : repair list;      (** one entry per repaired point *)
   mutable errors : point_error list;
       (** first error of every non-clean point, newest first *)
+  mutable prov : prov array array option;
+      (** per-point provenance (slew-major), surrogate builds only *)
+  mutable sim_seconds : float;
+      (** wall time spent inside point simulations of this grid *)
+  mutable grid_seconds : float;  (** wall time of the whole grid *)
 }
 
 type report = { mutable stats : arc_stats list }
 (** Per-(cell, arc, direction) accounting of one characterization run;
-    [stats] is newest-first.  The four counters partition the grid points,
-    so their sum is the total point count. *)
+    [stats] is newest-first.  The five counters partition the grid
+    points, so their sum is the total point count. *)
 
 val report_create : unit -> report
 
@@ -99,12 +198,26 @@ type totals = {
   recovered : int;  (** needed at least one escalated retry *)
   degraded : int;   (** repaired by interpolation or the analytic model *)
   lost : int;       (** failed outright *)
+  guessed : int;    (** served by the surrogate model *)
 }
 
 val report_totals : report -> totals
 
 val report_clean : report -> bool
 (** [true] iff every point was measured on the first attempt. *)
+
+type surrogate_totals = {
+  fit_simulated : int;  (** seed simulations *)
+  fit_predicted : int;  (** points served by the model *)
+  fit_fallback : int;   (** low-confidence points re-simulated *)
+  fit_speedup : float;
+      (** estimated build speedup: measured mean simulation cost
+          extrapolated to the full grid, over the actual wall time *)
+}
+
+val report_surrogate : report -> surrogate_totals option
+(** Surrogate accounting of the report; [None] when no grid in it was
+    built in surrogate mode. *)
 
 val report_to_string : report -> string
 
@@ -115,6 +228,7 @@ val entry :
   ?indexed:bool ->
   ?report:report ->
   ?jobs:int ->
+  ?surrogate:surrogate ->
   axes:Axes.t ->
   scenario:Aging_physics.Scenario.t ->
   Aging_cells.Cell.t ->
@@ -132,6 +246,7 @@ val library :
   ?indexed:bool ->
   ?report:report ->
   ?jobs:int ->
+  ?surrogate:surrogate ->
   axes:Axes.t ->
   name:string ->
   scenario:Aging_physics.Scenario.t ->
@@ -149,6 +264,7 @@ val library_report :
   ?cells:Aging_cells.Cell.t list ->
   ?indexed:bool ->
   ?jobs:int ->
+  ?surrogate:surrogate ->
   axes:Axes.t ->
   name:string ->
   scenario:Aging_physics.Scenario.t ->
@@ -158,7 +274,7 @@ val library_report :
 
 val fresh_library :
   ?backend:backend -> ?cells:Aging_cells.Cell.t list -> ?jobs:int ->
-  axes:Axes.t -> unit -> Library.t
+  ?surrogate:surrogate -> axes:Axes.t -> unit -> Library.t
 (** Convenience: the degradation-unaware (initial) library — zero-duty
     corner, bare names. *)
 

@@ -1,9 +1,15 @@
-(* Shared, lazily built test fixtures: characterizing even a small library
+(* Shared, memoized test fixtures: characterizing even a small library
    costs a second or two, so every suite shares these.  They characterize
    with [Pool.default_jobs] worker domains — results are identical to a
    sequential build, so suites see the same fixtures; the @parallel-smoke
    alias sets AGING_JOBS=4 to force the parallel path through every
-   fixture-based test. *)
+   fixture-based test.
+
+   The memo is keyed on the full effective build configuration — jobs,
+   cache directory, surrogate flags — not just the fixture name.  Before
+   this, two suites asking for "the" library under different effective
+   configs (say @parallel-smoke's AGING_JOBS=4 and a surrogate test)
+   would silently share whichever build ran first. *)
 
 module Scenario = Aging_physics.Scenario
 module Axes = Aging_liberty.Axes
@@ -23,27 +29,71 @@ let subset_names =
 
 let subset_cells = lazy (List.map Catalog.find_exn subset_names)
 
+(* One string that pins down every build knob a fixture can vary on. *)
+let surrogate_tag = function
+  | None -> "off"
+  | Some s ->
+    Printf.sprintf "tol=%h,sample=%d,lambda=%h,conf=%h,pool=%s"
+      s.Characterize.sur_tol s.Characterize.sur_sample s.Characterize.sur_lambda
+      s.Characterize.sur_conf
+      (match s.Characterize.sur_pool with
+      | None -> "-"
+      | Some p -> Aging_fit.Trainset.digest p)
+
+let config_key ~kind ~name ~jobs ~cache_dir ~surrogate =
+  Printf.sprintf "%s|%s|jobs=%d|cache=%s|surrogate=%s" kind name jobs
+    (Option.value cache_dir ~default:"-")
+    (surrogate_tag surrogate)
+
+let memo_mu = Mutex.create ()
+let library_memo : (string, Aging_liberty.Library.t) Hashtbl.t =
+  Hashtbl.create 8
+let deglib_memo : (string, Aging_core.Degradation_library.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let memoized memo key build =
+  Mutex.lock memo_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_mu)
+    (fun () ->
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+        let v = build () in
+        Hashtbl.add memo key v;
+        v)
+
+let shared_library ?surrogate ~name ~scenario () =
+  let jobs = Aging_util.Pool.default_jobs () in
+  let key = config_key ~kind:"library" ~name ~jobs ~cache_dir:None ~surrogate in
+  memoized library_memo key (fun () ->
+      Characterize.library ~jobs ?surrogate
+        ~cells:(Lazy.force subset_cells)
+        ~axes:Axes.coarse ~name ~scenario ())
+
+let shared_deglib ?surrogate ?cache_dir () =
+  let jobs = Aging_util.Pool.default_jobs () in
+  let key =
+    config_key ~kind:"deglib" ~name:"test" ~jobs ~cache_dir ~surrogate
+  in
+  memoized deglib_memo key (fun () ->
+      Aging_core.Degradation_library.create ~jobs ?cache_dir ?surrogate
+        ~cells:(Lazy.force subset_cells)
+        ~axes:Axes.coarse ())
+
 let fresh_library =
   lazy
-    (Characterize.library ~jobs
-       ~cells:(Lazy.force subset_cells)
-       ~axes:Axes.coarse ~name:"test-fresh"
+    (shared_library ~name:"test-fresh"
        ~scenario:(Scenario.scenario Scenario.fresh)
        ())
 
 let aged_library =
   lazy
-    (Characterize.library ~jobs
-       ~cells:(Lazy.force subset_cells)
-       ~axes:Axes.coarse ~name:"test-aged"
+    (shared_library ~name:"test-aged"
        ~scenario:(Scenario.scenario Scenario.worst_case)
        ())
 
-let deglib =
-  lazy
-    (Aging_core.Degradation_library.create ~jobs
-       ~cells:(Lazy.force subset_cells)
-       ~axes:Axes.coarse ())
+let deglib = lazy (shared_deglib ())
 
 (* Bit-identity of the shared fixture across job counts.  The fixture
    characterizes once per process (the [lazy] above) with

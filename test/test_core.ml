@@ -279,6 +279,60 @@ let test_aging_synthesis_invariants () =
   Alcotest.(check bool) "frequency gain consistent" true
     (Aging_synthesis.frequency_gain c >= -1e-9)
 
+let test_surrogate_cert_reuse () =
+  (* Replayed-anchor certificates depend only on the (model, axes,
+     reference, anchor) tuple — not on the target corner — so a second
+     corner build near the first must reuse every certificate of the
+     shared config instead of re-fitting the anchor replays.  XOR2 on a
+     small geometric grid keeps the five anchor builds cheap while still
+     being a cell the surrogate actually serves. *)
+  let geo n lo hi =
+    Array.init n (fun i -> lo *. ((hi /. lo) ** (float i /. float (n - 1))))
+  in
+  let axes =
+    {
+      Axes.slews = geo 5 Axes.slew_min Axes.slew_max;
+      loads = geo 5 Axes.load_min Axes.load_max;
+    }
+  in
+  let t =
+    Deg.create
+      ~cells:[ Aging_cells.Catalog.find_exn "XOR2_X1" ]
+      ~axes
+      ~surrogate:(Aging_liberty.Characterize.surrogate ~tol:0.02 ())
+      ()
+  in
+  ignore (Deg.corner t (Scenario.corner ~lambda_p:0.6 ~lambda_n:0.6));
+  let reused0 = metric "fit.certs.reused" in
+  ignore (Deg.corner t (Scenario.corner ~lambda_p:0.62 ~lambda_n:0.58));
+  Alcotest.(check bool) "second nearby corner reuses certificates" true
+    (metric "fit.certs.reused" > reused0);
+  (* Both surrogate builds carry per-point provenance that partitions
+     their grids. *)
+  let sur_reports =
+    List.filter
+      (fun (_, r) ->
+        List.exists
+          (fun (s : Aging_liberty.Characterize.arc_stats) ->
+            s.Aging_liberty.Characterize.prov <> None)
+          r.Aging_liberty.Characterize.stats)
+      (Deg.build_reports t)
+  in
+  Alcotest.(check int) "two surrogate corner builds" 2
+    (List.length sur_reports);
+  List.iter
+    (fun (_, r) ->
+      let totals = Aging_liberty.Characterize.report_totals r in
+      match Aging_liberty.Characterize.report_surrogate r with
+      | None -> Alcotest.fail "expected surrogate accounting"
+      | Some st ->
+        Alcotest.(check int) "provenance partitions the grid"
+          totals.Aging_liberty.Characterize.points
+          (st.Aging_liberty.Characterize.fit_simulated
+          + st.Aging_liberty.Characterize.fit_predicted
+          + st.Aging_liberty.Characterize.fit_fallback))
+    sur_reports
+
 let test_path_demo_switch () =
   let fresh = Scenario.scenario Scenario.fresh in
   let worst = Scenario.scenario Scenario.worst_case in
@@ -324,6 +378,8 @@ let suite =
     ("guardband: vth-only smaller (Fig 5a)", `Quick, test_guardband_vth_only_smaller);
     ("guardband: initial-CP smaller (Fig 5c)", `Quick, test_guardband_initial_cp_only_smaller);
     ("guardband: dynamic workload", `Quick, test_guardband_dynamic);
+    ("deglib: surrogate certificates reused across corners", `Quick,
+     test_surrogate_cert_reuse);
     ("synthesis: invariants", `Slow, test_aging_synthesis_invariants);
     ("path demo: criticality switch (Fig 3)", `Quick, test_path_demo_switch);
     ("system eval: DCT stream matches reference", `Slow, test_run_vectors_matches_reference);
