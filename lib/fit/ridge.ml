@@ -323,16 +323,25 @@ let predict t x =
   let p = basis_at t x in
   dot t.m p 0 t.beta
 
-let leverage t x =
+let leverage ?(weight = 1.) t x =
+  if not (Float.is_finite weight && weight > 0.) then
+    invalid_arg "Ridge.leverage: weight must be finite and positive";
   let p = basis_at t x in
+  (* The normal matrix holds weighted rows (w_i phi_i); a query only
+     compares against it in the same units, so scale the query basis by
+     its own weight.  With w = 1 this is the plain hat value. *)
+  if weight <> 1. then
+    for j = 0 to t.m - 1 do
+      p.(j) <- p.(j) *. weight
+    done;
   let u = Array.copy p in
   Linalg.lu_solve t.a_lu t.a_piv t.m u;
   Float.max 0. (dot t.m p 0 u)
 
-let confidence ?(conf = 2.) t x =
-  conf *. t.sigma *. sqrt (1. +. leverage t x)
+let confidence ?(conf = 2.) ?weight t x =
+  conf *. t.sigma *. sqrt (1. +. leverage ?weight t x)
 
-let predict_ci ?conf t x = (predict t x, confidence ?conf t x)
+let predict_ci ?conf ?weight t x = (predict t x, confidence ?conf ?weight t x)
 let sigma t = t.sigma
 let loo_residuals t = Array.copy t.loo
 let params t = t.m

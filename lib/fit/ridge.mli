@@ -94,19 +94,34 @@ val fit :
 
 val predict : model -> float array -> float
 
-val leverage : model -> float array -> float
-(** [phi(x)' (X'X + lambda R)^-1 phi(x)]: the statistical distance of a
-    query from the training design.  Along any ray leaving the data this
-    grows without bound, which is what makes the confidence below widen
-    away from the hull. *)
+val leverage : ?weight:float -> model -> float array -> float
+(** [(w phi(x))' (X'X + lambda R)^-1 (w phi(x))]: the statistical
+    distance of a query from the training design.  Along any ray leaving
+    the data this grows without bound, which is what makes the
+    confidence below widen away from the hull.
 
-val confidence : ?conf:float -> model -> float array -> float
+    For a {e weighted} fit the design rows are [w_i phi_i], so the query
+    basis must be scaled into the same units: pass [weight] (default
+    [1.], correct for unweighted fits) as the weight the query row would
+    have carried.  With [weights.(i) = 1 /. targets.(i)] fits use
+    [~weight:(1. /. predict m x)].  Leaving [weight] at [1.] against
+    such a fit understates leverage by the squared target scale — for
+    tiny absolute targets it collapses to 0 and the interval never
+    widens off the hull.
+    @raise Invalid_argument if [weight] is non-positive or non-finite. *)
+
+val confidence : ?conf:float -> ?weight:float -> model -> float array -> float
 (** Half-width of the prediction interval at a query point:
     [conf * sigma_loo * sqrt (1 + leverage)], with [conf] defaulting to
-    2 (roughly a 95% normal interval). *)
+    2 (roughly a 95% normal interval) and [weight] passed through to
+    {!leverage}. *)
 
-val predict_ci : ?conf:float -> model -> float array -> float * float
-(** Prediction and confidence half-width in one call. *)
+val predict_ci :
+  ?conf:float -> ?weight:float -> model -> float array -> float * float
+(** Prediction and confidence half-width in one call.  [weight] applies
+    to the confidence term only; note it cannot depend on the prediction
+    here — callers of relative-weighted fits should call {!predict} then
+    {!confidence} [~weight:(1. /. p)]. *)
 
 val sigma : model -> float
 (** Root-mean-square leave-one-out residual: an unbiased-ish estimate of

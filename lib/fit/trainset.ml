@@ -2,11 +2,15 @@ type row = { tr_features : float array; tr_target : float }
 
 type t = {
   mutable frozen : bool;
+  mutable digest_memo : string option;  (* set at freeze; never invalidated
+                                           because a frozen pool is immutable *)
   tbl : (string, row list ref) Hashtbl.t;  (* rows newest-first *)
   mu : Mutex.t;
 }
 
-let create () = { frozen = false; tbl = Hashtbl.create 64; mu = Mutex.create () }
+let create () =
+  { frozen = false; digest_memo = None; tbl = Hashtbl.create 64;
+    mu = Mutex.create () }
 
 let with_lock t f =
   Mutex.lock t.mu;
@@ -20,21 +24,7 @@ let add t ~key ~features ~target =
   | Some cell -> cell := r :: !cell
   | None -> Hashtbl.add t.tbl key (ref [ r ])
 
-let freeze t = with_lock t @@ fun () -> t.frozen <- true
-let is_frozen t = with_lock t @@ fun () -> t.frozen
-
-let rows t key =
-  with_lock t @@ fun () ->
-  match Hashtbl.find_opt t.tbl key with
-  | Some cell -> List.rev !cell
-  | None -> []
-
-let size t =
-  with_lock t @@ fun () ->
-  Hashtbl.fold (fun _ cell acc -> acc + List.length !cell) t.tbl 0
-
-let digest t =
-  with_lock t @@ fun () ->
+let digest_unlocked t =
   let keys =
     List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
   in
@@ -53,3 +43,30 @@ let digest t =
       Buffer.add_char b '\n')
     keys;
   Digest.to_hex (Digest.string (Buffer.contents b))
+
+let freeze t =
+  with_lock t @@ fun () ->
+  if not t.frozen then begin
+    t.frozen <- true;
+    (* The canonical string walks every pooled row; paying it once here
+       keeps per-corner cache-key lookups O(1) instead of O(pool). *)
+    t.digest_memo <- Some (digest_unlocked t)
+  end
+
+let is_frozen t = with_lock t @@ fun () -> t.frozen
+
+let rows t key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let size t =
+  with_lock t @@ fun () ->
+  Hashtbl.fold (fun _ cell acc -> acc + List.length !cell) t.tbl 0
+
+let digest t =
+  with_lock t @@ fun () ->
+  match t.digest_memo with
+  | Some d -> d
+  | None -> digest_unlocked t

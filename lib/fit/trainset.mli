@@ -24,7 +24,8 @@ val add : t -> key:string -> features:float array -> target:float -> unit
     @raise Invalid_argument after {!freeze}. *)
 
 val freeze : t -> unit
-(** Makes the pool read-only.  Idempotent. *)
+(** Makes the pool read-only and caches the {!digest} (the pool cannot
+    change afterwards, so the cached value stays valid).  Idempotent. *)
 
 val is_frozen : t -> bool
 
@@ -38,4 +39,5 @@ val digest : t -> string
 (** Digest of the full canonical contents (keys sorted, rows in order,
     floats in lossless hex).  Cache keys of libraries built against a
     pool must include this, so a build primed by anchor rows can never
-    alias one that was not. *)
+    alias one that was not.  O(pool rows) before {!freeze}; O(1)
+    afterwards (served from the value cached at freeze time). *)

@@ -93,6 +93,10 @@ type surrogate = {
          (model, axes, reference corner, held-out corner).  None of those
          depend on the target corner, so nearby corners served from the
          same pool reference reuse each other's certificate fits. *)
+  sur_lock : Mutex.t;
+      (* Guards [sur_certs]: one config is shared by every cell fit of a
+         corner build (fanned out over domains) and by parallel nearby
+         corner builds, and a bare Hashtbl is not domain-safe. *)
 }
 
 let surrogate ?(tol = 0.02) ?(sample = 12) ?(lambda = 1e-6) ?(conf = 1.)
@@ -101,7 +105,8 @@ let surrogate ?(tol = 0.02) ?(sample = 12) ?(lambda = 1e-6) ?(conf = 1.)
   if not (Float.is_finite tol) then
     invalid_arg "Characterize.surrogate: tol must be finite";
   { sur_tol = tol; sur_sample = sample; sur_lambda = lambda; sur_conf = conf;
-    sur_pool = pool; sur_certs = Hashtbl.create 64 }
+    sur_pool = pool; sur_certs = Hashtbl.create 64;
+    sur_lock = Mutex.create () }
 
 (* Aging features of a corner, measured on reference minimum-width
    devices: threshold shifts and mobility losses for both polarities.
@@ -782,9 +787,18 @@ let surrogate_grid s ~corner_feats ~(stats : arc_stats) ~(axes : Axes.t) ~ns
       with
       | Ok m ->
         fit_ok m;
+        (* The fit is 1/y-weighted on absolute targets, so leverage must
+           be taken in weighted units (~weight:(1/p)) or it would scale
+           with y^2 ~ 1e-20 and the gate could never see extrapolation. *)
         let serve i j =
-          let p, w = Ridge.predict_ci ~conf:s.sur_conf m (feats i j) in
-          if p > 0. && w <= s.sur_tol then Some p else None
+          let x = feats i j in
+          let p = Ridge.predict m x in
+          if p <= 0. then None
+          else
+            let w =
+              Ridge.confidence ~conf:s.sur_conf ~weight:(1. /. p) m x
+            in
+            if w <= s.sur_tol then Some p else None
         in
         let raw i j = Some (Ridge.predict m (feats i j)) in
         Some (serve, raw)
@@ -890,11 +904,15 @@ let surrogate_grid s ~corner_feats ~(stats : arc_stats) ~(axes : Axes.t) ~ns
               match ratio_at tbl_a i j with
               | None -> cert.(i).(j) <- Float.infinity
               | Some y ->
-                let p, w =
-                  Ridge.predict_ci ~conf:s.sur_conf m (feats_at sfx_a i j)
-                in
+                let x = feats_at sfx_a i j in
+                let p = Ridge.predict m x in
                 cert.(i).(j) <-
-                  (if p > 0. && w <= s.sur_tol then Float.abs (p -. y) /. y
+                  (if
+                     p > 0.
+                     && Ridge.confidence ~conf:s.sur_conf
+                          ~weight:(1. /. p) m x
+                        <= s.sur_tol
+                   then Float.abs (p -. y) /. y
                    else Float.infinity)
           done
         done);
@@ -917,14 +935,25 @@ let surrogate_grid s ~corner_feats ~(stats : arc_stats) ~(axes : Axes.t) ~ns
           (sfx_tag (fst corners.(ref_idx)))
           (sfx_tag (fst corners.(a)))
       in
-      match Hashtbl.find_opt s.sur_certs k with
+      match
+        Mutex.protect s.sur_lock (fun () -> Hashtbl.find_opt s.sur_certs k)
+      with
       | Some c ->
         Metrics.incr m_fit_cert_reused;
         c
       | None ->
+        (* Replay outside the lock: it is pure and deterministic, so two
+           domains racing on the same key waste one replay at worst —
+           cheaper than serializing every cell fit behind it. *)
         let c = cert_of a in
-        Hashtbl.add s.sur_certs k c;
-        c
+        Mutex.protect s.sur_lock (fun () ->
+            match Hashtbl.find_opt s.sur_certs k with
+            | Some c' ->
+              Metrics.incr m_fit_cert_reused;
+              c'
+            | None ->
+              Hashtbl.add s.sur_certs k c;
+              c)
     in
     (* Only the two pool corners nearest the target are replayed — a far
        corner certifies conditions the target never sees, at a full
@@ -978,8 +1007,17 @@ let surrogate_grid s ~corner_feats ~(stats : arc_stats) ~(axes : Axes.t) ~ns
         | Some rv ->
           if cert.(i).(j) > s.sur_tol then None
           else
-            let p, w = Ridge.predict_ci ~conf:s.sur_conf m (feats i j) in
-            if p > 0. && w <= s.sur_tol then Some (p *. rv) else None
+            (* Same weighted-leverage gate as the certificate replay
+               above; ratios sit near 1, so the weight mostly matters
+               for consistency between replay and serve. *)
+            let x = feats i j in
+            let p = Ridge.predict m x in
+            if
+              p > 0.
+              && Ridge.confidence ~conf:s.sur_conf ~weight:(1. /. p) m x
+                 <= s.sur_tol
+            then Some (p *. rv)
+            else None
       in
       let raw i j =
         Option.map (fun rv -> Ridge.predict m (feats i j) *. rv) (ref_at i j)

@@ -113,6 +113,9 @@ type surrogate = {
   sur_certs : (string, float array array) Hashtbl.t;
       (** memoized replayed-anchor certificate grids, shared across the
           corner builds that use this config *)
+  sur_lock : Mutex.t;
+      (** guards [sur_certs] against concurrent cell fits and parallel
+          corner builds *)
 }
 
 val surrogate :

@@ -229,6 +229,52 @@ let test_confidence_widens () =
   Alcotest.(check bool) "interior tighter than far field" true
     (Ridge.confidence m [| 0.5; 1.5 |] < Ridge.confidence m (at 32.))
 
+(* Regression: a 1/y-weighted fit on tiny absolute targets (delay-like,
+   ~1e-10 s) builds its normal matrix from ~1e10-weighted rows, so an
+   unweighted query basis reads leverage ~ y^2 ~ 0 and the interval
+   would never widen off the hull.  Scaling the query by its own weight
+   (1/prediction) restores the off-hull growth the serve gate relies
+   on. *)
+let test_weighted_confidence_widens () =
+  let rows = training_rows 20 41L in
+  let scale = 1e-10 in
+  let rng = Rng.create 91L in
+  let targets =
+    Array.map
+      (fun x ->
+        (* Positive on the training box and along the probe ray. *)
+        scale
+        *. (2. +. x.(0) +. (0.5 *. x.(1)) +. (0.01 *. uniform rng (-1.) 1.)))
+      rows
+  in
+  let weights = Array.map (fun y -> 1. /. y) targets in
+  let m =
+    match Ridge.fit ~basis:(Ridge.Poly 2) ~weights ~rows ~targets () with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "weighted fit: %s" (Ridge.error_to_string e)
+  in
+  let at t = [| 0.5 +. t; 1.5 +. (0.7 *. t) |] in
+  let conf_at x =
+    let p = Float.abs (Ridge.predict m x) in
+    Ridge.confidence ~weight:(1. /. Float.max p 1e-300) m x
+  in
+  let prev = ref (conf_at (at 2.)) in
+  List.iter
+    (fun t ->
+      let c = conf_at (at t) in
+      Alcotest.(check bool)
+        (Printf.sprintf "weighted confidence at t=%g grows" t)
+        true
+        (c >= !prev *. (1. -. 1e-9));
+      prev := c)
+    [ 4.; 8.; 16.; 32. ];
+  Alcotest.(check bool) "weighted interior tighter than far field" true
+    (conf_at [| 0.5; 1.5 |] < conf_at (at 32.));
+  (* The unweighted query leverage is exactly the degenerate quantity
+     the gate must not use against this fit: flat ~0 even far away. *)
+  Alcotest.(check bool) "unweighted leverage degenerates to ~0" true
+    (Ridge.leverage m (at 32.) < 1e-6)
+
 (* ------------------------------------------------------------------ *)
 (* Typed errors on degenerate designs                                  *)
 (* ------------------------------------------------------------------ *)
@@ -316,8 +362,12 @@ let test_trainset_basics () =
   Trainset.add t ~key:"b" ~features:[| 9. |] ~target:10.;
   Alcotest.(check bool) "digest tracks content" true (d1 <> Trainset.digest t);
   Alcotest.(check bool) "not frozen yet" false (Trainset.is_frozen t);
+  let d_pre = Trainset.digest t in
   Trainset.freeze t;
   Alcotest.(check bool) "frozen" true (Trainset.is_frozen t);
+  (* The digest cached at freeze time must equal the live computation. *)
+  Alcotest.(check string) "frozen digest matches live digest" d_pre
+    (Trainset.digest t);
   Alcotest.check_raises "add after freeze"
     (Invalid_argument "Trainset.add: pool is frozen") (fun () ->
       Trainset.add t ~key:"a" ~features:[| 0. |] ~target:0.)
@@ -377,6 +427,8 @@ let suite =
      test_fit_deterministic_across_jobs);
     ("ridge: permutation invariant", `Quick, test_permutation_invariant);
     ("ridge: confidence widens off-hull", `Quick, test_confidence_widens);
+    ("ridge: weighted confidence widens off-hull", `Quick,
+     test_weighted_confidence_widens);
     ("ridge: constant column typed error", `Quick,
      test_degenerate_constant_column);
     ("ridge: collinear design typed error", `Quick,
